@@ -1,0 +1,1 @@
+bench/ablations.ml: Arch Array Float Harness Hierarchical List Lock_type Platform Printf Sim Simlock Spinlocks Ssync_engine Ssync_platform Ssync_report Ssync_simlocks Table Topology

@@ -1,0 +1,1 @@
+bench/figures.ml: Arch Latencies List Platform Printf Series Ssync_ccbench Ssync_engine Ssync_platform Ssync_report Ssync_simlocks Table Table1

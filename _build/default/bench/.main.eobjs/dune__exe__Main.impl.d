@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures Figures_app List Native_bench Printf Sys Unix

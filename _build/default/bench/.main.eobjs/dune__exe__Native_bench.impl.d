@@ -1,0 +1,1 @@
+bench/native_bench.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Ssync_locks Ssync_mp Ssync_ssht Ssync_tm Staged String Test Time Toolkit

@@ -1,0 +1,319 @@
+(* One generator per paper table/figure.  Each prints the measured
+   result (with paper reference values where the paper reports numbers)
+   using the Report library.  Durations are chosen so the full harness
+   runs in minutes on one host CPU; shapes, not absolute precision, are
+   the target (see EXPERIMENTS.md). *)
+
+open Ssync_platform
+open Ssync_report
+
+let hr title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let paper_platforms = Arch.paper_platform_ids
+
+(* Thread counts: the paper's x axes, scaled down to a small set of
+   sample points per platform. *)
+let thread_points pid =
+  match pid with
+  | Arch.Opteron -> [ 1; 2; 6; 12; 18; 24; 36; 48 ]
+  | Arch.Xeon -> [ 1; 2; 10; 20; 40; 60; 80 ]
+  | Arch.Niagara -> [ 1; 2; 8; 16; 32; 48; 64 ]
+  | Arch.Tilera -> [ 1; 2; 6; 12; 18; 24; 36 ]
+  | Arch.Opteron2 -> [ 1; 2; 4; 8 ]
+  | Arch.Xeon2 -> [ 1; 2; 6; 12 ]
+
+(* --------------------------- Table 1 ------------------------------ *)
+
+let table1 () =
+  hr "Table 1: hardware and OS characteristics of the target platforms";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Left ]
+      ("" :: List.map (fun (m : Table1.t) -> Arch.platform_name m.Table1.id)
+               Table1.all)
+  in
+  let field_names = List.map fst (Table1.rows Table1.opteron) in
+  List.iteri
+    (fun i name ->
+      Table.add_row t
+        (name
+        :: List.map
+             (fun m -> snd (List.nth (Table1.rows m) i))
+             Table1.all))
+    field_names;
+  Table.print t
+
+(* --------------------------- Table 3 ------------------------------ *)
+
+let table3 () =
+  hr "Table 3: local caches and memory latencies (cycles) [paper values in ()]";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "level"; "Opteron"; "Xeon"; "Niagara"; "Tilera" ]
+  in
+  List.iter
+    (fun lvl ->
+      let cell pid =
+        match List.assoc lvl (Ssync_ccbench.Ccbench.table3 pid) with
+        | Some v -> (
+            match Latencies.table3 pid lvl with
+            | Some p -> Table.vs_paper ~measured:v ~paper:(Some p)
+            | None -> string_of_int v)
+        | None -> "-"
+      in
+      Table.add_row t
+        (Arch.cache_level_name lvl :: List.map cell paper_platforms))
+    [ Arch.L1; Arch.L2; Arch.LLC; Arch.RAM ];
+  Table.print t
+
+(* --------------------------- Table 2 ------------------------------ *)
+
+let table2 () =
+  hr "Table 2: coherence latencies by state and distance [measured (paper)]";
+  List.iter
+    (fun pid ->
+      Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+      let cells = Ssync_ccbench.Ccbench.table2 pid in
+      let t =
+        Table.create
+          ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right ]
+          [ "op"; "state"; "distance"; "cycles" ]
+      in
+      List.iter
+        (fun (c : Ssync_ccbench.Ccbench.cell) ->
+          Table.add_row t
+            [
+              Arch.memop_name c.Ssync_ccbench.Ccbench.op;
+              Arch.cstate_name c.Ssync_ccbench.Ccbench.state;
+              Arch.distance_name c.Ssync_ccbench.Ccbench.distance;
+              Table.vs_paper ~measured:c.Ssync_ccbench.Ccbench.measured
+                ~paper:c.Ssync_ccbench.Ccbench.paper;
+            ])
+        cells;
+      Table.print t)
+    paper_platforms;
+  Printf.printf
+    "\nOpteron worst-case remote directory load (section 5.2, paper ~312): %d\n"
+    (Ssync_ccbench.Ccbench.opteron_remote_directory_load ())
+
+(* --------------------------- Figure 3 ----------------------------- *)
+
+let fig3 ?(duration = 300_000) () =
+  hr
+    "Figure 3: ticket lock acquire+release latency on the Opteron (cycles, \
+     lower is better)";
+  let threads = [ 1; 2; 6; 12; 18; 24; 36; 48 ] in
+  let series =
+    List.map
+      (fun (name, variant) ->
+        Series.make name
+          (List.map
+             (fun n ->
+               (n, Ssync_ccbench.Lock_bench.figure3_latency ~duration variant ~threads:n))
+             threads))
+      [
+        ("non-optimized", Ssync_simlocks.Simlock.Ticket_spin);
+        ("back-off", Ssync_simlocks.Simlock.Ticket);
+        ("back-off+prefetchw", Ssync_simlocks.Simlock.Ticket_prefetchw);
+      ]
+  in
+  print_endline (Series.table ~x_label:"threads" series)
+
+(* --------------------------- Figure 4 ----------------------------- *)
+
+let fig4 ?(duration = 250_000) () =
+  hr "Figure 4: throughput of atomic operations on one location (Mops/s)";
+  List.iter
+    (fun pid ->
+      Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+      let results =
+        Ssync_ccbench.Atomic_bench.figure4 ~duration pid
+          ~thread_counts:(thread_points pid)
+      in
+      let series =
+        List.map
+          (fun (kind, points) ->
+            Series.make
+              (Ssync_ccbench.Atomic_bench.op_kind_name kind)
+              (List.map (fun (n, m) -> (n, m)) points))
+          results
+      in
+      print_endline (Series.table ~x_label:"threads" series))
+    paper_platforms
+
+(* ------------------------- Figures 5 and 7 ------------------------ *)
+
+let lock_throughput_figure ~title ~n_locks ?(duration = 200_000) () =
+  hr title;
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+      let algos = Ssync_simlocks.Simlock.algos_for p in
+      let series =
+        List.map
+          (fun algo ->
+            Series.make
+              (Ssync_simlocks.Simlock.name algo)
+              (List.map
+                 (fun n ->
+                   ( n,
+                     (Ssync_ccbench.Lock_bench.throughput ~duration pid algo
+                        ~threads:n ~n_locks)
+                       .Ssync_engine.Harness.mops ))
+                 (thread_points pid)))
+          algos
+      in
+      print_endline (Series.table ~x_label:"threads" series))
+    paper_platforms
+
+let fig5 ?duration () =
+  lock_throughput_figure
+    ~title:
+      "Figure 5: lock throughput, single lock / extreme contention (Mops/s)"
+    ~n_locks:1 ?duration ()
+
+let fig7 ?duration () =
+  lock_throughput_figure
+    ~title:"Figure 7: lock throughput, 512 locks / very low contention (Mops/s)"
+    ~n_locks:512 ?duration ()
+
+(* --------------------------- Figure 6 ----------------------------- *)
+
+let fig6 () =
+  hr
+    "Figure 6: uncontested lock acquisition latency by previous holder \
+     location (cycles)";
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+      let algos = Ssync_simlocks.Simlock.algos_for p in
+      let distances = Latencies.distance_classes pid in
+      let t =
+        Table.create
+          ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) ("s" :: List.map Arch.distance_name distances))
+          ("lock" :: "single thread" :: List.map Arch.distance_name distances)
+      in
+      List.iter
+        (fun algo ->
+          let single =
+            Printf.sprintf "%.0f"
+              (Ssync_ccbench.Lock_bench.single_thread_latency pid algo)
+          in
+          let cells =
+            List.map
+              (fun d ->
+                match Ssync_ccbench.Lock_bench.uncontested_latency pid algo d with
+                | Some l -> Printf.sprintf "%.0f" l
+                | None -> "-")
+              distances
+          in
+          Table.add_row t
+            (Ssync_simlocks.Simlock.name algo :: single :: cells))
+        algos;
+      Table.print t)
+    paper_platforms
+
+(* --------------------------- Figure 8 ----------------------------- *)
+
+let fig8 ?(duration = 200_000) () =
+  hr
+    "Figure 8: best lock and scalability by number of locks (\"X : Y\" = \
+     scalability vs single thread : best lock)";
+  let thread_samples pid =
+    match pid with
+    | Arch.Opteron -> [ 1; 6; 18; 36 ]
+    | Arch.Xeon -> [ 1; 10; 18; 36 ]
+    | Arch.Niagara -> [ 1; 8; 18; 36 ]
+    | Arch.Tilera -> [ 1; 8; 18; 36 ]
+    | _ -> [ 1 ]
+  in
+  List.iter
+    (fun n_locks ->
+      Printf.printf "\n-- %d locks --\n" n_locks;
+      let t =
+        Table.create
+          ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+          [ "platform"; "threads"; "Mops/s"; "X : best lock" ]
+      in
+      List.iter
+        (fun pid ->
+          List.iter
+            (fun threads ->
+              let b =
+                Ssync_ccbench.Lock_bench.best_of ~duration pid ~threads
+                  ~n_locks
+              in
+              Table.add_row t
+                [
+                  Arch.platform_name pid;
+                  string_of_int threads;
+                  Printf.sprintf "%.1f" b.Ssync_ccbench.Lock_bench.mops;
+                  Printf.sprintf "%.1fx : %s"
+                    b.Ssync_ccbench.Lock_bench.scalability
+                    (Ssync_simlocks.Simlock.name
+                       b.Ssync_ccbench.Lock_bench.algo);
+                ])
+            (thread_samples pid))
+        paper_platforms;
+      Table.print t)
+    [ 4; 16; 32; 128 ]
+
+(* --------------------------- Figure 9 ----------------------------- *)
+
+let fig9 () =
+  hr
+    "Figure 9: one-to-one message passing latency by distance (cycles; \
+     paper: e.g. Opteron one-way 262..660, Tilera hw 61..64)";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "platform"; "distance"; "one-way"; "round-trip" ]
+  in
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun d ->
+          match Ssync_ccbench.Mp_bench.one_to_one pid d with
+          | None -> ()
+          | Some r ->
+              Table.add_row t
+                [
+                  Arch.platform_name pid;
+                  Arch.distance_name d;
+                  Printf.sprintf "%.0f" r.Ssync_ccbench.Mp_bench.one_way;
+                  Printf.sprintf "%.0f" r.Ssync_ccbench.Mp_bench.round_trip;
+                ])
+        (Latencies.distance_classes pid))
+    paper_platforms;
+  Table.print t
+
+(* --------------------------- Figure 10 ---------------------------- *)
+
+let fig10 ?(duration = 250_000) () =
+  hr "Figure 10: client-server message passing throughput (Mops/s)";
+  let client_counts pid =
+    let n = Platform.n_cores (Platform.get pid) - 1 in
+    List.filter (fun c -> c <= n) [ 1; 2; 6; 12; 18; 24; 35 ]
+  in
+  List.iter
+    (fun pid ->
+      Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+      let series =
+        List.map
+          (fun (name, mode) ->
+            Series.make name
+              (List.map
+                 (fun c ->
+                   (c, Ssync_ccbench.Mp_bench.client_server ~duration pid mode ~clients:c))
+                 (client_counts pid)))
+          [
+            ("one-way", Ssync_ccbench.Mp_bench.One_way);
+            ("round-trip", Ssync_ccbench.Mp_bench.Round_trip);
+          ]
+      in
+      print_endline (Series.table ~x_label:"clients" series))
+    paper_platforms

@@ -1,0 +1,91 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Tables 2-3, Figures 3-12) plus the prose results
+   of sections 5.3 and 8, and runs Bechamel microbenchmarks of the
+   native library.
+
+   Usage:
+     bench/main.exe            run everything
+     bench/main.exe SECTIONS   run a subset, e.g. `main.exe fig5 fig11`
+     bench/main.exe --quick    shorter simulated windows
+     bench/main.exe --list     list section names *)
+
+let sections : (string * string * (quick:bool -> unit)) list =
+  [
+    ("table3", "Table 3: local cache/memory latencies",
+     fun ~quick:_ -> Figures.table3 ());
+    ("table2", "Table 2: coherence latencies by state and distance",
+     fun ~quick:_ -> Figures.table2 ());
+    ("fig3", "Figure 3: ticket lock variants on the Opteron",
+     fun ~quick ->
+       Figures.fig3 ~duration:(if quick then 120_000 else 400_000) ());
+    ("fig4", "Figure 4: atomic operation throughput",
+     fun ~quick ->
+       Figures.fig4 ~duration:(if quick then 100_000 else 300_000) ());
+    ("fig5", "Figure 5: locks under extreme contention",
+     fun ~quick ->
+       Figures.fig5 ~duration:(if quick then 80_000 else 250_000) ());
+    ("fig6", "Figure 6: uncontested lock acquisition latency",
+     fun ~quick:_ -> Figures.fig6 ());
+    ("fig7", "Figure 7: locks under very low contention",
+     fun ~quick ->
+       Figures.fig7 ~duration:(if quick then 80_000 else 250_000) ());
+    ("fig8", "Figure 8: best lock by contention level",
+     fun ~quick ->
+       Figures.fig8 ~duration:(if quick then 60_000 else 200_000) ());
+    ("fig9", "Figure 9: one-to-one message passing latency",
+     fun ~quick:_ -> Figures.fig9 ());
+    ("fig10", "Figure 10: client-server message passing throughput",
+     fun ~quick ->
+       Figures.fig10 ~duration:(if quick then 100_000 else 300_000) ());
+    ("fig11", "Figure 11: hash table (ssht) throughput",
+     fun ~quick ->
+       Figures_app.fig11 ~duration:(if quick then 60_000 else 150_000) ());
+    ("fig12", "Figure 12: Memcached set-only throughput",
+     fun ~quick ->
+       Figures_app.fig12 ~duration:(if quick then 800_000 else 2_500_000) ());
+    ("extra_prefetchw_mp", "Section 5.3: prefetchw message passing",
+     fun ~quick:_ -> Figures_app.extra_prefetchw_mp ());
+    ("extra_small_platforms", "Section 8: 2-socket platforms",
+     fun ~quick:_ -> Figures_app.extra_small_platforms ());
+    ("extra_stm", "Section 8: TM2C lock-based vs message-passing",
+     fun ~quick ->
+       Figures_app.extra_stm ~duration:(if quick then 60_000 else 150_000) ());
+    ("table1", "Table 1: platform characteristics",
+     fun ~quick:_ -> Figures.table1 ());
+    ("ablations", "Ablations: backoff base, max_pass, placement, occupancy",
+     fun ~quick -> Ablations.run ~quick ());
+    ("native_bechamel", "Native library microbenchmarks (Bechamel)",
+     fun ~quick:_ -> Native_bench.run ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  if List.mem "--list" args then
+    List.iter (fun (name, desc, _) -> Printf.printf "%-22s %s\n" name desc) sections
+  else begin
+    let wanted =
+      match args with
+      | [] -> List.map (fun (n, _, _) -> n) sections
+      | names ->
+          List.iter
+            (fun n ->
+              if not (List.exists (fun (s, _, _) -> s = n) sections) then begin
+                Printf.eprintf
+                  "unknown section %S (use --list to see the choices)\n" n;
+                exit 1
+              end)
+            names;
+          names
+    in
+    Printf.printf
+      "SSYNC benchmark harness — reproduction of David, Guerraoui, \
+       Trigonakis, SOSP'13.\nAll cross-platform numbers come from the \
+       calibrated simulator; see EXPERIMENTS.md.\n%!";
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, _, f) -> if List.mem name wanted then f ~quick)
+      sections;
+    Printf.printf "\n(total wall time: %.1fs)\n" (Unix.gettimeofday () -. t0)
+  end

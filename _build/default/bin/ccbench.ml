@@ -1,0 +1,111 @@
+(* ccbench CLI: query the cache-coherence cost of an operation by
+   platform, state and distance — the command-line face of the paper's
+   section 4.2 microbenchmark.
+
+   Examples:
+     ccbench --platform opteron
+     ccbench --platform xeon --op store --state shared
+     ccbench --platform tilera --local *)
+
+open Cmdliner
+open Ssync_platform
+
+let platform_conv =
+  let parse s =
+    match Arch.platform_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown platform %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Arch.platform_name p))
+
+let op_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "load" -> Ok Arch.Load
+    | "store" -> Ok Arch.Store
+    | "cas" -> Ok Arch.Cas
+    | "fai" -> Ok Arch.Fai
+    | "tas" -> Ok Arch.Tas
+    | "swap" -> Ok Arch.Swap
+    | _ -> Error (`Msg (Printf.sprintf "unknown op %S" s))
+  in
+  Arg.conv (parse, fun ppf o -> Format.pp_print_string ppf (Arch.memop_name o))
+
+let state_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "modified" | "m" -> Ok Arch.Modified
+    | "owned" | "o" -> Ok Arch.Owned
+    | "exclusive" | "e" -> Ok Arch.Exclusive
+    | "shared" | "s" -> Ok Arch.Shared
+    | "invalid" | "i" -> Ok Arch.Invalid
+    | _ -> Error (`Msg (Printf.sprintf "unknown state %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Arch.cstate_name s))
+
+let run platform ops states local =
+  if local then begin
+    Printf.printf "%s local latencies (cycles):\n" (Arch.platform_name platform);
+    List.iter
+      (fun (lvl, v) ->
+        Printf.printf "  %-4s %s\n" (Arch.cache_level_name lvl)
+          (match v with Some c -> string_of_int c | None -> "-"))
+      (Ssync_ccbench.Ccbench.table3 platform)
+  end
+  else begin
+    let cells = Ssync_ccbench.Ccbench.table2 platform in
+    let cells =
+      List.filter
+        (fun (c : Ssync_ccbench.Ccbench.cell) ->
+          (ops = [] || List.mem c.Ssync_ccbench.Ccbench.op ops)
+          && (states = [] || List.mem c.Ssync_ccbench.Ccbench.state states))
+        cells
+    in
+    let t =
+      Ssync_report.Table.create
+        ~aligns:
+          [ Ssync_report.Table.Left; Ssync_report.Table.Left;
+            Ssync_report.Table.Left; Ssync_report.Table.Right ]
+        [ "op"; "state"; "distance"; "cycles (paper)" ]
+    in
+    List.iter
+      (fun (c : Ssync_ccbench.Ccbench.cell) ->
+        Ssync_report.Table.add_row t
+          [
+            Arch.memop_name c.Ssync_ccbench.Ccbench.op;
+            Arch.cstate_name c.Ssync_ccbench.Ccbench.state;
+            Arch.distance_name c.Ssync_ccbench.Ccbench.distance;
+            Ssync_report.Table.vs_paper
+              ~measured:c.Ssync_ccbench.Ccbench.measured
+              ~paper:c.Ssync_ccbench.Ccbench.paper;
+          ])
+      cells;
+    Ssync_report.Table.print t
+  end
+
+let cmd =
+  let platform =
+    Arg.(
+      value
+      & opt platform_conv Arch.Opteron
+      & info [ "p"; "platform" ] ~docv:"PLATFORM"
+          ~doc:"Target platform: opteron, xeon, niagara, tilera, opteron2, xeon2.")
+  in
+  let ops =
+    Arg.(
+      value & opt_all op_conv []
+      & info [ "o"; "op" ] ~docv:"OP" ~doc:"Filter by operation (repeatable).")
+  in
+  let states =
+    Arg.(
+      value & opt_all state_conv []
+      & info [ "s"; "state" ] ~docv:"STATE" ~doc:"Filter by MESI state (repeatable).")
+  in
+  let local =
+    Arg.(value & flag & info [ "local" ] ~doc:"Print Table 3 local latencies instead.")
+  in
+  Cmd.v
+    (Cmd.info "ccbench" ~doc:"cache-coherence latency microbenchmark (SSYNC)")
+    Term.(const run $ platform $ ops $ states $ local)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(* The stress-test CLI of the suite (paper section 4.2): lock throughput
+   and latency under a chosen platform, algorithm, thread count and
+   contention level.
+
+   Examples:
+     ssync_stress --platform xeon --lock hticket --threads 20 --locks 1
+     ssync_stress --platform niagara --lock ticket --threads 32 --locks 128 *)
+
+open Cmdliner
+open Ssync_platform
+
+let platform_conv =
+  let parse s =
+    match Arch.platform_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown platform %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Arch.platform_name p))
+
+let lock_conv =
+  let parse s =
+    match Ssync_simlocks.Simlock.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown lock %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf a -> Format.pp_print_string ppf (Ssync_simlocks.Simlock.name a))
+
+let run pid algo threads n_locks duration =
+  let p = Platform.get pid in
+  if threads > Platform.n_cores p then begin
+    Printf.eprintf "%s has only %d hardware contexts\n"
+      (Arch.platform_name pid) (Platform.n_cores p);
+    exit 1
+  end;
+  let r =
+    Ssync_ccbench.Lock_bench.throughput ~duration pid algo ~threads ~n_locks
+  in
+  Printf.printf
+    "%s / %s: %d threads, %d lock(s), %d simulated cycles\n"
+    (Arch.platform_name pid)
+    (Ssync_simlocks.Simlock.name algo)
+    threads n_locks duration;
+  Printf.printf "  total ops:   %d\n" r.Ssync_engine.Harness.total_ops;
+  Printf.printf "  throughput:  %.2f Mops/s\n" r.Ssync_engine.Harness.mops;
+  let ops = r.Ssync_engine.Harness.ops in
+  let mn = Array.fold_left min max_int ops
+  and mx = Array.fold_left max 0 ops in
+  Printf.printf "  fairness:    min %d / max %d ops per thread\n" mn mx
+
+let cmd =
+  let platform =
+    Arg.(
+      value
+      & opt platform_conv Arch.Opteron
+      & info [ "p"; "platform" ] ~docv:"PLATFORM" ~doc:"Target platform.")
+  in
+  let lock =
+    Arg.(
+      value
+      & opt lock_conv Ssync_simlocks.Simlock.Ticket
+      & info [ "l"; "lock" ] ~docv:"LOCK"
+          ~doc:"Lock algorithm: TAS, TTAS, TICKET, ARRAY, MUTEX, MCS, CLH, \
+                HCLH, HTICKET.")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Threads.")
+  in
+  let locks =
+    Arg.(value & opt int 1 & info [ "locks" ] ~docv:"N" ~doc:"Number of locks.")
+  in
+  let duration =
+    Arg.(
+      value & opt int 400_000
+      & info [ "d"; "duration" ] ~docv:"CYCLES" ~doc:"Simulated cycles.")
+  in
+  Cmd.v
+    (Cmd.info "ssync_stress" ~doc:"lock stress test on the simulator (SSYNC)")
+    Term.(const run $ platform $ lock $ threads $ locks $ duration)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/kvs_session.ml: Kvs Kvs_driver Libslock Printf Ssync Unix

@@ -1,0 +1,1 @@
+examples/kvs_session.mli:

@@ -1,0 +1,1 @@
+examples/lock_advisor.ml: Arch Array Harness List Lock_bench Platform Printf Simlock Ssync Sys

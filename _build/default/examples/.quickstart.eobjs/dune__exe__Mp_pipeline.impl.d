@@ -1,0 +1,1 @@
+examples/mp_pipeline.ml: Channel Domain Hashtbl List Option Printf Ssync String

@@ -1,0 +1,1 @@
+examples/mp_pipeline.mli:

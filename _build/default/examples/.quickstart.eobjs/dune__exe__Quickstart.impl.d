@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Client_server Domain Harness Libslock List Lock Lock_bench Printf Simlock Ssync

@@ -1,0 +1,1 @@
+examples/stm_bank.ml: Domain List Printf Rng Ssync Tm

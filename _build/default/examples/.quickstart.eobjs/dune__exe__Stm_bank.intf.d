@@ -1,0 +1,1 @@
+examples/stm_bank.mli:

@@ -1,0 +1,57 @@
+(* A session against the Memcached-like store: the classic protocol
+   operations (set/get/add/replace/cas/incr/delete, TTLs, LRU eviction),
+   then a small memslap-like load from several domains.
+
+   Run with:  dune exec examples/kvs_session.exe *)
+
+open Ssync
+
+let show label v =
+  Printf.printf "%-34s %s\n" label
+    (match v with Some s -> Printf.sprintf "%S" s | None -> "(miss)")
+
+let () =
+  (* small capacity so eviction is observable.  MUTEX, not a spin lock:
+     with more domains than cores, blocking locks are the right choice
+     (the paper's own conclusion about Pthread mutexes) *)
+  let kvs = Kvs.create ~lock_algo:Libslock.Mutex ~capacity:1000 () in
+
+  print_endline "-- protocol walkthrough --";
+  Kvs.set kvs "user:1" "tudor";
+  Kvs.set kvs "user:2" "rachid";
+  show "get user:1" (Kvs.get kvs "user:1");
+  Printf.printf "add user:1 (should fail): %b\n" (Kvs.add kvs "user:1" "x");
+  Printf.printf "replace user:2: %b\n" (Kvs.replace kvs "user:2" "vasileios");
+  show "get user:2" (Kvs.get kvs "user:2");
+
+  (* cas round *)
+  (match Kvs.gets kvs "user:1" with
+  | Some (v, token) ->
+      Printf.printf "gets user:1 -> %S (token %d)\n" v token;
+      Printf.printf "cas with token: %b\n" (Kvs.cas kvs "user:1" "tudor2" ~token);
+      Printf.printf "cas with stale token: %b\n"
+        (Kvs.cas kvs "user:1" "tudor3" ~token)
+  | None -> ());
+
+  Kvs.set kvs "hits" "0";
+  ignore (Kvs.incr kvs "hits" 5);
+  show "incr hits by 5" (Kvs.get kvs "hits");
+
+  Kvs.set kvs ~ttl:0.05 "ephemeral" "gone soon";
+  show "ephemeral before expiry" (Kvs.get kvs "ephemeral");
+  Unix.sleepf 0.06;
+  show "ephemeral after expiry" (Kvs.get kvs "ephemeral");
+
+  print_endline "\n-- memslap-like load (3 domains, 30% sets) --";
+  Kvs_driver.preload kvs ~n_keys:500;
+  let r =
+    Kvs_driver.run kvs ~threads:3 ~ops_per_thread:5_000 ~n_keys:500
+      ~mix:(Kvs_driver.mixed 30)
+  in
+  Printf.printf "%d ops in %.2fs -> %.1f Kops/s (hits %d, misses %d)\n"
+    r.Kvs_driver.ops r.Kvs_driver.elapsed_s r.Kvs_driver.kops
+    r.Kvs_driver.get_hits r.Kvs_driver.get_misses;
+  let s = Kvs.stats kvs in
+  Printf.printf
+    "stats: sets=%d gets=%d evictions=%d maintenance-sweeps=%d\n"
+    s.Kvs.sets s.Kvs.gets s.Kvs.evictions s.Kvs.global_lock_acquisitions

@@ -1,0 +1,50 @@
+(* A concurrent bank on the TM2C-style software transactional memory:
+   domains transfer money between random accounts; transactions make
+   each transfer atomic, so the total balance is invariant.
+
+   Run with:  dune exec examples/stm_bank.exe *)
+
+open Ssync
+
+let accounts = 32
+let initial = 1_000
+let domains = 4
+let transfers_per_domain = 5_000
+
+let () =
+  let bank = Tm.create ~size:accounts in
+  for i = 0 to accounts - 1 do
+    Tm.unsafe_set bank i initial
+  done;
+  let stats = Tm.{ commits = 0; aborts = 0 } in
+  let worker seed () =
+    let rng = Rng.create ~seed in
+    for _ = 1 to transfers_per_domain do
+      let from_acc = Rng.int rng accounts in
+      let to_acc = Rng.int rng accounts in
+      let amount = 1 + Rng.int rng 20 in
+      if from_acc <> to_acc then
+        Tm.atomically ~stats bank (fun tx ->
+            let a = Tm.read tx from_acc in
+            let b = Tm.read tx to_acc in
+            (* allow overdrafts; the invariant is conservation *)
+            Tm.write tx from_acc (a - amount);
+            Tm.write tx to_acc (b + amount))
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    total := !total + Tm.unsafe_get bank i
+  done;
+  Printf.printf "%d domains x %d transfers: total = %d (expected %d)\n" domains
+    transfers_per_domain !total (accounts * initial);
+  Printf.printf "commits: %d, aborts: %d (%.1f%% abort rate)\n"
+    stats.Tm.commits stats.Tm.aborts
+    (100. *. float_of_int stats.Tm.aborts
+    /. float_of_int (max 1 (stats.Tm.commits + stats.Tm.aborts)));
+  if !total <> accounts * initial then begin
+    print_endline "INVARIANT VIOLATED";
+    exit 1
+  end

@@ -1,0 +1,1 @@
+lib/ccbench/atomic_bench.ml: Arch Harness List Memory Platform Sim Ssync_coherence Ssync_engine Ssync_platform

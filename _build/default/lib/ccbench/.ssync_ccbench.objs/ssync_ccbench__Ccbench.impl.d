@@ -1,0 +1,1 @@
+lib/ccbench/ccbench.ml: Arch Latencies List Memory Platform Ssync_coherence Ssync_platform Topology

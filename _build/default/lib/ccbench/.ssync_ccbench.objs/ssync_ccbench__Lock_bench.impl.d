@@ -1,0 +1,1 @@
+lib/ccbench/lock_bench.ml: Arch Array Float Harness List Lock_type Memory Platform Sim Simlock Ssync_coherence Ssync_engine Ssync_platform Ssync_simlocks Topology

@@ -1,0 +1,1 @@
+lib/ccbench/mp_bench.ml: Arch Array Channel Client_server Platform Sim Ssync_engine Ssync_platform Ssync_simmp Topology

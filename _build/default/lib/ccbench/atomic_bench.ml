@@ -1,0 +1,86 @@
+(* The atomic-operation stress test of section 5.4 (Figure 4): every
+   thread repeatedly performs one atomic operation on a single shared
+   location, pausing after each call long enough to prevent local "long
+   runs" (the pause is proportional to the operation's own latency, as
+   in the paper's footnote). *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+
+type op_kind =
+  | Op_cas      (* raw CAS, usually failing under contention *)
+  | Op_tas      (* raw TAS, not eventually-successful *)
+  | Op_cas_fai  (* fetch-and-increment built from a CAS retry loop *)
+  | Op_swap
+  | Op_fai
+
+let op_kind_name = function
+  | Op_cas -> "CAS"
+  | Op_tas -> "TAS"
+  | Op_cas_fai -> "CAS based FAI"
+  | Op_swap -> "SWAP"
+  | Op_fai -> "FAI"
+
+let all_op_kinds = [ Op_cas; Op_tas; Op_cas_fai; Op_swap; Op_fai ]
+
+(* On the Niagara, FAI and SWAP have no hardware implementation and are
+   CAS-based (section 5.4); their latency is the CAS-loop's. *)
+let effective_kind pid kind =
+  match (pid, kind) with
+  | (Arch.Niagara, Op_swap) -> Op_cas_fai
+  | (Arch.Niagara, Op_fai) -> Op_cas_fai
+  | _ -> kind
+
+(* One completed call of [kind] on [a]; returns when the call (and any
+   internal CAS retries) finished. *)
+let perform kind a =
+  match kind with
+  | Op_cas ->
+      (* expected value deliberately stale: mostly failing, like the
+         paper's CAS row *)
+      ignore (Sim.cas a ~expected:1 ~desired:1)
+  | Op_tas -> ignore (Sim.tas a)
+  | Op_swap -> ignore (Sim.swap a 1)
+  | Op_fai -> ignore (Sim.fai a)
+  | Op_cas_fai ->
+      let rec retry () =
+        let c = Sim.load a in
+        if not (Sim.cas a ~expected:c ~desired:(c + 1)) then retry ()
+      in
+      retry ()
+
+(* Throughput of [kind] with [threads] threads on one location. *)
+let throughput pid kind ~threads ~duration : Harness.result =
+  let p = Platform.get pid in
+  let kind = effective_kind pid kind in
+  let local_work = Platform.local_work_for p ~threads in
+  Harness.run p ~threads ~duration
+    ~setup:(fun mem -> Memory.alloc ~home_core:(Platform.place p 0) mem)
+    ~body:(fun a _mem ~tid:_ ~deadline ->
+      let n = ref 0 in
+      let frame = max 2 (local_work / 8) in
+      while Sim.now () < deadline do
+        let t0 = Sim.now () in
+        perform kind a;
+        let dt = Sim.now () - t0 in
+        (* loop overhead plus the anti-long-run pause, proportional to
+           the operation's own latency (paper footnote 8) *)
+        Sim.pause (frame + (dt / 2));
+        incr n
+      done;
+      !n)
+
+(* The full Figure 4 sweep: throughput (Mops/s) for each op kind at each
+   thread count. *)
+let figure4 ?(duration = 400_000) pid ~thread_counts :
+    (op_kind * (int * float) list) list =
+  List.map
+    (fun kind ->
+      ( kind,
+        List.map
+          (fun threads ->
+            let r = throughput pid kind ~threads ~duration in
+            (threads, r.Harness.mops))
+          thread_counts ))
+    all_op_kinds

@@ -1,0 +1,1 @@
+lib/coherence/memory.ml: Arch Array Cost_model List Platform Printf Ssync_platform Stats Topology

@@ -1,0 +1,1 @@
+lib/coherence/memory.mli: Arch Platform Ssync_platform Stats

@@ -1,0 +1,1 @@
+lib/coherence/stats.ml: Format Ssync_platform

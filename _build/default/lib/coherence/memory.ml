@@ -1,0 +1,241 @@
+(* A simulated coherent memory: the machine-wide state of every cache
+   line, the protocol transitions applied by loads/stores/atomics, and
+   the virtual-time cost of each access.
+
+   Granularity is one word per cache line — the paper's benchmarks pad
+   shared words to a cache line each, so this loses nothing relevant.
+   Costs come from the platform's calibrated cost model; contention is
+   modeled by line occupancy: an exclusive transaction keeps the line
+   (its directory entry / home-tile slot) busy for its duration, so
+   concurrent writers serialize and latencies grow under contention,
+   exactly the mechanism behind the paper's Figures 4 and 5. *)
+
+open Ssync_platform
+
+type addr = int
+
+type line = {
+  mutable state : Arch.cstate;
+  mutable owner : int option;   (* core holding Modified/Owned/Exclusive *)
+  mutable sharers : int list;   (* cores holding Shared copies *)
+  home : int;                   (* home node (directory / home tile / memory) *)
+  mutable value : int;
+  mutable busy_until : int;     (* virtual time the line is occupied until *)
+}
+
+type t = {
+  platform : Platform.t;
+  mutable lines : line array;
+  mutable n_lines : int;
+  stats : Stats.t;
+}
+
+let dummy_line =
+  { state = Arch.Invalid; owner = None; sharers = []; home = 0; value = 0; busy_until = 0 }
+
+let create platform =
+  { platform; lines = Array.make 1024 dummy_line; n_lines = 0; stats = Stats.create () }
+
+let platform t = t.platform
+let stats t = t.stats
+let n_lines t = t.n_lines
+
+let alloc ?(home_core = 0) ?(value = 0) t : addr =
+  Topology.check t.platform.Platform.topo home_core;
+  let home = t.platform.Platform.topo.Topology.mem_node_of_core home_core in
+  if t.n_lines = Array.length t.lines then begin
+    let bigger = Array.make (2 * Array.length t.lines) dummy_line in
+    Array.blit t.lines 0 bigger 0 t.n_lines;
+    t.lines <- bigger
+  end;
+  let a = t.n_lines in
+  t.lines.(a) <-
+    { state = Arch.Invalid; owner = None; sharers = []; home; value; busy_until = 0 };
+  t.n_lines <- a + 1;
+  a
+
+let alloc_n ?(home_core = 0) ?(value = 0) t n : addr =
+  if n <= 0 then invalid_arg "Memory.alloc_n: n must be positive";
+  let base = alloc ~home_core ~value t in
+  for _ = 2 to n do
+    ignore (alloc ~home_core ~value t)
+  done;
+  base
+
+let line t a =
+  if a < 0 || a >= t.n_lines then
+    invalid_arg (Printf.sprintf "Memory.line: address %d out of range" a);
+  t.lines.(a)
+
+(* Debug/test access that costs nothing and moves no state. *)
+let peek t a = (line t a).value
+let poke t a v = (line t a).value <- v
+
+let view_of_line (l : line) : Cost_model.view =
+  { state = l.state; owner = l.owner; sharers = l.sharers; home = l.home }
+
+let holds l core = l.owner = Some core || List.mem core l.sharers
+
+(* Is this access served entirely from the requester's own cache (no
+   global transaction, no serialization)? *)
+let is_local_hit (l : line) core (op : Arch.memop) =
+  match op with
+  | Arch.Load -> holds l core
+  | Arch.Store -> l.owner = Some core
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> l.owner = Some core
+
+(* Protocol state transition after [core] performs [op].  MOESI
+   (Opteron) keeps a dirty line in the previous owner's cache in Owned
+   state when another core loads it; the MESI variants downgrade both
+   copies to Shared.  Any store/atomic invalidates all other copies and
+   leaves the line Modified at [core].  Returns the number of remote
+   copies invalidated. *)
+let transition t (l : line) core (op : Arch.memop) =
+  let moesi =
+    match t.platform.Platform.id with
+    | Arch.Opteron | Arch.Opteron2 -> true
+    | Arch.Xeon | Arch.Xeon2 | Arch.Niagara | Arch.Tilera -> false
+  in
+  match op with
+  | Arch.Load ->
+      if holds l core then 0
+      else begin
+        (match (l.state, l.owner) with
+        | (Arch.Modified, Some o) when moesi ->
+            (* owner keeps its dirty copy in Owned state *)
+            l.state <- Arch.Owned;
+            l.owner <- Some o;
+            l.sharers <- core :: l.sharers
+        | ((Arch.Modified | Arch.Exclusive), Some o) ->
+            l.state <- Arch.Shared;
+            l.owner <- None;
+            l.sharers <- core :: o :: l.sharers
+        | (Arch.Owned, Some _) -> l.sharers <- core :: l.sharers
+        | ((Arch.Shared | Arch.Forward), _) -> l.sharers <- core :: l.sharers
+        | (Arch.Invalid, _) ->
+            l.state <- Arch.Exclusive;
+            l.owner <- Some core;
+            l.sharers <- []
+        | ((Arch.Modified | Arch.Exclusive), None)
+        | (Arch.Owned, None) ->
+            (* inconsistent: repair as a fresh exclusive fill *)
+            l.state <- Arch.Exclusive;
+            l.owner <- Some core;
+            l.sharers <- [])
+        ;
+        0
+      end
+  | Arch.Store | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap ->
+      let killed =
+        List.length (List.filter (fun c -> c <> core) l.sharers)
+        + (match l.owner with Some o when o <> core -> 1 | _ -> 0)
+      in
+      l.state <- Arch.Modified;
+      l.owner <- Some core;
+      l.sharers <- [];
+      killed
+
+(* Apply the operation's data semantics; returns the result value
+   delivered to the requester. *)
+let apply_data (l : line) (op : Arch.memop) ~operand ~operand2 =
+  match op with
+  | Arch.Load -> l.value
+  | Arch.Store ->
+      l.value <- operand;
+      0
+  | Arch.Cas ->
+      if l.value = operand then begin
+        l.value <- operand2;
+        1
+      end
+      else 0
+  | Arch.Fai ->
+      (* fetch-and-add: [operand] is the increment; 0 turns it into an
+         atomic read that still acquires the line exclusively (the
+         building block of the prefetchw-style probes) *)
+      let old = l.value in
+      l.value <- old + operand;
+      old
+  | Arch.Tas ->
+      let old = l.value in
+      l.value <- 1;
+      old
+  | Arch.Swap ->
+      let old = l.value in
+      l.value <- operand;
+      old
+
+(* Perform [op] on [a] from [core] at virtual time [now]; returns
+   (completion latency in cycles, result value).  For [Cas], [operand]
+   is the expected value and [operand2] the desired one; for [Store] and
+   [Swap], [operand] is the value written. *)
+let access ?(operand = 0) ?(operand2 = 0) t ~core ~now (op : Arch.memop) (a : addr)
+    : int * int =
+  Topology.check t.platform.Platform.topo core;
+  let l = line t a in
+  (* A fetch-and-add of 0 is an exclusive-prefetch probe (prefetchw +
+     load, section 5.3): it costs a store-intent transfer, not a locked
+     read-modify-write. *)
+  let cost_op =
+    match op with
+    | Arch.Fai when operand = 0 || operand2 = 1 -> Arch.Store
+    | _ -> op
+  in
+  let local = is_local_hit l core op in
+  let start = if local then now else max now l.busy_until in
+  let queued = start - now in
+  let service =
+    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line l)
+  in
+  let pre_state = l.state in
+  if not local then
+    l.busy_until <-
+      start
+      + t.platform.Platform.occupancy cost_op ~state:pre_state ~latency:service;
+  let invalidated = transition t l core op in
+  let result = apply_data l op ~operand ~operand2 in
+  let latency = queued + service in
+  Stats.record t.stats op ~latency ~queued ~local ~invalidated;
+  (latency, result)
+
+(* Expected latency of [op] issued by [core] right now, without doing
+   it — used by ccbench to report best-case protocol latencies. *)
+let probe_latency t ~core (op : Arch.memop) (a : addr) : int =
+  let l = line t a in
+  t.platform.Platform.op_latency op ~requester:core (view_of_line l)
+
+(* Test/bench helper: drive a line into a wanted state via real protocol
+   transitions, like the real ccbench does ("brings the cache line in
+   the desired state and then accesses it").  [holder] is the core that
+   ends up holding the line. *)
+let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
+  let l = line t a in
+  (* wipe: back to invalid *)
+  l.state <- Arch.Invalid;
+  l.owner <- None;
+  l.sharers <- [];
+  l.busy_until <- 0;
+  let second =
+    if second >= 0 then second
+    else (holder + 1) mod t.platform.Platform.topo.Topology.n_cores
+  in
+  match st with
+  | Arch.Invalid -> ()
+  | Arch.Exclusive ->
+      ignore (access t ~core:holder ~now:0 Arch.Load a)
+  | Arch.Modified ->
+      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:l.value)
+  | Arch.Shared | Arch.Forward ->
+      ignore (access t ~core:holder ~now:0 Arch.Load a);
+      ignore (access t ~core:second ~now:0 Arch.Load a);
+      l.state <- Arch.Shared
+  | Arch.Owned ->
+      (* dirty at holder, then loaded by another core (MOESI only) *)
+      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:l.value);
+      ignore (access t ~core:second ~now:0 Arch.Load a);
+      (match t.platform.Platform.id with
+      | Arch.Opteron | Arch.Opteron2 -> ()
+      | _ -> invalid_arg "Memory.force_state: Owned requires MOESI");
+      l.busy_until <- 0
+
+let reset_busy t a = (line t a).busy_until <- 0

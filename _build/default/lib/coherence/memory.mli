@@ -1,0 +1,68 @@
+(** The simulated coherent memory: machine-wide cache-line state, the
+    protocol transitions applied by loads/stores/atomics, and the
+    virtual-time cost of each access.
+
+    Granularity is one word per cache line (the paper's benchmarks pad
+    shared words to a line each).  Contention is modeled by line
+    occupancy: an exclusive transaction keeps the line's directory
+    entry / home-tile slot busy for its duration, so concurrent
+    requests serialize — the mechanism behind the paper's contention
+    results. *)
+
+open Ssync_platform
+
+type addr = int
+
+type line = {
+  mutable state : Arch.cstate;
+  mutable owner : int option;  (** core holding Modified/Owned/Exclusive *)
+  mutable sharers : int list;  (** cores holding Shared copies *)
+  home : int;  (** home node (directory / home tile / memory) *)
+  mutable value : int;
+  mutable busy_until : int;  (** virtual time the line is occupied until *)
+}
+
+type t
+
+val create : Platform.t -> t
+val platform : t -> Platform.t
+val stats : t -> Stats.t
+val n_lines : t -> int
+
+val alloc : ?home_core:int -> ?value:int -> t -> addr
+(** Allocate one line homed at [home_core]'s memory node (first-touch). *)
+
+val alloc_n : ?home_core:int -> ?value:int -> t -> int -> addr
+(** Allocate [n] consecutive lines; returns the first address. *)
+
+val access :
+  ?operand:int -> ?operand2:int -> t -> core:int -> now:int ->
+  Arch.memop -> addr -> int * int
+(** [access t ~core ~now op a] performs [op] at virtual time [now];
+    returns [(latency, result)].  For [Cas], [operand]/[operand2] are
+    expected/desired (result 1 on success); for [Store]/[Swap],
+    [operand] is the value written; for [Fai], [operand] is the
+    increment — 0 makes it an exclusive-prefetch probe and
+    [operand2 = 1] marks a store-class single-writer update (both
+    costed as stores). *)
+
+val probe_latency : t -> core:int -> Arch.memop -> addr -> int
+(** Expected service latency of [op] right now, without performing it. *)
+
+val line : t -> addr -> line
+(** Raw line state (tests/debug). *)
+
+val peek : t -> addr -> int
+(** Read a value with no cost and no protocol transition. *)
+
+val poke : t -> addr -> int -> unit
+(** Write a value with no cost and no protocol transition. *)
+
+val force_state :
+  t -> holder:int -> ?second:int -> Arch.cstate -> addr -> unit
+(** Drive a line into a state via real protocol transitions, as the
+    original ccbench does; [holder] ends up holding the line, [second]
+    is the extra sharer used for [Shared]/[Owned]. *)
+
+val reset_busy : t -> addr -> unit
+(** Clear the line's occupancy (benchmark setup). *)

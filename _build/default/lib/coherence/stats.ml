@@ -1,0 +1,53 @@
+(* Aggregate statistics of a simulated memory: operation counts and
+   cycle totals, split by operation kind. *)
+
+type counter = { mutable count : int; mutable cycles : int }
+
+let make_counter () = { count = 0; cycles = 0 }
+
+type t = {
+  loads : counter;
+  stores : counter;
+  atomics : counter;
+  mutable local_hits : int;
+  mutable invalidations : int; (* copies killed by exclusive requests *)
+  mutable queued_cycles : int; (* cycles spent waiting on busy lines *)
+}
+
+let create () =
+  {
+    loads = make_counter ();
+    stores = make_counter ();
+    atomics = make_counter ();
+    local_hits = 0;
+    invalidations = 0;
+    queued_cycles = 0;
+  }
+
+let counter_for t (op : Ssync_platform.Arch.memop) =
+  match op with
+  | Load -> t.loads
+  | Store -> t.stores
+  | Cas | Fai | Tas | Swap -> t.atomics
+
+let record t op ~latency ~queued ~local ~invalidated =
+  let c = counter_for t op in
+  c.count <- c.count + 1;
+  c.cycles <- c.cycles + latency;
+  if local then t.local_hits <- t.local_hits + 1;
+  t.invalidations <- t.invalidations + invalidated;
+  t.queued_cycles <- t.queued_cycles + queued
+
+let total_ops t = t.loads.count + t.stores.count + t.atomics.count
+let total_cycles t = t.loads.cycles + t.stores.cycles + t.atomics.cycles
+
+let mean_latency c =
+  if c.count = 0 then 0. else float_of_int c.cycles /. float_of_int c.count
+
+let pp ppf t =
+  Format.fprintf ppf
+    "loads=%d (avg %.1f cy) stores=%d (avg %.1f cy) atomics=%d (avg %.1f cy) \
+     local-hits=%d invalidations=%d queued=%d cy"
+    t.loads.count (mean_latency t.loads) t.stores.count (mean_latency t.stores)
+    t.atomics.count (mean_latency t.atomics) t.local_hits t.invalidations
+    t.queued_cycles

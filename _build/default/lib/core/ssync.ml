@@ -1,0 +1,68 @@
+(* SSYNC — the umbrella public API of the suite.
+
+   The paper's components map onto these modules:
+
+   {2 Platform substrate (sections 3 and 5)}
+   - {!Arch}, {!Topology}, {!Platform}: the four target platforms'
+     topologies and calibrated cache-coherence cost models.
+   - {!Latencies}: the paper's Tables 2/3 as reference data.
+   - {!Memory}, {!Mem_stats}: the simulated coherent memory.
+   - {!Sim}, {!Harness}: the discrete-event engine and the measurement
+     harness (simulated threads are effects-based coroutines).
+
+   {2 libslock (section 4.1)}
+   - {!Simlock} and friends: the nine lock algorithms running on the
+     simulator, used by every cross-platform figure.
+   - {!Lock}, {!Libslock}: the same nine algorithms implemented natively
+     over OCaml 5 [Atomic] for real multicore use.
+
+   {2 libssmp (section 4.1)}
+   - {!Sim_channel}, {!Sim_client_server}: message passing over simulated
+     cache coherence (and Tilera hardware MP).
+   - {!Channel}, {!Client_server}: native SPSC channels.
+
+   {2 Microbenchmarks (section 4.2)}
+   - {!Ccbench}, {!Atomic_bench}, {!Lock_bench}, {!Mp_bench}.
+
+   {2 Concurrent software (section 4.3)}
+   - {!Ssht}, {!Ssht_sim}, {!Ssht_mp}: the concurrent hash table.
+   - {!Tm}, {!Tm_sim}: the TM2C-style software transactional memory.
+   - {!Kvs}, {!Kvs_sim}, {!Kvs_driver}: the Memcached-like store.
+
+   {2 Workloads and reporting}
+   - {!Rng}, {!Key_dist}, {!Op_mix}, {!Table}, {!Series}. *)
+
+module Arch = Ssync_platform.Arch
+module Topology = Ssync_platform.Topology
+module Latencies = Ssync_platform.Latencies
+module Cost_model = Ssync_platform.Cost_model
+module Platform = Ssync_platform.Platform
+module Memory = Ssync_coherence.Memory
+module Mem_stats = Ssync_coherence.Stats
+module Sim = Ssync_engine.Sim
+module Harness = Ssync_engine.Harness
+module Simlock = Ssync_simlocks.Simlock
+module Sim_lock = Ssync_simlocks.Lock_type
+module Sim_channel = Ssync_simmp.Channel
+module Sim_client_server = Ssync_simmp.Client_server
+module Ccbench = Ssync_ccbench.Ccbench
+module Atomic_bench = Ssync_ccbench.Atomic_bench
+module Lock_bench = Ssync_ccbench.Lock_bench
+module Mp_bench = Ssync_ccbench.Mp_bench
+module Lock = Ssync_locks.Lock
+module Libslock = Ssync_locks.Libslock
+module Channel = Ssync_mp.Channel
+module Client_server = Ssync_mp.Client_server
+module Ssht = Ssync_ssht.Ssht
+module Ssht_sim = Ssync_ssht.Ssht_sim
+module Ssht_mp = Ssync_ssht.Ssht_mp
+module Tm = Ssync_tm.Tm
+module Tm_sim = Ssync_tm.Tm_sim
+module Kvs = Ssync_kvs.Kvs
+module Kvs_sim = Ssync_kvs.Kvs_sim
+module Kvs_driver = Ssync_kvs.Driver
+module Rng = Ssync_workload.Rng
+module Key_dist = Ssync_workload.Key_dist
+module Op_mix = Ssync_workload.Op_mix
+module Table = Ssync_report.Table
+module Series = Ssync_report.Series

@@ -1,0 +1,1 @@
+lib/engine/harness.ml: Array Memory Platform Printf Sim Ssync_coherence Ssync_platform

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Arch Effect Event_queue List Memory Platform Ssync_coherence Ssync_platform Topology

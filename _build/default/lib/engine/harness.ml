@@ -1,0 +1,76 @@
+(* The common measurement harness used by the paper-style benchmarks:
+   spawn [threads] simulated threads placed per the platform's policy,
+   synchronize them on a barrier, let each run its body until a virtual
+   deadline, and report per-thread operation counts and throughput. *)
+
+open Ssync_platform
+open Ssync_coherence
+
+type result = {
+  platform : Platform.t;
+  threads : int;
+  ops : int array;       (* operations completed per thread *)
+  duration : int;        (* measured window, cycles *)
+  total_ops : int;
+  mops : float;          (* total throughput in Mops/s (paper's unit) *)
+}
+
+let total_of ops = Array.fold_left ( + ) 0 ops
+
+(* [body shared mem ~tid ~deadline] runs inside a simulated thread and
+   returns the number of operations it completed; it must poll
+   [Sim.now () < deadline] to terminate.  [setup] builds the shared
+   state (locks, buffers...) before any thread starts; allocations
+   default to the first participating thread's memory node, as in the
+   paper (section 6). *)
+let run (platform : Platform.t) ~threads ~duration
+    ~(setup : Memory.t -> 'a)
+    ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int) : result =
+  if threads <= 0 then invalid_arg "Harness.run: threads must be positive";
+  if threads > Platform.n_cores platform then
+    invalid_arg
+      (Printf.sprintf "Harness.run: %d threads > %d cores on %s" threads
+         (Platform.n_cores platform) platform.Platform.name);
+  let sim = Sim.create platform in
+  let mem = Sim.memory sim in
+  let shared = setup mem in
+  let ops = Array.make threads 0 in
+  let barrier = Sim.make_barrier threads in
+  for tid = 0 to threads - 1 do
+    let core = Platform.place platform tid in
+    Sim.spawn sim ~core (fun () ->
+        Sim.await barrier;
+        let deadline = Sim.now () + duration in
+        ops.(tid) <- body shared mem ~tid ~deadline)
+  done;
+  ignore (Sim.run sim ~until:(duration * 4));
+  let total_ops = total_of ops in
+  {
+    platform;
+    threads;
+    ops;
+    duration;
+    total_ops;
+    mops = Platform.mops platform ~ops:total_ops ~cycles:duration;
+  }
+
+(* Latency-style harness: like [run] but the body accumulates cycles of
+   interest (e.g. acquire+release latency) into its return value
+   together with the op count; returns mean cycles per op. *)
+let run_latency platform ~threads ~duration ~setup
+    ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int * int) :
+    result * float =
+  let cycles_acc = Array.make threads 0 in
+  let r =
+    run platform ~threads ~duration ~setup
+      ~body:(fun shared mem ~tid ~deadline ->
+        let n, cy = body shared mem ~tid ~deadline in
+        cycles_acc.(tid) <- cy;
+        n)
+  in
+  let total_cy = total_of cycles_acc in
+  let mean =
+    if r.total_ops = 0 then 0.
+    else float_of_int total_cy /. float_of_int r.total_ops
+  in
+  (r, mean)

@@ -1,0 +1,160 @@
+(* The discrete-event simulation engine.
+
+   Simulated threads are ordinary OCaml functions running as coroutines
+   via effect handlers: every memory operation (or explicit pause)
+   performs an effect; the engine computes the operation's virtual-time
+   cost against the coherent memory model and resumes the thread when it
+   completes.  This lets the lock/message-passing algorithms be written
+   in direct style, exactly as their native counterparts. *)
+
+open Ssync_platform
+open Ssync_coherence
+
+type t = {
+  platform : Platform.t;
+  mem : Memory.t;
+  events : Event_queue.t;
+  mutable now : int;
+  mutable live_threads : int;
+  mutable spawned : int;
+}
+
+type barrier = {
+  mutable expected : int;
+  mutable arrived : int;
+  mutable waiters : (unit, unit) Effect.Deep.continuation list;
+}
+
+type _ Effect.t +=
+  | E_mem : Arch.memop * Memory.addr * int * int -> int Effect.t
+  | E_pause : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_self : (int * int) Effect.t (* (core, tid) *)
+  | E_barrier : barrier -> unit Effect.t
+
+let create platform =
+  {
+    platform;
+    mem = Memory.create platform;
+    events = Event_queue.create ();
+    now = 0;
+    live_threads = 0;
+    spawned = 0;
+  }
+
+let memory t = t.mem
+let platform t = t.platform
+let now_of t = t.now
+
+let schedule t ~at run =
+  Event_queue.push t.events ~time:(max at t.now) run
+
+(* ------------------------------------------------------------------ *)
+(* Operations available *inside* a simulated thread.  Calling them
+   outside of [spawn]ed code raises [Effect.Unhandled]. *)
+
+let load a = Effect.perform (E_mem (Arch.Load, a, 0, 0))
+let store a v = ignore (Effect.perform (E_mem (Arch.Store, a, v, 0)))
+
+let cas a ~expected ~desired =
+  Effect.perform (E_mem (Arch.Cas, a, expected, desired)) = 1
+
+let fai a = Effect.perform (E_mem (Arch.Fai, a, 1, 0))
+
+(* Atomic fetch-and-add by [k] (k >= 0); [faa a 0] is an exclusive
+   atomic read: it returns the value and leaves the line Modified at the
+   caller, modeling a prefetchw+load probe. *)
+let faa a k =
+  if k < 0 then invalid_arg "Sim.faa: negative increment";
+  Effect.perform (E_mem (Arch.Fai, a, k, 0))
+
+(* Store-class fetch-and-add: an increment of a field only this thread
+   writes (e.g. a ticket lock's [current] on release).  Applied
+   atomically by the model but costed as a plain store. *)
+let faa_store a k =
+  if k < 0 then invalid_arg "Sim.faa_store: negative increment";
+  Effect.perform (E_mem (Arch.Fai, a, k, 1))
+
+(* [tas] returns [true] when the caller won (the previous value was 0). *)
+let tas a = Effect.perform (E_mem (Arch.Tas, a, 0, 0)) = 0
+let swap a v = Effect.perform (E_mem (Arch.Swap, a, v, 0))
+let pause cycles = if cycles > 0 then Effect.perform (E_pause cycles)
+let now () = Effect.perform E_now
+let self_core () = fst (Effect.perform E_self)
+let self_tid () = snd (Effect.perform E_self)
+
+let make_barrier n : barrier = { expected = n; arrived = 0; waiters = [] }
+let await b = Effect.perform (E_barrier b)
+
+(* ------------------------------------------------------------------ *)
+
+let spawn t ~core body =
+  Topology.check t.platform.Platform.topo core;
+  let tid = t.spawned in
+  t.spawned <- tid + 1;
+  t.live_threads <- t.live_threads + 1;
+  let open Effect.Deep in
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> t.live_threads <- t.live_threads - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_mem (op, a, op1, op2) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let latency, v =
+                    Memory.access t.mem ~core ~now:t.now op a ~operand:op1
+                      ~operand2:op2
+                  in
+                  schedule t ~at:(t.now + latency) (fun () -> continue k v))
+          | E_pause cycles ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~at:(t.now + max 1 cycles) (fun () ->
+                      continue k ()))
+          | E_now ->
+              Some (fun (k : (a, unit) continuation) -> continue k t.now)
+          | E_self ->
+              Some (fun (k : (a, unit) continuation) -> continue k (core, tid))
+          | E_barrier b ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  b.arrived <- b.arrived + 1;
+                  if b.arrived >= b.expected then begin
+                    let to_wake = b.waiters in
+                    b.waiters <- [];
+                    b.arrived <- 0;
+                    List.iter
+                      (fun w -> schedule t ~at:t.now (fun () -> continue w ()))
+                      to_wake;
+                    schedule t ~at:t.now (fun () -> continue k ())
+                  end
+                  else b.waiters <- k :: b.waiters)
+          | _ -> None);
+    }
+  in
+  schedule t ~at:t.now (fun () -> match_with body () handler)
+
+exception Simulation_runaway of int
+
+(* Run the simulation until no events remain.  [until] drops any events
+   scheduled after that time (a backstop against threads that spin
+   forever); [max_events] bounds total event count. *)
+let run ?(until = max_int) ?(max_events = 200_000_000) t =
+  let executed = ref 0 in
+  let continue_run = ref true in
+  while !continue_run do
+    match Event_queue.pop t.events with
+    | None -> continue_run := false
+    | Some ev ->
+        if ev.Event_queue.time > until then continue_run := false
+        else begin
+          incr executed;
+          if !executed > max_events then raise (Simulation_runaway !executed);
+          t.now <- ev.Event_queue.time;
+          ev.Event_queue.run ()
+        end
+  done;
+  t.now

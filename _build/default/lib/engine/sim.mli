@@ -1,0 +1,70 @@
+(** The discrete-event simulation engine.
+
+    Simulated threads are ordinary OCaml functions running as
+    effects-based coroutines: every memory operation (or explicit
+    pause) suspends the thread, the engine charges its virtual-time
+    cost against the coherent memory model, and resumes the thread at
+    completion time.  Lock and message-passing algorithms are written
+    in direct style, exactly like their native counterparts. *)
+
+type t
+
+exception Simulation_runaway of int
+
+val create : Ssync_platform.Platform.t -> t
+val memory : t -> Ssync_coherence.Memory.t
+val platform : t -> Ssync_platform.Platform.t
+
+val now_of : t -> int
+(** Current virtual time (cycles); callable from outside the simulation. *)
+
+val spawn : t -> core:int -> (unit -> unit) -> unit
+(** [spawn t ~core body] schedules a simulated thread pinned to [core].
+    [body] may use every operation below. *)
+
+val run : ?until:int -> ?max_events:int -> t -> int
+(** Run until no events remain; returns the final virtual time.
+    [until] drops events scheduled later (a backstop against threads
+    that spin forever); [max_events] bounds the total event count and
+    raises [Simulation_runaway] beyond it. *)
+
+(** {1 Operations available inside a simulated thread}
+
+    Calling these outside [spawn]ed code raises [Effect.Unhandled]. *)
+
+val load : Ssync_coherence.Memory.addr -> int
+val store : Ssync_coherence.Memory.addr -> int -> unit
+val cas : Ssync_coherence.Memory.addr -> expected:int -> desired:int -> bool
+
+val fai : Ssync_coherence.Memory.addr -> int
+(** Atomic fetch-and-increment; returns the previous value. *)
+
+val faa : Ssync_coherence.Memory.addr -> int -> int
+(** Atomic fetch-and-add by [k >= 0].  [faa a 0] is an exclusive atomic
+    read: it returns the value and leaves the line Modified at the
+    caller — the model of a prefetchw+load probe (costed store-class). *)
+
+val faa_store : Ssync_coherence.Memory.addr -> int -> int
+(** Store-class fetch-and-add: an increment of a field only this thread
+    writes (e.g. a ticket lock's [current] on release); applied
+    atomically but costed as a plain store. *)
+
+val tas : Ssync_coherence.Memory.addr -> bool
+(** Test-and-set; [true] when the caller won (previous value was 0). *)
+
+val swap : Ssync_coherence.Memory.addr -> int -> int
+val pause : int -> unit
+(** Spend the given core-local cycles (backoff, computation). *)
+
+val now : unit -> int
+val self_core : unit -> int
+val self_tid : unit -> int
+
+(** {1 Barriers} *)
+
+type barrier
+
+val make_barrier : int -> barrier
+(** A reusable barrier for [n] simulated threads (no memory traffic). *)
+
+val await : barrier -> unit

@@ -1,0 +1,1 @@
+lib/kvs/driver.ml: Atomic Domain Key_dist Kvs List Rng Ssync_workload String Unix

@@ -1,0 +1,1 @@
+lib/kvs/kvs.ml: Array Atomic Hashtbl Libslock List Lock Ssync_locks Unix

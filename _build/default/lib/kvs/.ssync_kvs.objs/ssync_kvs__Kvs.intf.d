@@ -1,0 +1,1 @@
+lib/kvs/kvs.mli: Ssync_locks

@@ -1,0 +1,1 @@
+lib/kvs/kvs_sim.ml: Arch Array Harness Lock_type Memory Platform Rng Sim Simlock Ssync_coherence Ssync_engine Ssync_platform Ssync_simlocks Ssync_workload

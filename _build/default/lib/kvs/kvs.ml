@@ -1,0 +1,344 @@
+(* An in-memory key-value store in the style of Memcached 1.4 (paper
+   section 6.4): a fixed-bucket hash table under fine-grained bucket
+   locks, a global LRU list and a global maintenance path — the global
+   locks are what the paper's set-only test stresses.  All locks come
+   from the native libslock, so the store can be run with MUTEX, TAS,
+   TICKET, MCS, ... exactly like the paper's modified Memcached.
+
+   Keys are strings, values are strings; expiry is against an injectable
+   clock so tests are deterministic. *)
+
+open Ssync_locks
+
+type item = {
+  key : string;
+  mutable value : string;
+  mutable flags : int;
+  mutable expires_at : float; (* 0. = never *)
+  mutable cas_id : int;
+  (* intrusive global LRU list *)
+  mutable lru_prev : item option;
+  mutable lru_next : item option;
+  mutable live : bool; (* false once deleted/evicted *)
+}
+
+type bucket = { lock : Lock.t; tbl : (string, item) Hashtbl.t }
+
+type stats = {
+  mutable gets : int;
+  mutable get_hits : int;
+  mutable sets : int;
+  mutable deletes : int;
+  mutable evictions : int;
+  mutable expired_reaped : int;
+  mutable global_lock_acquisitions : int;
+}
+
+type t = {
+  n_buckets : int;
+  buckets : bucket array;
+  capacity : int; (* max live items before LRU eviction *)
+  lru_lock : Lock.t; (* the cache_lock equivalent *)
+  mutable lru_head : item option; (* least recently used *)
+  mutable lru_tail : item option; (* most recently used *)
+  mutable n_items : int;
+  cas_counter : int Atomic.t;
+  now : unit -> float;
+  maintenance_every : int; (* sets between global maintenance sweeps *)
+  set_count : int Atomic.t;
+  stats : stats;
+  stats_lock : Lock.t;
+}
+
+let default_now () = Unix.gettimeofday ()
+
+let create ?(lock_algo = Libslock.Mutex) ?max_threads ?(n_buckets = 1024)
+    ?(capacity = 100_000) ?(maintenance_every = 64) ?(now = default_now) () :
+    t =
+  if n_buckets <= 0 || capacity <= 0 then
+    invalid_arg "Kvs.create: sizes must be positive";
+  let mk_lock () = Libslock.create ?max_threads lock_algo in
+  {
+    n_buckets;
+    buckets =
+      Array.init n_buckets (fun _ ->
+          { lock = mk_lock (); tbl = Hashtbl.create 16 });
+    capacity;
+    lru_lock = mk_lock ();
+    lru_head = None;
+    lru_tail = None;
+    n_items = 0;
+    cas_counter = Atomic.make 1;
+    now;
+    maintenance_every;
+    set_count = Atomic.make 0;
+    stats =
+      {
+        gets = 0;
+        get_hits = 0;
+        sets = 0;
+        deletes = 0;
+        evictions = 0;
+        expired_reaped = 0;
+        global_lock_acquisitions = 0;
+      };
+    stats_lock = mk_lock ();
+  }
+
+let bucket_of t key = t.buckets.(Hashtbl.hash key mod t.n_buckets)
+let expired t it = it.expires_at > 0. && it.expires_at <= t.now ()
+
+(* ---------------------- LRU list management ---------------------- *)
+(* All of these require [t.lru_lock] held. *)
+
+(* NOTE: the LRU list is cyclic through prev/next options, so only
+   physical equality may be used on items. *)
+let is_head t it = match t.lru_head with Some h -> h == it | None -> false
+let is_tail t it = match t.lru_tail with Some tl -> tl == it | None -> false
+
+let lru_unlink t it =
+  (match it.lru_prev with
+  | Some p -> p.lru_next <- it.lru_next
+  | None -> if is_head t it then t.lru_head <- it.lru_next);
+  (match it.lru_next with
+  | Some n -> n.lru_prev <- it.lru_prev
+  | None -> if is_tail t it then t.lru_tail <- it.lru_prev);
+  it.lru_prev <- None;
+  it.lru_next <- None
+
+let lru_append t it =
+  it.lru_prev <- t.lru_tail;
+  it.lru_next <- None;
+  (match t.lru_tail with Some tl -> tl.lru_next <- Some it | None -> ());
+  t.lru_tail <- Some it;
+  if t.lru_head = None then t.lru_head <- Some it
+
+let lru_touch t it =
+  lru_unlink t it;
+  lru_append t it
+
+(* ------------------------- operations ---------------------------- *)
+
+let bump_stat t f =
+  Lock.with_lock t.stats_lock (fun () -> f t.stats)
+
+(* [get t key] — [None] on miss or expired. *)
+let get t key : string option =
+  let b = bucket_of t key in
+  let r =
+    Lock.with_lock b.lock (fun () ->
+        match Hashtbl.find_opt b.tbl key with
+        | Some it when it.live && not (expired t it) -> Some it
+        | _ -> None)
+  in
+  bump_stat t (fun s ->
+      s.gets <- s.gets + 1;
+      if r <> None then s.get_hits <- s.get_hits + 1);
+  match r with
+  | None -> None
+  | Some it ->
+      (* the paper's point: even reads take the global cache lock to
+         maintain the LRU *)
+      Lock.with_lock t.lru_lock (fun () -> if it.live then lru_touch t it);
+      Some it.value
+
+(* Evict the least-recently-used live item; called without bucket locks
+   held (lock order: bucket -> lru is never reversed). *)
+let evict_one t =
+  let victim =
+    Lock.with_lock t.lru_lock (fun () ->
+        match t.lru_head with
+        | Some it ->
+            lru_unlink t it;
+            t.n_items <- t.n_items - 1;
+            Some it
+        | None -> None)
+  in
+  match victim with
+  | None -> ()
+  | Some it ->
+      let b = bucket_of t it.key in
+      Lock.with_lock b.lock (fun () ->
+          if it.live then begin
+            it.live <- false;
+            Hashtbl.remove b.tbl it.key
+          end);
+      bump_stat t (fun s -> s.evictions <- s.evictions + 1)
+
+(* Global maintenance: sweep the LRU list for expired items under the
+   global lock (the rebalancing/maintenance path that "dynamically
+   switches to a global lock for short periods"). *)
+let maintenance t =
+  bump_stat t (fun s ->
+      s.global_lock_acquisitions <- s.global_lock_acquisitions + 1);
+  let reaped =
+    Lock.with_lock t.lru_lock (fun () ->
+        let rec collect acc = function
+          | None -> acc
+          | Some it ->
+              let next = it.lru_next in
+              let acc = if expired t it then it :: acc else acc in
+              collect acc next
+        in
+        let dead = collect [] t.lru_head in
+        List.iter
+          (fun it ->
+            lru_unlink t it;
+            t.n_items <- t.n_items - 1)
+          dead;
+        dead)
+  in
+  List.iter
+    (fun it ->
+      let b = bucket_of t it.key in
+      Lock.with_lock b.lock (fun () ->
+          if it.live then begin
+            it.live <- false;
+            Hashtbl.remove b.tbl it.key
+          end))
+    reaped;
+  bump_stat t (fun s ->
+      s.expired_reaped <- s.expired_reaped + List.length reaped)
+
+type set_policy = Set | Add | Replace
+
+(* [set t key value] stores unconditionally; [Add] only if absent,
+   [Replace] only if present.  Returns [true] when stored. *)
+let set_with t policy ?(flags = 0) ?(ttl = 0.) key value : bool =
+  let b = bucket_of t key in
+  let stored, fresh_item =
+    Lock.with_lock b.lock (fun () ->
+        let existing =
+          match Hashtbl.find_opt b.tbl key with
+          | Some it when it.live && not (expired t it) -> Some it
+          | _ -> None
+        in
+        match (policy, existing) with
+        | (Add, Some _) -> (false, None)
+        | (Replace, None) -> (false, None)
+        | ((Set | Add | Replace), _) -> (
+            let expires_at = if ttl <= 0. then 0. else t.now () +. ttl in
+            match existing with
+            | Some it ->
+                it.value <- value;
+                it.flags <- flags;
+                it.expires_at <- expires_at;
+                it.cas_id <- Atomic.fetch_and_add t.cas_counter 1;
+                (true, None)
+            | None ->
+                let it =
+                  {
+                    key;
+                    value;
+                    flags;
+                    expires_at;
+                    cas_id = Atomic.fetch_and_add t.cas_counter 1;
+                    lru_prev = None;
+                    lru_next = None;
+                    live = true;
+                  }
+                in
+                Hashtbl.replace b.tbl key it;
+                (true, Some it)))
+  in
+  if stored then begin
+    (match fresh_item with
+    | Some it ->
+        Lock.with_lock t.lru_lock (fun () ->
+            lru_append t it;
+            t.n_items <- t.n_items + 1)
+    | None -> ());
+    if t.n_items > t.capacity then evict_one t;
+    bump_stat t (fun s -> s.sets <- s.sets + 1);
+    let c = Atomic.fetch_and_add t.set_count 1 in
+    if (c + 1) mod t.maintenance_every = 0 then maintenance t
+  end;
+  stored
+
+let set t ?flags ?ttl key value = ignore (set_with t Set ?flags ?ttl key value)
+let add t ?flags ?ttl key value = set_with t Add ?flags ?ttl key value
+let replace t ?flags ?ttl key value = set_with t Replace ?flags ?ttl key value
+
+(* Compare-and-swap in the Memcached sense: store only if the item's
+   cas token is unchanged.  [gets] returns the token. *)
+let gets t key : (string * int) option =
+  let b = bucket_of t key in
+  Lock.with_lock b.lock (fun () ->
+      match Hashtbl.find_opt b.tbl key with
+      | Some it when it.live && not (expired t it) -> Some (it.value, it.cas_id)
+      | _ -> None)
+
+let cas t key value ~token : bool =
+  let b = bucket_of t key in
+  Lock.with_lock b.lock (fun () ->
+      match Hashtbl.find_opt b.tbl key with
+      | Some it when it.live && not (expired t it) && it.cas_id = token ->
+          it.value <- value;
+          it.cas_id <- Atomic.fetch_and_add t.cas_counter 1;
+          true
+      | _ -> false)
+
+let delete t key : bool =
+  let b = bucket_of t key in
+  let deleted =
+    Lock.with_lock b.lock (fun () ->
+        match Hashtbl.find_opt b.tbl key with
+        | Some it when it.live ->
+            it.live <- false;
+            Hashtbl.remove b.tbl key;
+            Some it
+        | _ -> None)
+  in
+  match deleted with
+  | None -> false
+  | Some it ->
+      Lock.with_lock t.lru_lock (fun () ->
+          let in_lru =
+            it.lru_prev <> None || it.lru_next <> None || is_head t it
+          in
+          if in_lru then begin
+            lru_unlink t it;
+            t.n_items <- t.n_items - 1
+          end);
+      bump_stat t (fun s -> s.deletes <- s.deletes + 1);
+      true
+
+(* Numeric increment (Memcached incr); [None] if absent or non-numeric. *)
+let incr t key by : int option =
+  let b = bucket_of t key in
+  Lock.with_lock b.lock (fun () ->
+      match Hashtbl.find_opt b.tbl key with
+      | Some it when it.live && not (expired t it) -> (
+          match int_of_string_opt it.value with
+          | Some n ->
+              let n' = n + by in
+              it.value <- string_of_int n';
+              Some n'
+          | None -> None)
+      | _ -> None)
+
+let flush_all t =
+  Array.iter
+    (fun b ->
+      Lock.with_lock b.lock (fun () ->
+          Hashtbl.iter (fun _ it -> it.live <- false) b.tbl;
+          Hashtbl.reset b.tbl))
+    t.buckets;
+  Lock.with_lock t.lru_lock (fun () ->
+      t.lru_head <- None;
+      t.lru_tail <- None;
+      t.n_items <- 0)
+
+let size t = Lock.with_lock t.lru_lock (fun () -> t.n_items)
+
+let stats t : stats =
+  Lock.with_lock t.stats_lock (fun () ->
+      {
+        gets = t.stats.gets;
+        get_hits = t.stats.get_hits;
+        sets = t.stats.sets;
+        deletes = t.stats.deletes;
+        evictions = t.stats.evictions;
+        expired_reaped = t.stats.expired_reaped;
+        global_lock_acquisitions = t.stats.global_lock_acquisitions;
+      })

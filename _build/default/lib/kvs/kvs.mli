@@ -1,0 +1,62 @@
+(** An in-memory key-value store in the style of Memcached 1.4 (paper
+    section 6.4): a fixed-bucket hash table under fine-grained bucket
+    locks, a global LRU list and a global maintenance path.  All locks
+    come from the native libslock, so the store runs with MUTEX, TAS,
+    TICKET, MCS, ... exactly like the paper's modified Memcached. *)
+
+type t
+
+type stats = {
+  mutable gets : int;
+  mutable get_hits : int;
+  mutable sets : int;
+  mutable deletes : int;
+  mutable evictions : int;
+  mutable expired_reaped : int;
+  mutable global_lock_acquisitions : int;
+}
+
+val create :
+  ?lock_algo:Ssync_locks.Libslock.algo ->
+  ?max_threads:int ->
+  ?n_buckets:int ->
+  ?capacity:int ->
+  ?maintenance_every:int ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
+(** [create ()] builds an empty store.  [capacity] bounds live items
+    before LRU eviction; [maintenance_every] is the number of sets
+    between global maintenance sweeps (the paper's "switches to a
+    global lock" path); [now] injects the clock (for deterministic
+    expiry in tests). *)
+
+val get : t -> string -> string option
+(** [None] on miss or expired.  Hits touch the global LRU. *)
+
+val set : t -> ?flags:int -> ?ttl:float -> string -> string -> unit
+val add : t -> ?flags:int -> ?ttl:float -> string -> string -> bool
+(** Store only if absent; [true] when stored. *)
+
+val replace : t -> ?flags:int -> ?ttl:float -> string -> string -> bool
+(** Store only if present; [true] when stored. *)
+
+val gets : t -> string -> (string * int) option
+(** Value plus its cas token. *)
+
+val cas : t -> string -> string -> token:int -> bool
+(** Memcached-style compare-and-swap: store only if the item's cas
+    token is unchanged. *)
+
+val delete : t -> string -> bool
+val incr : t -> string -> int -> int option
+(** Numeric increment; [None] if absent or non-numeric. *)
+
+val flush_all : t -> unit
+val size : t -> int
+val stats : t -> stats
+
+val maintenance : t -> unit
+(** Run the global maintenance sweep now (normally triggered every
+    [maintenance_every] sets): reaps expired items under the global
+    lock. *)

@@ -1,0 +1,1 @@
+lib/locks/hier.ml: Array Atomic Domain Lock Spin

@@ -1,0 +1,1 @@
+lib/locks/libslock.ml: Hier Lock Queue_lock Spin String

@@ -1,0 +1,1 @@
+lib/locks/queue_lock.ml: Atomic Domain Lock

@@ -1,0 +1,1 @@
+lib/locks/spin.ml: Array Atomic Backoff Domain Lock Mutex

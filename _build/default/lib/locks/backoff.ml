@@ -1,0 +1,17 @@
+(* Exponential backoff for native spin loops.  [Domain.cpu_relax] both
+   emits the architectural pause hint and polls safepoints, so spinning
+   domains stay preemptible (essential on machines with fewer cores than
+   domains). *)
+
+type t = { mutable spins : int; max_spins : int }
+
+let create ?(initial = 8) ?(max_spins = 2048) () =
+  { spins = max 1 initial; max_spins }
+
+let once t =
+  for _ = 1 to t.spins do
+    Domain.cpu_relax ()
+  done;
+  t.spins <- min t.max_spins (t.spins * 2)
+
+let reset t ?(initial = 8) () = t.spins <- max 1 initial

@@ -1,0 +1,117 @@
+(* Native hierarchical locks (hticket / HCLH) as cohort locks: a local
+   lock per cluster plus one global lock; the lock is handed over inside
+   a cluster while local waiters exist (bounded by [max_pass]).
+
+   The global lock must be releasable by a thread other than its
+   acquirer (cohort detaching), so it is a ticket lock — which is also
+   what the paper's hticket uses.  [cluster_of] maps the calling thread
+   to its cluster (defaults to a round-robin over domain ids, standing
+   in for the socket id that sched_getcpu would give on real NUMA
+   hardware). *)
+
+let default_max_pass = 64
+
+type inner = { lock : Lock.t; waiters : unit -> bool }
+
+let cohort ~name ~n_clusters ?(max_pass = default_max_pass) ?cluster_of
+    ~(mk_local : unit -> inner) () : Lock.t =
+  if n_clusters < 1 then invalid_arg "cohort: need at least one cluster";
+  let cluster_of =
+    match cluster_of with
+    | Some f -> f
+    | None -> fun () -> (Domain.self () :> int) mod n_clusters
+  in
+  let global = Spin.ticket () in
+  let locals = Array.init n_clusters (fun _ -> mk_local ()) in
+  (* Owned flags / pass counters are only touched while holding the
+     cluster's local lock. *)
+  let owned = Array.make n_clusters false in
+  let passes = Array.make n_clusters 0 in
+  let acquire () =
+    let c = cluster_of () in
+    locals.(c).lock.Lock.acquire ();
+    if not owned.(c) then begin
+      global.Lock.acquire ();
+      owned.(c) <- true
+    end
+  in
+  let release () =
+    let c = cluster_of () in
+    if passes.(c) < max_pass && locals.(c).waiters () then begin
+      passes.(c) <- passes.(c) + 1;
+      locals.(c).lock.Lock.release ()
+    end
+    else begin
+      passes.(c) <- 0;
+      owned.(c) <- false;
+      global.Lock.release ();
+      locals.(c).lock.Lock.release ()
+    end
+  in
+  { name; acquire; release; try_acquire = None }
+
+(* A ticket lock exposing a local-waiters probe. *)
+let ticket_inner () : inner =
+  let next = Atomic.make 0 in
+  let current = Atomic.make 0 in
+  let lock : Lock.t =
+    {
+      name = "TICKET";
+      acquire =
+        (fun () ->
+          let my = Atomic.fetch_and_add next 1 in
+          while Atomic.get current <> my do
+            Domain.cpu_relax ()
+          done);
+      release = (fun () -> Atomic.set current (Atomic.get current + 1));
+      try_acquire = None;
+    }
+  in
+  { lock; waiters = (fun () -> Atomic.get next > Atomic.get current + 1) }
+
+(* A CLH lock exposing a local-waiters probe (tail moved past the
+   holder's node). *)
+let clh_inner () : inner =
+  let dummy = Atomic.make false in
+  let tail = Atomic.make dummy in
+  let st =
+    Domain.DLS.new_key (fun () ->
+        ref (Atomic.make false, Atomic.make false) (* (mine, pred) *))
+  in
+  let lock : Lock.t =
+    {
+      name = "CLH";
+      acquire =
+        (fun () ->
+          let s = Domain.DLS.get st in
+          let mine, _ = !s in
+          Atomic.set mine true;
+          let prev = Atomic.exchange tail mine in
+          s := (mine, prev);
+          while Atomic.get prev do
+            Domain.cpu_relax ()
+          done);
+      release =
+        (fun () ->
+          let s = Domain.DLS.get st in
+          let mine, pred = !s in
+          Atomic.set mine false;
+          s := (pred, mine));
+      try_acquire = None;
+    }
+  in
+  let waiters () =
+    (* probe used by the holder: the tail moved past its node iff
+       someone enqueued behind it *)
+    let s = Domain.DLS.get st in
+    let mine, _ = !s in
+    not (Atomic.get tail == mine)
+  in
+  { lock; waiters }
+
+let hticket ?max_pass ?cluster_of ~n_clusters () : Lock.t =
+  cohort ~name:"HTICKET" ~n_clusters ?max_pass ?cluster_of
+    ~mk_local:ticket_inner ()
+
+let hclh ?max_pass ?cluster_of ~n_clusters () : Lock.t =
+  cohort ~name:"HCLH" ~n_clusters ?max_pass ?cluster_of ~mk_local:clh_inner ()

@@ -1,0 +1,54 @@
+(* Factory over the native lock suite — the OCaml libslock.  All nine of
+   the paper's algorithms behind one interface. *)
+
+type algo =
+  | Tas
+  | Ttas
+  | Ticket
+  | Array_lock
+  | Mutex
+  | Mcs
+  | Clh
+  | Hclh
+  | Hticket
+
+let all = [ Tas; Ttas; Ticket; Array_lock; Mutex; Mcs; Clh; Hclh; Hticket ]
+
+let name = function
+  | Tas -> "TAS"
+  | Ttas -> "TTAS"
+  | Ticket -> "TICKET"
+  | Array_lock -> "ARRAY"
+  | Mutex -> "MUTEX"
+  | Mcs -> "MCS"
+  | Clh -> "CLH"
+  | Hclh -> "HCLH"
+  | Hticket -> "HTICKET"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "TAS" -> Some Tas
+  | "TTAS" -> Some Ttas
+  | "TICKET" -> Some Ticket
+  | "ARRAY" -> Some Array_lock
+  | "MUTEX" -> Some Mutex
+  | "MCS" -> Some Mcs
+  | "CLH" -> Some Clh
+  | "HCLH" -> Some Hclh
+  | "HTICKET" -> Some Hticket
+  | _ -> None
+
+(* [max_threads] bounds concurrent acquirers (array-lock slots);
+   [n_clusters]/[cluster_of] configure the hierarchical locks. *)
+let create ?(max_threads = 64) ?(n_clusters = 2) ?cluster_of (algo : algo) :
+    Lock.t =
+  match algo with
+  | Tas -> Spin.tas ()
+  | Ttas -> Spin.ttas ()
+  | Ticket -> Spin.ticket ()
+  | Array_lock -> Spin.array_lock ~slots:(max 2 max_threads) ()
+  | Mutex -> Spin.mutex ()
+  | Mcs -> Queue_lock.mcs ()
+  | Clh -> Queue_lock.clh ()
+  | Hclh -> Hier.hclh ~n_clusters ?cluster_of ()
+  | Hticket -> Hier.hticket ~n_clusters ?cluster_of ()

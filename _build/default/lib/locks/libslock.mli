@@ -1,0 +1,28 @@
+(** Factory over the native lock suite — the nine algorithms of the
+    paper behind one interface. *)
+
+type algo =
+  | Tas  (** test-and-set spin lock *)
+  | Ttas  (** test-and-test-and-set with exponential backoff *)
+  | Ticket  (** FIFO ticket lock with proportional backoff *)
+  | Array_lock  (** Anderson's array lock (per-slot spinning) *)
+  | Mutex  (** Stdlib.Mutex, the Pthread-Mutex equivalent *)
+  | Mcs  (** MCS queue lock *)
+  | Clh  (** CLH queue lock *)
+  | Hclh  (** hierarchical CLH (cohort of CLH locks) *)
+  | Hticket  (** hierarchical ticket (cohort of ticket locks) *)
+
+val all : algo list
+(** The nine algorithms, in the paper's legend order. *)
+
+val name : algo -> string
+val of_string : string -> algo option
+
+val create :
+  ?max_threads:int -> ?n_clusters:int -> ?cluster_of:(unit -> int) ->
+  algo -> Lock.t
+(** [create algo] instantiates a fresh lock.  [max_threads] bounds
+    concurrent acquirers (array-lock slots, default 64); [n_clusters]
+    and [cluster_of] configure the hierarchical locks ([cluster_of]
+    defaults to a round-robin over domain ids, standing in for the
+    socket id that [sched_getcpu] would provide on NUMA hardware). *)

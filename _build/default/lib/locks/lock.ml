@@ -1,0 +1,27 @@
+(* The native libslock interface: every algorithm is packaged as a
+   first-class lock value usable from any OCaml 5 domain.
+
+   Locks with per-acquirer queue nodes (MCS, CLH and the hierarchical
+   locks) keep them in domain-local storage, so the intended usage is
+   one lock user per domain (the usual one-thread-per-core deployment of
+   the paper).  Acquire/release pairs must be executed by the same
+   domain. *)
+
+type t = {
+  name : string;
+  acquire : unit -> unit;
+  release : unit -> unit;
+  try_acquire : (unit -> bool) option;
+      (* non-blocking attempt, for algorithms that support one cheaply *)
+}
+
+(* Run [f] with the lock held; releases on exception. *)
+let with_lock t f =
+  t.acquire ();
+  match f () with
+  | v ->
+      t.release ();
+      v
+  | exception e ->
+      t.release ();
+      raise e

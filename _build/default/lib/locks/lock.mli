@@ -1,0 +1,19 @@
+(** The native libslock interface: every algorithm packaged as a
+    first-class lock value usable from any OCaml 5 domain.
+
+    Locks with per-acquirer queue nodes (MCS, CLH, hierarchical) keep
+    them in domain-local storage: use one lock user per domain and pair
+    each [acquire] with a [release] from the same domain. *)
+
+type t = {
+  name : string;  (** algorithm name, e.g. ["TICKET"] *)
+  acquire : unit -> unit;  (** blocks (spins or sleeps) until held *)
+  release : unit -> unit;
+  try_acquire : (unit -> bool) option;
+      (** non-blocking attempt, for the algorithms that support one
+          cheaply; [None] otherwise *)
+}
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f] with the lock held, releasing it on normal
+    return and on exception. *)

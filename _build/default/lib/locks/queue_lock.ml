@@ -1,0 +1,87 @@
+(* Native queue locks: MCS and CLH.  Queue nodes are per-domain
+   (Domain.DLS), following the one-thread-per-core model. *)
+
+(* ------------------------------ MCS ------------------------------ *)
+
+type mcs_node = {
+  locked : bool Atomic.t;
+  next : mcs_node option Atomic.t;
+}
+
+(* Each domain keeps its node AND the unique [Some node] block: CAS on
+   an [option] Atomic compares physically, so the block swapped into the
+   tail must be the very block later passed to compare_and_set. *)
+type mcs_slot = { node : mcs_node; some_node : mcs_node option }
+
+let mcs () : Lock.t =
+  let tail : mcs_node option Atomic.t = Atomic.make None in
+  let my_slot =
+    Domain.DLS.new_key (fun () ->
+        let node = { locked = Atomic.make false; next = Atomic.make None } in
+        { node; some_node = Some node })
+  in
+  let acquire () =
+    let s = Domain.DLS.get my_slot in
+    let n = s.node in
+    Atomic.set n.next None;
+    Atomic.set n.locked true;
+    match Atomic.exchange tail s.some_node with
+    | None -> () (* lock was free *)
+    | Some prev ->
+        Atomic.set prev.next s.some_node;
+        while Atomic.get n.locked do
+          Domain.cpu_relax ()
+        done
+  in
+  let release () =
+    let s = Domain.DLS.get my_slot in
+    let n = s.node in
+    match Atomic.get n.next with
+    | Some succ -> Atomic.set succ.locked false
+    | None ->
+        if not (Atomic.compare_and_set tail s.some_node None) then begin
+          (* a successor is in the middle of enqueuing *)
+          let rec wait () =
+            match Atomic.get n.next with
+            | Some succ -> Atomic.set succ.locked false
+            | None ->
+                Domain.cpu_relax ();
+                wait ()
+          in
+          wait ()
+        end
+  in
+  { name = "MCS"; acquire; release; try_acquire = None }
+
+(* ------------------------------ CLH ------------------------------ *)
+
+type clh_state = {
+  mutable mine : bool Atomic.t; (* node we enqueue; true = busy *)
+  mutable pred : bool Atomic.t; (* node we spin on, recycled after release *)
+}
+
+let clh () : Lock.t =
+  let dummy = Atomic.make false in
+  let tail = Atomic.make dummy in
+  let st =
+    Domain.DLS.new_key (fun () ->
+        { mine = Atomic.make false; pred = Atomic.make false })
+  in
+  let acquire () =
+    let s = Domain.DLS.get st in
+    Atomic.set s.mine true;
+    let prev = Atomic.exchange tail s.mine in
+    s.pred <- prev;
+    while Atomic.get prev do
+      Domain.cpu_relax ()
+    done
+  in
+  let release () =
+    let s = Domain.DLS.get st in
+    let released = s.mine in
+    Atomic.set released false;
+    (* recycle the predecessor's node as ours *)
+    s.mine <- s.pred;
+    s.pred <- released
+  in
+  { name = "CLH"; acquire; release; try_acquire = None }

@@ -1,0 +1,104 @@
+(* The simple native spin locks: TAS, TTAS with exponential backoff, the
+   ticket lock with proportional backoff, the array lock, and the
+   Pthread-Mutex equivalent (Stdlib.Mutex, which parks the thread in the
+   kernel under contention). *)
+
+(* test-and-set on an int Atomic; true = we won *)
+let tas_word (w : int Atomic.t) = Atomic.exchange w 1 = 0
+
+let tas () : Lock.t =
+  let word = Atomic.make 0 in
+  {
+    name = "TAS";
+    acquire =
+      (fun () ->
+        while not (tas_word word) do
+          Domain.cpu_relax ()
+        done);
+    release = (fun () -> Atomic.set word 0);
+    try_acquire = Some (fun () -> tas_word word);
+  }
+
+let ttas () : Lock.t =
+  let word = Atomic.make 0 in
+  {
+    name = "TTAS";
+    acquire =
+      (fun () ->
+        let b = Backoff.create () in
+        let rec loop () =
+          if Atomic.get word = 0 then begin
+            if not (tas_word word) then begin
+              Backoff.once b;
+              loop ()
+            end
+          end
+          else begin
+            Domain.cpu_relax ();
+            loop ()
+          end
+        in
+        loop ());
+    release = (fun () -> Atomic.set word 0);
+    try_acquire = Some (fun () -> Atomic.get word = 0 && tas_word word);
+  }
+
+let ticket () : Lock.t =
+  let next = Atomic.make 0 in
+  let current = Atomic.make 0 in
+  {
+    name = "TICKET";
+    acquire =
+      (fun () ->
+        let my = Atomic.fetch_and_add next 1 in
+        let rec wait () =
+          let cur = Atomic.get current in
+          if cur <> my then begin
+            (* back-off proportional to the queue position (section 5.3) *)
+            for _ = 1 to (my - cur) * 16 do
+              Domain.cpu_relax ()
+            done;
+            wait ()
+          end
+        in
+        wait ());
+    release = (fun () -> Atomic.set current (Atomic.get current + 1));
+    try_acquire =
+      Some
+        (fun () ->
+          let cur = Atomic.get current in
+          (* only take a ticket when it would be served immediately *)
+          Atomic.get next = cur
+          && Atomic.compare_and_set next cur (cur + 1));
+  }
+
+let array_lock ~slots () : Lock.t =
+  if slots < 2 then invalid_arg "array_lock: need at least 2 slots";
+  let flags = Array.init slots (fun i -> Atomic.make (if i = 0 then 1 else 0)) in
+  let tail = Atomic.make 0 in
+  let my_slot = Domain.DLS.new_key (fun () -> ref 0) in
+  {
+    name = "ARRAY";
+    acquire =
+      (fun () ->
+        let idx = Atomic.fetch_and_add tail 1 mod slots in
+        (Domain.DLS.get my_slot) := idx;
+        while Atomic.get flags.(idx) = 0 do
+          Domain.cpu_relax ()
+        done);
+    release =
+      (fun () ->
+        let idx = !(Domain.DLS.get my_slot) in
+        Atomic.set flags.(idx) 0;
+        Atomic.set flags.((idx + 1) mod slots) 1);
+    try_acquire = None;
+  }
+
+let mutex () : Lock.t =
+  let m = Mutex.create () in
+  {
+    name = "MUTEX";
+    acquire = (fun () -> Mutex.lock m);
+    release = (fun () -> Mutex.unlock m);
+    try_acquire = Some (fun () -> Mutex.try_lock m);
+  }

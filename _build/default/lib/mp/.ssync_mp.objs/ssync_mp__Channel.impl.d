@@ -1,0 +1,1 @@
+lib/mp/channel.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/mp/client_server.ml: Array Channel Domain

@@ -1,0 +1,40 @@
+(* Native libssmp: single-slot single-producer/single-consumer channels,
+   mirroring the cache-line-buffer design of the simulated version — one
+   slot whose full/empty flag is the Option constructor, so a message is
+   transmitted with a single atomic publication. *)
+
+type 'a t = { slot : 'a option Atomic.t }
+
+let create () = { slot = Atomic.make None }
+
+(* Blocking send; spins while the previous message is unconsumed.  Only
+   one producer may use a channel. *)
+let send t v =
+  let m = Some v in
+  let rec wait () =
+    if Atomic.get t.slot <> None then begin
+      Domain.cpu_relax ();
+      wait ()
+    end
+  in
+  wait ();
+  Atomic.set t.slot m
+
+(* Non-blocking receive.  Only one consumer may use a channel. *)
+let try_recv t =
+  match Atomic.get t.slot with
+  | None -> None
+  | Some _ as m ->
+      Atomic.set t.slot None;
+      (match m with Some v -> Some v | None -> assert false)
+
+(* Blocking receive. *)
+let recv t =
+  let rec loop () =
+    match try_recv t with
+    | Some v -> v
+    | None ->
+        Domain.cpu_relax ();
+        loop ()
+  in
+  loop ()

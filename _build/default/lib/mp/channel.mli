@@ -1,0 +1,18 @@
+(** Native libssmp: single-slot single-producer/single-consumer
+    channels, mirroring the one-cache-line buffers of the paper's
+    message-passing library.  A message is transmitted with a single
+    atomic publication. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Blocking send; spins while the previous message is unconsumed.
+    Only one producer may use a channel. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive.  Only one consumer may use a channel. *)
+
+val recv : 'a t -> 'a
+(** Blocking receive. *)

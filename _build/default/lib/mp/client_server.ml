@@ -1,0 +1,50 @@
+(* Native client-server messaging: one server, N clients, one channel
+   pair per client; the server scans its receive slots round-robin
+   (identical structure to the simulated Client_server). *)
+
+type ('req, 'resp) t = {
+  to_server : 'req Channel.t array;
+  to_client : 'resp Channel.t array;
+  mutable scan_from : int;
+}
+
+let create ~clients : ('req, 'resp) t =
+  if clients <= 0 then invalid_arg "Client_server.create: no clients";
+  {
+    to_server = Array.init clients (fun _ -> Channel.create ());
+    to_client = Array.init clients (fun _ -> Channel.create ());
+    scan_from = 0;
+  }
+
+let n_clients t = Array.length t.to_server
+
+let try_recv_any t =
+  let n = n_clients t in
+  let rec scan k =
+    if k = n then None
+    else
+      let i = (t.scan_from + k) mod n in
+      match Channel.try_recv t.to_server.(i) with
+      | Some v ->
+          t.scan_from <- (i + 1) mod n;
+          Some (i, v)
+      | None -> scan (k + 1)
+  in
+  scan 0
+
+let recv_any t =
+  let rec loop () =
+    match try_recv_any t with
+    | Some r -> r
+    | None ->
+        Domain.cpu_relax ();
+        loop ()
+  in
+  loop ()
+
+let respond t i v = Channel.send t.to_client.(i) v
+let send_request t ~client v = Channel.send t.to_server.(client) v
+
+let request t ~client v =
+  Channel.send t.to_server.(client) v;
+  Channel.recv t.to_client.(client)

@@ -1,0 +1,23 @@
+(** Native client-server messaging: one server, N clients, a channel
+    pair per client; the server scans its receive slots round-robin. *)
+
+type ('req, 'resp) t
+
+val create : clients:int -> ('req, 'resp) t
+val n_clients : ('req, 'resp) t -> int
+
+val try_recv_any : ('req, 'resp) t -> (int * 'req) option
+(** Server side: the next pending request as [(client, request)], if
+    any; scanning is round-robin fair. *)
+
+val recv_any : ('req, 'resp) t -> int * 'req
+(** Server side: blocking receive from any client. *)
+
+val respond : ('req, 'resp) t -> int -> 'resp -> unit
+(** [respond t client r] sends [r] back to [client]. *)
+
+val send_request : ('req, 'resp) t -> client:int -> 'req -> unit
+(** Client side: one-way request. *)
+
+val request : ('req, 'resp) t -> client:int -> 'req -> 'resp
+(** Client side: round-trip request (blocks for the response). *)

@@ -1,0 +1,1 @@
+lib/platform/latencies.ml: Arch Array

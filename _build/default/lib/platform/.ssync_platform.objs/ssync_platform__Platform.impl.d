@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Arch Cost_model Float Latencies Topology

@@ -1,0 +1,1 @@
+lib/platform/table1.ml: Arch Topology

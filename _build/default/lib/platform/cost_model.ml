@@ -1,0 +1,383 @@
+(* Per-platform cache-coherence cost models.
+
+   The *logic* (who supplies the data, when a broadcast happens, what is
+   local) follows each platform's protocol as described in the paper's
+   sections 3 and 5; the *constants* are calibrated against the paper's
+   Table 2/3 measurements (see Latencies).  The model generalizes the
+   tables: it covers local hits, requester-held upgrades, atomic
+   operations on states the paper does not report, sharer-count effects
+   on invalidations, and the Opteron's remote-directory penalty
+   (section 5.2). *)
+
+(* What the memory model knows about a cache line when an operation is
+   issued.  [owner] holds the line in Modified/Owned/Exclusive; [sharers]
+   are cores with Shared/Forward copies (never including [owner]);
+   [home] is the node of the line's directory / home tile / memory. *)
+type view = {
+  state : Arch.cstate;
+  owner : int option;
+  sharers : int list;
+  home : int;
+}
+
+let uncached v = v.owner = None && v.sharers = []
+let n_holders v = List.length v.sharers + if v.owner = None then 0 else 1
+let holds v core = v.owner = Some core || List.mem core v.sharers
+
+(* Distance class between two *nodes* of a topology. *)
+let node_class (t : Topology.t) n1 n2 : Arch.distance =
+  match t.id with
+  | Arch.Niagara -> if n1 = n2 then Same_core else Same_die
+  | Arch.Opteron | Arch.Opteron2 ->
+      if n1 = n2 then Same_die
+      else if Topology.opteron_same_mcm n1 n2 then Same_mcm
+      else if t.node_hops n1 n2 = 1 then One_hop
+      else Two_hops
+  | Arch.Xeon | Arch.Xeon2 ->
+      let h = t.node_hops n1 n2 in
+      if h = 0 then Same_die else if h = 1 then One_hop else Two_hops
+  | Arch.Tilera ->
+      let h = t.node_hops n1 n2 in
+      if h = 0 then Same_core
+      else if h = 1 then One_hop
+      else if h >= 9 then Max_hops
+      else Two_hops
+
+let rank_of_class : Arch.distance -> int = function
+  | Same_core -> 0
+  | Same_die -> 1
+  | Same_mcm -> 2
+  | One_hop -> 3
+  | Two_hops -> 4
+  | Max_hops -> 5
+
+(* The core whose cached copy the protocol reaches for: the owner if one
+   exists, otherwise the closest sharer.  [None] for uncached lines. *)
+let source_core (t : Topology.t) ~requester v =
+  match v.owner with
+  | Some o -> Some o
+  | None -> (
+      match v.sharers with
+      | [] -> None
+      | s :: rest ->
+          let better a b =
+            let ca = node_class t (t.node_of_core requester) (t.node_of_core a)
+            and cb =
+              node_class t (t.node_of_core requester) (t.node_of_core b)
+            in
+            if rank_of_class ca <= rank_of_class cb then a else b
+          in
+          Some (List.fold_left better s rest))
+
+let class_to_core t ~requester core =
+  node_class t (t.node_of_core requester) (t.node_of_core core)
+
+let class_to_home t ~requester v =
+  node_class t (t.node_of_core requester) v.home
+
+(* -------------------------------------------------------------- *)
+(* Opteron: MOESI, broadcast protocol assisted by an *incomplete*
+   directory (the HyperTransport-assist probe filter lives in the LLC of
+   the line's home node).  Key behaviours (sections 3.1, 5.2, 5.3):
+   - loads cost the same regardless of the previous state;
+   - stores/atomics on Shared or Owned lines broadcast invalidations to
+     all nodes, even when sharing is confined to one node;
+   - when the home (directory) node is remote to both requester and
+     owner, latency grows with the distance to the directory. *)
+
+let opteron_row4 (d : Arch.distance) (v : int array) =
+  match d with
+  | Same_die -> v.(0)
+  | Same_mcm -> v.(1)
+  | One_hop -> v.(2)
+  | Two_hops -> v.(3)
+  | Same_core -> v.(0)
+  | Max_hops -> v.(3)
+
+(* Extra cycles when the probe-filter lookup happens on a node that is
+   neither the requester's nor the owner's (section 5.2: the worst case
+   raises a 252-cycle transfer to 312). *)
+let opteron_directory_penalty (t : Topology.t) ~requester v =
+  if uncached v then 0 (* the home node itself supplies the data *)
+  else
+  let rnode = t.node_of_core requester in
+  let involved =
+    rnode
+    ::
+    (match v.owner with
+    | Some o -> [ t.node_of_core o ]
+    | None -> List.map t.node_of_core v.sharers)
+  in
+  if List.mem v.home involved then 0 else 30 * max 1 (t.node_hops rnode v.home)
+
+let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
+  let dir_pen = opteron_directory_penalty t ~requester v in
+  let class_of_source =
+    match source_core t ~requester v with
+    | Some c -> class_to_core t ~requester c
+    | None -> class_to_home t ~requester v
+  in
+  let row = opteron_row4 class_of_source in
+  let load_cached st =
+    match st with
+    | Arch.Modified -> row [| 81; 161; 172; 252 |]
+    | Arch.Owned -> row [| 83; 163; 175; 254 |]
+    | Arch.Exclusive -> row [| 83; 163; 175; 253 |]
+    | Arch.Shared | Arch.Forward -> row [| 83; 164; 176; 254 |]
+    | Arch.Invalid -> row [| 136; 237; 247; 327 |]
+  in
+  let broadcast_store st =
+    (* Invalidation broadcast; grows slightly with the sharer count
+       (storing on a line shared by all 48 cores costs 296). *)
+    let base =
+      match st with
+      | Arch.Owned -> row [| 244; 255; 286; 291 |]
+      | _ -> row [| 246; 255; 286; 296 |]
+    in
+    base + (n_holders v / 12 * 10)
+  in
+  match op with
+  | Arch.Load ->
+      if holds v requester then 3 (* L1 hit *)
+      else load_cached v.state + dir_pen
+  | Arch.Store -> (
+      match v.state with
+      | Arch.Modified | Arch.Exclusive ->
+          if v.owner = Some requester then 3
+          else row [| 83; 172; 191; 273 |] + dir_pen
+      | Arch.Owned | Arch.Shared | Arch.Forward -> broadcast_store v.state + dir_pen
+      | Arch.Invalid -> row [| 136; 237; 247; 327 |] + 10 + dir_pen)
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
+      match v.state with
+      | Arch.Modified | Arch.Exclusive ->
+          if v.owner = Some requester then 20
+          else row [| 110; 197; 216; 296 |] + dir_pen
+      | Arch.Owned | Arch.Shared | Arch.Forward ->
+          row [| 272; 283; 312; 332 |]
+          + (n_holders v / 12 * 10)
+          + dir_pen
+      | Arch.Invalid -> row [| 136; 237; 247; 327 |] + 30 + dir_pen)
+
+(* -------------------------------------------------------------- *)
+(* Xeon: MESIF, inclusive LLC.  Within a socket the LLC tracks sharers
+   and serves Shared loads directly (44 cycles); across sockets snoop
+   requests are broadcast.  Operations touching only cores of one socket
+   complete locally (section 5.2). *)
+
+let xeon_row3 (d : Arch.distance) (v : int array) =
+  match d with
+  | Same_die | Same_core | Same_mcm -> v.(0)
+  | One_hop -> v.(1)
+  | Two_hops | Max_hops -> v.(2)
+
+let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
+  let class_of_source =
+    match source_core t ~requester v with
+    | Some c -> class_to_core t ~requester c
+    | None -> class_to_home t ~requester v
+  in
+  let row = xeon_row3 class_of_source in
+  let invalidation_growth =
+    (* storing on a line shared by all 80 cores costs 445 *)
+    List.length v.sharers / 5
+  in
+  match op with
+  | Arch.Load -> (
+      if holds v requester then 5 (* L1 hit *)
+      else
+        match v.state with
+        | Arch.Modified -> row [| 109; 289; 400 |]
+        | Arch.Exclusive -> row [| 92; 273; 383 |]
+        | Arch.Shared | Arch.Forward | Arch.Owned -> row [| 44; 223; 334 |]
+        | Arch.Invalid -> row [| 355; 492; 601 |])
+  | Arch.Store -> (
+      match v.state with
+      | Arch.Modified ->
+          if v.owner = Some requester then 5 else row [| 115; 320; 431 |]
+      | Arch.Exclusive ->
+          if v.owner = Some requester then 5 else row [| 115; 315; 425 |]
+      | Arch.Shared | Arch.Forward | Arch.Owned ->
+          row [| 116; 318; 428 |] + invalidation_growth
+      | Arch.Invalid -> row [| 355; 492; 601 |] + 10)
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
+      match v.state with
+      | Arch.Modified | Arch.Exclusive ->
+          if v.owner = Some requester then 20 else row [| 120; 324; 430 |]
+      | Arch.Shared | Arch.Forward | Arch.Owned ->
+          row [| 113; 312; 423 |] + invalidation_growth
+      | Arch.Invalid -> row [| 355; 492; 601 |] + 25)
+
+(* -------------------------------------------------------------- *)
+(* Niagara: uniform crossbar to a shared, duplicate-tag LLC.  Loads hit
+   the shared L1 (3) when the previous holder is a context of the same
+   physical core, the LLC (24) otherwise; stores are write-through and
+   always cost the LLC; latencies do not depend on the sharer count.
+   SPARC has no FAI/SWAP instruction: both are CAS-based and slower,
+   while the hardware TAS is notably fast (section 5.4). *)
+
+let niagara_pair (d : Arch.distance) (a, b) =
+  match d with Same_core -> a | _ -> b
+
+let niagara_latency (t : Topology.t) (op : Arch.memop) ~requester v =
+  let d =
+    match source_core t ~requester v with
+    | Some c -> class_to_core t ~requester c
+    | None -> Same_die
+  in
+  let pair = niagara_pair d in
+  match op with
+  | Arch.Load ->
+      if holds v requester then 3
+      else if uncached v || v.state = Arch.Invalid then 176
+      else pair (3, 24)
+  | Arch.Store -> 24
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
+      let m_row, s_row =
+        match op with
+        | Arch.Cas -> ((71, 66), (76, 66))
+        | Arch.Fai -> ((108, 99), (99, 99))
+        | Arch.Tas -> ((64, 55), (67, 55))
+        | Arch.Swap -> ((95, 90), (93, 90))
+        | Arch.Load | Arch.Store -> assert false
+      in
+      match v.state with
+      | Arch.Invalid -> 176 + 20
+      | Arch.Modified | Arch.Exclusive | Arch.Owned -> pair m_row
+      | Arch.Shared | Arch.Forward -> pair s_row)
+
+(* -------------------------------------------------------------- *)
+(* Tilera: distributed directory; each line has a home tile whose L2
+   slice acts as the LLC for that line.  Latency grows with the mesh
+   distance between the requester and the home tile (about 2 cycles per
+   hop); stores on shared lines additionally pay per-sharer
+   invalidations (up to ~200 cycles when all 36 tiles share).  FAI is
+   executed at the home tile and is the fastest atomic (section 5.4). *)
+
+let tilera_home_hops (t : Topology.t) ~requester v =
+  t.node_hops (t.node_of_core requester) v.home
+
+let tilera_scale ~at1 ~at10 h =
+  (* Linear interpolation anchored at the paper's one-hop and max-hop
+     (10 mesh hops) measurements. *)
+  let slope = float_of_int (at10 - at1) /. 9. in
+  int_of_float (Float.round (float_of_int at1 +. (slope *. float_of_int (h - 1))))
+
+let tilera_latency (t : Topology.t) (op : Arch.memop) ~requester v =
+  let h = tilera_home_hops t ~requester v in
+  let inval_growth = 3 * max 0 (List.length v.sharers - 1) in
+  match op with
+  | Arch.Load ->
+      if holds v requester then 2 (* local L1 *)
+      else if uncached v || v.state = Arch.Invalid then
+        if h = 0 then 108 else tilera_scale ~at1:118 ~at10:162 h
+      else if h = 0 then 11 (* own L2 slice is the home *)
+      else tilera_scale ~at1:45 ~at10:65 h
+  | Arch.Store -> (
+      match v.state with
+      | Arch.Modified | Arch.Exclusive ->
+          if v.owner = Some requester then 11
+          else if h = 0 then 20
+          else tilera_scale ~at1:57 ~at10:77 h
+      | Arch.Shared | Arch.Forward | Arch.Owned ->
+          (if h = 0 then 49 else tilera_scale ~at1:86 ~at10:106 h)
+          + inval_growth
+      | Arch.Invalid ->
+          (if h = 0 then 108 else tilera_scale ~at1:118 ~at10:162 h) + 10)
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
+      let (m1, m10), (s1, s10) =
+        match op with
+        | Arch.Cas -> ((77, 98), (124, 142))
+        | Arch.Fai -> ((51, 71), (82, 102))
+        | Arch.Tas -> ((70, 89), (121, 141))
+        | Arch.Swap -> ((63, 84), (95, 115))
+        | Arch.Load | Arch.Store -> assert false
+      in
+      match v.state with
+      | Arch.Invalid ->
+          (if h = 0 then 108 else tilera_scale ~at1:118 ~at10:162 h) + 20
+      | Arch.Modified | Arch.Exclusive ->
+          if h = 0 then (m1 * 2 / 3) else tilera_scale ~at1:m1 ~at10:m10 h
+      | Arch.Shared | Arch.Forward | Arch.Owned ->
+          (if h = 0 then (s1 * 2 / 3) else tilera_scale ~at1:s1 ~at10:s10 h)
+          + inval_growth)
+
+(* -------------------------------------------------------------- *)
+(* Small-scale multi-sockets (section 8): intra-socket behaviour equals
+   the large machine's; cross-socket latency is the intra-socket one
+   scaled by the measured ratio (1.6x Opteron2, 2.7x Xeon2). *)
+
+let scaled_small big_latency (t : Topology.t) ratio op ~requester v =
+  (* Remap the view onto two same-socket cores (0 and 1) of the large
+     sibling platform, preserving whether the requester holds a copy;
+     this yields the intra-socket cost, which the measured cross/intra
+     ratio then scales when the transaction crosses the socket link. *)
+  let remap c = if c = requester then 0 else 1 in
+  let fake =
+    {
+      state = v.state;
+      owner = Option.map remap v.owner;
+      sharers =
+        List.sort_uniq compare
+          (List.filter
+             (fun s -> Some s <> Option.map remap v.owner)
+             (List.map remap v.sharers));
+      home = 0;
+    }
+  in
+  let intra = big_latency op ~requester:0 fake in
+  let rnode = t.node_of_core requester in
+  let cross =
+    match source_core t ~requester v with
+    | Some c -> t.node_hops rnode (t.node_of_core c) > 0
+    | None -> t.node_hops rnode v.home > 0
+  in
+  let local_hit = holds v requester && op = Arch.Load in
+  if cross && not local_hit then
+    int_of_float (Float.round (float_of_int intra *. ratio))
+  else intra
+
+let opteron2_latency (t : Topology.t) op ~requester v =
+  let big = opteron_latency (Topology.of_platform Arch.Opteron) in
+  scaled_small big t 1.6 op ~requester v
+
+let xeon2_latency (t : Topology.t) op ~requester v =
+  let big = xeon_latency (Topology.of_platform Arch.Xeon) in
+  scaled_small big t 2.7 op ~requester v
+
+(* -------------------------------------------------------------- *)
+
+let op_latency (t : Topology.t) (op : Arch.memop) ~requester (v : view) : int =
+  Topology.check t requester;
+  match t.id with
+  | Arch.Opteron -> opteron_latency t op ~requester v
+  | Arch.Xeon -> xeon_latency t op ~requester v
+  | Arch.Niagara -> niagara_latency t op ~requester v
+  | Arch.Tilera -> tilera_latency t op ~requester v
+  | Arch.Opteron2 -> opteron2_latency t op ~requester v
+  | Arch.Xeon2 -> xeon2_latency t op ~requester v
+
+(* How long the line (or its directory entry / home-tile slot) stays
+   busy serving this operation.  This is the serialization that makes
+   contended lines collapse on the multi-sockets: an exclusive
+   transaction occupies the line for its full duration, whereas loads
+   are served concurrently up to directory occupancy.  The uniform
+   banked LLCs of the single-sockets have small service times. *)
+let occupancy (t : Topology.t) (op : Arch.memop) ~(state : Arch.cstate)
+    ~latency : int =
+  match (t.id, op) with
+  | ((Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2), Arch.Load) -> (
+      match state with
+      | Arch.Modified | Arch.Owned | Arch.Exclusive ->
+          (* a miss that probes a remote owner occupies the directory for
+             the whole transaction; reload storms therefore starve a
+             releaser's store (Figure 3's non-optimized ticket lock) *)
+          latency
+      | Arch.Shared | Arch.Forward | Arch.Invalid ->
+          (* served by LLC/memory; readers overlap *)
+          min latency 30)
+  | ((Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2), _) -> latency
+  | (Arch.Niagara, Arch.Load) -> min latency 8
+  | (Arch.Niagara, Arch.Store) -> 12
+  | (Arch.Niagara, _) -> min latency 60
+  | (Arch.Tilera, Arch.Load) -> min latency 12
+  | (Arch.Tilera, _) -> min latency 90

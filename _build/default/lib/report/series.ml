@@ -1,0 +1,47 @@
+(* Simple ASCII rendering of (x, y) series — the bench harness prints
+   every figure both as a table of numbers and as a quick sparkline-like
+   chart so trends are visible in the terminal output. *)
+
+type t = { name : string; points : (int * float) list }
+
+let make name points = { name; points }
+
+(* Render several series sharing an x axis as a table with one column
+   per series. *)
+let table ?(x_label = "x") (series : t list) : string =
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  let tbl =
+    Table.create
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) series)
+      (x_label :: List.map (fun s -> s.name) series)
+  in
+  List.iter
+    (fun x ->
+      let cells =
+        List.map
+          (fun s ->
+            match List.assoc_opt x s.points with
+            | Some y -> Printf.sprintf "%.2f" y
+            | None -> "-")
+          series
+      in
+      Table.add_row tbl (string_of_int x :: cells))
+    xs;
+  Table.render tbl
+
+(* A one-line bar chart of a single series, scaled to [width] chars. *)
+let bars ?(width = 50) (s : t) : string =
+  let ymax = List.fold_left (fun m (_, y) -> Float.max m y) 0. s.points in
+  let bar y =
+    let n =
+      if ymax <= 0. then 0
+      else int_of_float (Float.round (y /. ymax *. float_of_int width))
+    in
+    String.make (max 0 n) '#'
+  in
+  String.concat "\n"
+    (List.map
+       (fun (x, y) -> Printf.sprintf "%6d | %8.2f | %s" x y (bar y))
+       s.points)

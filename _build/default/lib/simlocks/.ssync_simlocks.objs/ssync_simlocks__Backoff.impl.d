@@ -1,0 +1,1 @@
+lib/simlocks/backoff.ml:

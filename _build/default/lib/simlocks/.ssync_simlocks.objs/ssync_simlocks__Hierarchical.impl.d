@@ -1,0 +1,1 @@
+lib/simlocks/hierarchical.ml: Array Lock_type Platform Queue_locks Spinlocks Ssync_platform Topology

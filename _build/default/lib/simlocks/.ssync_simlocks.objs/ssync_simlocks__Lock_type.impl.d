@@ -1,0 +1,1 @@
+lib/simlocks/lock_type.ml:

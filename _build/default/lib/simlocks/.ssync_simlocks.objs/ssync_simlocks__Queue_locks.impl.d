@@ -1,0 +1,1 @@
+lib/simlocks/queue_locks.ml: Array Lock_type Memory Sim Ssync_coherence Ssync_engine

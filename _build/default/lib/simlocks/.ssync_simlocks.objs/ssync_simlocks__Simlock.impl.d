@@ -1,0 +1,1 @@
+lib/simlocks/simlock.ml: Arch Hierarchical List Lock_type Platform Queue_locks Spinlocks Ssync_platform String

@@ -1,0 +1,1 @@
+lib/simlocks/simlock.mli: Lock_type Ssync_coherence Ssync_platform

@@ -1,0 +1,1 @@
+lib/simlocks/spinlocks.ml: Array Backoff Lock_type Memory Sim Ssync_coherence Ssync_engine

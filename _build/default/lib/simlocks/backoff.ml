@@ -1,0 +1,32 @@
+(* Deterministic exponential backoff for simulated spin loops.  A small
+   per-thread LCG de-synchronizes contenders without making simulation
+   runs non-reproducible. *)
+
+type t = {
+  min_delay : int;
+  max_delay : int;
+  mutable delay : int;
+  mutable rng : int;
+}
+
+let create ?(min_delay = 64) ?(max_delay = 8192) ~seed () =
+  {
+    min_delay;
+    max_delay;
+    delay = min_delay;
+    rng = (seed * 2654435761) land 0x3FFFFFFF;
+  }
+
+let next_rand t =
+  t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.rng
+
+let reset t = t.delay <- t.min_delay
+
+(* Next delay: current bound, jittered to [bound/2, bound), then the
+   bound doubles up to [max_delay]. *)
+let once t =
+  let bound = t.delay in
+  t.delay <- min t.max_delay (t.delay * 2);
+  let half = max 1 (bound / 2) in
+  half + (next_rand t mod half)

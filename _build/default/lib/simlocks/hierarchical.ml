@@ -1,0 +1,106 @@
+(* Hierarchical locks: hticket (hierarchical ticket, Dice et al.'s lock
+   cohorting applied to ticket locks — the paper's footnote 3 notes the
+   two are the same construction) and HCLH (its CLH counterpart,
+   realized as a CLH-of-CLH cohort; the splice-based HCLH of Luchangco
+   et al. has the same performance signature: waiters spin node-locally
+   and the lock is handed over within a socket whenever possible).
+
+   Structure: one global lock plus one local lock per cluster (die on
+   the Opteron, socket on the Xeon).  The first thread of a cluster to
+   win its local lock also takes the global lock; on release the holder
+   hands over locally while local waiters exist (bounded by [max_pass]
+   to preserve long-term fairness), and only then releases the global
+   lock. *)
+
+open Ssync_platform
+
+type inner = {
+  lock : Lock_type.t;
+  waiters : tid:int -> bool; (* is someone queued behind the holder? *)
+}
+
+let default_max_pass = 64
+
+(* Cluster = node of the core the thread is placed on. *)
+let cluster_of platform ~place tid =
+  platform.Platform.topo.Topology.node_of_core (place tid)
+
+(* First core of each cluster under the platform's placement, used to
+   home each cluster's local lock on its own node. *)
+let cluster_home platform cluster =
+  let topo = platform.Platform.topo in
+  let rec find c =
+    if c >= topo.Topology.n_cores then 0
+    else if topo.Topology.node_of_core c = cluster then c
+    else find (c + 1)
+  in
+  find 0
+
+let cohort ~name ~platform ~place ?(max_pass = default_max_pass)
+    ~(global : Lock_type.t) ~(locals : inner array) () : Lock_type.t =
+  let n_clusters = Array.length locals in
+  if n_clusters = 0 then invalid_arg "cohort: no clusters";
+  (* Owned/pass-count flags are only read and written by the thread
+     currently holding the cluster's local lock, so plain OCaml state
+     models node-local flags with no extra coherence traffic. *)
+  let global_owned = Array.make n_clusters false in
+  let passes = Array.make n_clusters 0 in
+  {
+    name;
+    acquire =
+      (fun ~tid ->
+        let c = cluster_of platform ~place tid in
+        locals.(c).lock.Lock_type.acquire ~tid;
+        if not global_owned.(c) then begin
+          (* the global lock is acquired on behalf of the cluster *)
+          global.Lock_type.acquire ~tid:c;
+          global_owned.(c) <- true
+        end);
+    release =
+      (fun ~tid ->
+        let c = cluster_of platform ~place tid in
+        if passes.(c) < max_pass && locals.(c).waiters ~tid then begin
+          passes.(c) <- passes.(c) + 1;
+          (* hand over within the cluster: the global lock stays owned *)
+          locals.(c).lock.Lock_type.release ~tid
+        end
+        else begin
+          passes.(c) <- 0;
+          global_owned.(c) <- false;
+          global.Lock_type.release ~tid:c;
+          locals.(c).lock.Lock_type.release ~tid
+        end);
+  }
+
+let hticket ?max_pass mem platform ~home_core ~n_threads:_ ~place :
+    Lock_type.t =
+  let n_clusters = platform.Platform.topo.Topology.n_nodes in
+  let global = Spinlocks.ticket mem ~home_core in
+  let locals =
+    Array.init n_clusters (fun c ->
+        (* intra-socket handoffs are short: spin with a small backoff *)
+        let lk, waiters =
+          Spinlocks.ticket_ext ~backoff_base:180 mem
+            ~home_core:(cluster_home platform c)
+        in
+        { lock = lk; waiters = (fun ~tid:_ -> waiters ()) })
+  in
+  cohort ~name:"HTICKET" ~platform ~place ?max_pass ~global ~locals ()
+
+let hclh ?max_pass mem platform ~home_core ~n_threads ~place : Lock_type.t =
+  let n_clusters = platform.Platform.topo.Topology.n_nodes in
+  (* the global CLH queue is entered per-cluster, so cluster ids act as
+     its thread ids *)
+  let global =
+    Queue_locks.clh mem ~home_core ~n_threads:n_clusters ~place:(fun c ->
+        cluster_home platform c)
+  in
+  let locals =
+    Array.init n_clusters (fun c ->
+        let home = cluster_home platform c in
+        let lk, waiters =
+          Queue_locks.clh_ext mem ~home_core:home ~n_threads ~place
+        in
+        { lock = lk; waiters })
+  in
+  cohort ~name:"HCLH" ~platform ~place ?max_pass ~global ~locals ()

@@ -1,0 +1,17 @@
+(* The common lock interface of the simulated libslock: every algorithm
+   is reduced to acquire/release closures usable from inside simulated
+   threads.  [tid] identifies the calling thread (0..n_threads-1) for
+   algorithms that keep per-thread queue nodes or slots. *)
+
+type t = {
+  name : string;
+  acquire : tid:int -> unit;
+  release : tid:int -> unit;
+}
+
+(* Run [f] under the lock. *)
+let with_lock t ~tid f =
+  t.acquire ~tid;
+  let r = f () in
+  t.release ~tid;
+  r

@@ -1,0 +1,97 @@
+(* The queue locks of libslock: MCS and CLH.  Each waiter spins on its
+   own cache line; the globally shared line (the tail pointer) is only
+   touched once per acquisition, which is what makes these locks
+   resilient to extreme contention (section 6.1.2). *)
+
+open Ssync_coherence
+open Ssync_engine
+
+(* ------------------------------ MCS ------------------------------ *)
+(* Per-thread queue node = (next, locked), each on its own line homed at
+   the thread's core so the spin is node-local.  The tail word holds
+   tid+1 (0 = nil). *)
+let mcs mem ~home_core ~n_threads ~place : Lock_type.t =
+  if n_threads <= 0 then invalid_arg "mcs: n_threads must be positive";
+  let tail = Memory.alloc ~home_core mem in
+  let next = Array.init n_threads (fun i -> Memory.alloc ~home_core:(place i) mem) in
+  let locked = Array.init n_threads (fun i -> Memory.alloc ~home_core:(place i) mem) in
+  {
+    name = "MCS";
+    acquire =
+      (fun ~tid ->
+        Sim.store next.(tid) 0;
+        let prev = Sim.swap tail (tid + 1) in
+        if prev <> 0 then begin
+          Sim.store locked.(tid) 1;
+          Sim.store next.(prev - 1) (tid + 1);
+          while Sim.load locked.(tid) = 1 do
+            Sim.pause 6
+          done
+        end);
+    release =
+      (fun ~tid ->
+        let successor = Sim.load next.(tid) in
+        if successor = 0 then begin
+          if not (Sim.cas tail ~expected:(tid + 1) ~desired:0) then begin
+            (* someone is in the middle of enqueuing: wait for the link *)
+            let rec wait () =
+              let s = Sim.load next.(tid) in
+              if s = 0 then begin
+                Sim.pause 6;
+                wait ()
+              end
+              else Sim.store locked.(s - 1) 0
+            in
+            wait ()
+          end
+        end
+        else Sim.store locked.(successor - 1) 0);
+  }
+
+(* ------------------------------ CLH ------------------------------ *)
+(* Implicit queue: each thread enqueues a node whose single word means
+   "busy"; it spins on its *predecessor's* node and recycles that node
+   for its next acquisition.  The tail word holds node_addr+1 (0 would
+   be a valid address). *)
+
+type clh_state = { mutable mine : Memory.addr; mutable pred : Memory.addr }
+
+(* Returns the lock plus a [waiters] probe for the cohort locks: while
+   [tid] holds the lock, someone queues behind it iff the tail moved
+   past its node. *)
+let clh_ext mem ~home_core ~n_threads ~place : Lock_type.t * (tid:int -> bool)
+    =
+  if n_threads <= 0 then invalid_arg "clh: n_threads must be positive";
+  let dummy = Memory.alloc ~home_core mem in
+  (* dummy starts "free" (0) *)
+  let tail = Memory.alloc ~home_core ~value:(dummy + 1) mem in
+  let states =
+    Array.init n_threads (fun i ->
+        { mine = Memory.alloc ~home_core:(place i) mem; pred = -1 })
+  in
+  let lock : Lock_type.t =
+    {
+      name = "CLH";
+      acquire =
+        (fun ~tid ->
+          let st = states.(tid) in
+          Sim.store st.mine 1;
+          let prev = Sim.swap tail (st.mine + 1) - 1 in
+          st.pred <- prev;
+          while Sim.load prev = 1 do
+            Sim.pause 6
+          done);
+      release =
+        (fun ~tid ->
+          let st = states.(tid) in
+          Sim.store st.mine 0;
+          (* recycle the predecessor's node *)
+          st.mine <- st.pred;
+          st.pred <- -1);
+    }
+  in
+  let waiters ~tid = Sim.load tail <> states.(tid).mine + 1 in
+  (lock, waiters)
+
+let clh mem ~home_core ~n_threads ~place : Lock_type.t =
+  fst (clh_ext mem ~home_core ~n_threads ~place)

@@ -1,0 +1,94 @@
+(* Factory over the whole simulated libslock: the nine algorithms the
+   paper evaluates plus the two extra ticket variants of Figure 3. *)
+
+open Ssync_platform
+
+type algo =
+  | Tas
+  | Ttas
+  | Ticket
+  | Array_lock
+  | Mutex
+  | Mcs
+  | Clh
+  | Hclh
+  | Hticket
+  | Ticket_spin      (* Figure 3: non-optimized ticket *)
+  | Ticket_prefetchw (* Figure 3: backoff + prefetchw *)
+
+(* The nine algorithms of Figures 5-8, in the paper's legend order. *)
+let paper_algos =
+  [ Tas; Ttas; Ticket; Array_lock; Mutex; Mcs; Clh; Hclh; Hticket ]
+
+(* Hierarchical locks are only meaningful on the multi-sockets; the
+   paper omits them on the single-sockets ("given the uniform structure
+   of the platforms, we do not use hierarchical locks on the
+   single-socket machines"). *)
+let algos_for (p : Platform.t) =
+  match p.Platform.id with
+  | Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2 -> paper_algos
+  | Arch.Niagara | Arch.Tilera ->
+      List.filter (fun a -> a <> Hclh && a <> Hticket) paper_algos
+
+let name = function
+  | Tas -> "TAS"
+  | Ttas -> "TTAS"
+  | Ticket -> "TICKET"
+  | Array_lock -> "ARRAY"
+  | Mutex -> "MUTEX"
+  | Mcs -> "MCS"
+  | Clh -> "CLH"
+  | Hclh -> "HCLH"
+  | Hticket -> "HTICKET"
+  | Ticket_spin -> "TICKET-SPIN"
+  | Ticket_prefetchw -> "TICKET-PFW"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "TAS" -> Some Tas
+  | "TTAS" -> Some Ttas
+  | "TICKET" -> Some Ticket
+  | "ARRAY" -> Some Array_lock
+  | "MUTEX" -> Some Mutex
+  | "MCS" -> Some Mcs
+  | "CLH" -> Some Clh
+  | "HCLH" -> Some Hclh
+  | "HTICKET" -> Some Hticket
+  | "TICKET-SPIN" -> Some Ticket_spin
+  | "TICKET-PFW" -> Some Ticket_prefetchw
+  | _ -> None
+
+(* Proportional-backoff base of the ticket lock, tuned per platform to
+   the typical lock-handoff time (the paper tunes its spin loops per
+   platform the same way, section 4.1). *)
+let ticket_backoff_base (p : Platform.t) =
+  match p.Platform.id with
+  | Arch.Opteron | Arch.Opteron2 -> 1400
+  | Arch.Xeon | Arch.Xeon2 -> 1200
+  | Arch.Niagara -> 90
+  | Arch.Tilera -> 220
+
+(* Instantiate [algo] in simulated memory.  [n_threads] bounds the
+   thread ids that will use the lock; [home_core] places the lock's
+   global lines (defaults to the first participating thread's core, the
+   paper's allocation policy). *)
+let create ?(home_core = 0) mem (platform : Platform.t) ~n_threads algo :
+    Lock_type.t =
+  let place tid = Platform.place platform tid in
+  let base = ticket_backoff_base platform in
+  match algo with
+  | Tas -> Spinlocks.tas mem ~home_core
+  | Ttas -> Spinlocks.ttas mem ~home_core
+  | Ticket -> Spinlocks.ticket ~backoff_base:base mem ~home_core
+  | Ticket_spin ->
+      Spinlocks.ticket ~variant:Spinlocks.Ticket_spin mem ~home_core
+  | Ticket_prefetchw ->
+      Spinlocks.ticket ~variant:Spinlocks.Ticket_prefetchw ~backoff_base:base
+        mem ~home_core
+  | Array_lock ->
+      Spinlocks.array_lock mem ~home_core ~n_slots:(max 2 n_threads)
+  | Mutex -> Spinlocks.mutex mem ~home_core
+  | Mcs -> Queue_locks.mcs mem ~home_core ~n_threads ~place
+  | Clh -> Queue_locks.clh mem ~home_core ~n_threads ~place
+  | Hclh -> Hierarchical.hclh mem platform ~home_core ~n_threads ~place
+  | Hticket -> Hierarchical.hticket mem platform ~home_core ~n_threads ~place

@@ -1,0 +1,175 @@
+(* The simple spin locks of libslock: test-and-set, test-and-test-and-set
+   with exponential backoff, the ticket lock (three variants, Figure 3),
+   the array-based lock, and a futex-style Pthread-Mutex model. *)
+
+open Ssync_coherence
+open Ssync_engine
+
+(* ------------------------------ TAS ------------------------------ *)
+(* Spin directly on the atomic: every probe is an exclusive transaction
+   on the lock line, the classic non-scalable spin lock. *)
+let tas mem ~home_core : Lock_type.t =
+  let lock = Memory.alloc ~home_core mem in
+  {
+    name = "TAS";
+    acquire =
+      (fun ~tid:_ ->
+        while not (Sim.tas lock) do
+          ()
+        done);
+    release = (fun ~tid:_ -> Sim.store lock 0);
+  }
+
+(* ------------------------------ TTAS ----------------------------- *)
+(* Spin with plain loads (served from the local cache while the holder
+   keeps the line) and only attempt the TAS when the lock looks free;
+   back off exponentially after a lost race. *)
+let ttas mem ~home_core : Lock_type.t =
+  let lock = Memory.alloc ~home_core mem in
+  {
+    name = "TTAS";
+    acquire =
+      (fun ~tid ->
+        let b = Backoff.create ~seed:tid () in
+        let rec loop () =
+          if Sim.load lock = 0 then begin
+            if not (Sim.tas lock) then begin
+              Sim.pause (Backoff.once b);
+              loop ()
+            end
+          end
+          else begin
+            Sim.pause 4; (* re-read soon; local while cached *)
+            loop ()
+          end
+        in
+        loop ());
+    release = (fun ~tid:_ -> Sim.store lock 0);
+  }
+
+(* ----------------------------- TICKET ---------------------------- *)
+
+type ticket_variant =
+  | Ticket_spin          (* non-optimized: spin on current with raw loads *)
+  | Ticket_backoff       (* back-off proportional to the queue position *)
+  | Ticket_prefetchw
+      (* back-off + keep the line Modified at the prober (the Opteron
+         prefetchw optimization of section 5.3): the probe is an atomic
+         read (faa 0) that acquires the line exclusively, so the
+         releaser's update finds a Modified line instead of paying the
+         shared-store broadcast. *)
+
+let ticket_variant_name = function
+  | Ticket_spin -> "TICKET-SPIN"
+  | Ticket_backoff -> "TICKET"
+  | Ticket_prefetchw -> "TICKET-PFW"
+
+(* Both counters live in ONE cache line, as in libslock: acquiring the
+   ticket (fetch-and-add on the next half) brings the whole line to the
+   core, so the subsequent read of [current] is a local hit and an
+   uncontested release stays local.  Layout: next counter in the high
+   bits, current in the low 24 bits. *)
+let ticket_shift = 1 lsl 24
+let ticket_mask = ticket_shift - 1
+
+(* Returns the lock plus a [waiters] probe (does anybody queue behind
+   the current holder?), needed by the hierarchical cohort locks. *)
+let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
+    ~home_core : Lock_type.t * (unit -> bool) =
+  let line = Memory.alloc ~home_core mem in
+  let wait_turn my =
+    let current () =
+      match variant with
+      | Ticket_spin | Ticket_backoff -> Sim.load line land ticket_mask
+      | Ticket_prefetchw ->
+          (* exclusive-prefetch probe: atomic read leaving the line
+             Modified here *)
+          Sim.faa line 0 land ticket_mask
+    in
+    let rec loop () =
+      let cur = current () in
+      if cur <> my then begin
+        (match variant with
+        | Ticket_spin -> ()
+        | Ticket_backoff | Ticket_prefetchw ->
+            Sim.pause (max 1 ((my - cur) * backoff_base)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let lock : Lock_type.t =
+    {
+      name = ticket_variant_name variant;
+      acquire =
+        (fun ~tid:_ ->
+          let old = Sim.faa line ticket_shift in
+          let my = (old lsr 24) land ticket_mask in
+          if old land ticket_mask <> my then wait_turn my);
+      release = (fun ~tid:_ -> ignore (Sim.faa_store line 1));
+    }
+  in
+  let waiters () =
+    let v = Sim.load line in
+    (v lsr 24) land ticket_mask > (v land ticket_mask) + 1
+  in
+  (lock, waiters)
+
+let ticket ?variant ?backoff_base mem ~home_core : Lock_type.t =
+  fst (ticket_ext ?variant ?backoff_base mem ~home_core)
+
+(* ----------------------------- ARRAY ----------------------------- *)
+(* Anderson's array lock: waiters spin each on their own slot (line);
+   release flips the next slot. *)
+let array_lock mem ~home_core ~n_slots : Lock_type.t =
+  if n_slots <= 0 then invalid_arg "array_lock: n_slots must be positive";
+  let tail = Memory.alloc ~home_core mem in
+  let slots = Array.init n_slots (fun _ -> Memory.alloc ~home_core mem) in
+  Memory.poke mem slots.(0) 1;
+  (* remembers which slot each thread owns between acquire and release *)
+  let my_slot = Array.make 1024 0 in
+  {
+    name = "ARRAY";
+    acquire =
+      (fun ~tid ->
+        let idx = Sim.fai tail mod n_slots in
+        my_slot.(tid) <- idx;
+        while Sim.load slots.(idx) = 0 do
+          Sim.pause 6
+        done);
+    release =
+      (fun ~tid ->
+        let idx = my_slot.(tid) in
+        Sim.store slots.(idx) 0;
+        Sim.store slots.((idx + 1) mod n_slots) 1);
+  }
+
+(* ----------------------------- MUTEX ----------------------------- *)
+(* A Pthread-Mutex model: fast path is a CAS; the slow path sleeps in
+   the kernel (a futex wait, modeled as a long pause plus syscall
+   overhead) and retries on wake-up.  Releasing a contended mutex pays
+   the wake syscall. *)
+let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
+    Lock_type.t =
+  let lock = Memory.alloc ~home_core mem in
+  (* values: 0 free, 1 held, 2 held-with-waiters *)
+  {
+    name = "MUTEX";
+    acquire =
+      (fun ~tid:_ ->
+        Sim.pause 20; (* library call overhead *)
+        if not (Sim.cas lock ~expected:0 ~desired:1) then begin
+          let rec slow () =
+            if Sim.swap lock 2 <> 0 then begin
+              Sim.pause (syscall_cycles + sleep_cycles);
+              slow ()
+            end
+          in
+          slow ()
+        end);
+    release =
+      (fun ~tid:_ ->
+        if Sim.swap lock 0 = 2 then
+          (* wake one sleeper: futex_wake syscall *)
+          Sim.pause syscall_cycles);
+  }

@@ -1,0 +1,1 @@
+lib/simmp/channel.ml: Arch Memory Platform Queue Sim Ssync_coherence Ssync_engine Ssync_platform Topology

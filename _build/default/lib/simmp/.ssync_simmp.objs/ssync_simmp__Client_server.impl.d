@@ -1,0 +1,1 @@
+lib/simmp/client_server.ml: Array Channel Ssync_engine

@@ -1,0 +1,138 @@
+(* libssmp: message passing over cache coherence (paper section 4.1).
+
+   A channel is one-directional and single-writer/single-reader.  Its
+   buffer is a single cache line holding flag+payload in one word
+   (0 = empty, v+1 = message v), so a message transmission is completed
+   with single cache-line transfers: the receiver's read misses once per
+   message and the sender's write re-acquires the line once — a one-way
+   message costs roughly two line transfers and a round trip four
+   (Figure 9).
+
+   On the Tilera the channel uses the hardware mesh network instead
+   (iMesh): messages bypass the coherence protocol and arrive with a
+   fixed small latency, modeled by the platform's [hw_mp_latency].
+
+   The [prefetchw] variant implements section 5.3's optimization on the
+   Opteron: probing with an exclusive prefetch keeps the buffer line
+   Modified at the prober, so the counterpart's store pays a directed
+   transfer instead of the shared-store broadcast (up to 2.5x faster). *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+
+type impl =
+  | Coherence of { buf : Memory.addr; prefetchw : bool }
+  | Hardware of {
+      queue : (int * int) Queue.t; (* (deliver_at, payload) *)
+      one_way : int; (* wire latency across the mesh *)
+    }
+
+type t = {
+  sender_core : int;
+  receiver_core : int;
+  impl : impl;
+  sw_pause : int;
+      (* per-message software overhead (flag checks, fences, buffer
+         management), calibrated per platform against Figure 9 *)
+}
+
+(* The T2's fences/atomics make its libssmp path comparatively heavy
+   (Figure 9: 181 cycles one-way for two contexts of one core whose raw
+   line transfer costs ~24). *)
+let platform_sw_pause (p : Platform.t) =
+  match p.Platform.id with
+  | Arch.Niagara -> 65
+  | Arch.Tilera -> 20
+  | Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2 -> 0
+
+let create ?(prefetchw = false) ?(use_hw = true) mem (platform : Platform.t)
+    ~sender_core ~receiver_core : t =
+  Topology.check platform.Platform.topo sender_core;
+  Topology.check platform.Platform.topo receiver_core;
+  let impl =
+    match platform.Platform.hw_mp_latency with
+    | Some lat when use_hw ->
+        Hardware
+          { queue = Queue.create (); one_way = lat sender_core receiver_core }
+    | Some _ | None ->
+        (* the buffer lives on the receiver's node *)
+        Coherence { buf = Memory.alloc ~home_core:receiver_core mem; prefetchw }
+  in
+  let sw_pause =
+    match impl with Hardware _ -> 0 | Coherence _ -> platform_sw_pause platform
+  in
+  { sender_core; receiver_core; impl; sw_pause }
+
+(* Blocking send of [payload] (>= 0).  Must be called from the sending
+   simulated thread. *)
+let send t payload =
+  if payload < 0 then invalid_arg "Channel.send: payload must be >= 0";
+  match t.impl with
+  | Hardware h ->
+      (* the NIC queue is small: block while the receiver lags *)
+      while Queue.length h.queue >= 4 do
+        Sim.pause 20
+      done;
+      Sim.pause 20; (* feed the message into the mesh NIC *)
+      Queue.push (Sim.now () + h.one_way, payload) h.queue
+  | Coherence { buf; prefetchw } ->
+      Sim.pause t.sw_pause;
+      if prefetchw then begin
+        (* single atomic: probe and write in one exclusive transaction,
+           so the buffer line is transferred exactly once per message *)
+        while not (Sim.cas buf ~expected:0 ~desired:(payload + 1)) do
+          Sim.pause 60
+        done
+      end
+      else begin
+        while Sim.load buf <> 0 do
+          Sim.pause 60
+        done;
+        Sim.store buf (payload + 1)
+      end
+
+(* Non-blocking receive. *)
+let try_recv t =
+  match t.impl with
+  | Hardware h ->
+      if Queue.is_empty h.queue then None
+      else begin
+        let deliver_at, payload = Queue.peek h.queue in
+        if deliver_at <= Sim.now () then begin
+          ignore (Queue.pop h.queue);
+          Sim.pause 20; (* drain the message from the NIC *)
+          Some payload
+        end
+        else None
+      end
+  | Coherence { buf; prefetchw } ->
+      let consumed =
+        if prefetchw then begin
+          (* single atomic: consume and clear in one transaction *)
+          let v = Sim.swap buf 0 in
+          if v = 0 then None else Some (v - 1)
+        end
+        else begin
+          let v = Sim.load buf in
+          if v = 0 then None
+          else begin
+            Sim.store buf 0;
+            Some (v - 1)
+          end
+        end
+      in
+      (match consumed with Some _ -> Sim.pause t.sw_pause | None -> ());
+      consumed
+
+(* Blocking receive. *)
+let recv t =
+  let poll_pause = match t.impl with Hardware _ -> 10 | Coherence _ -> 30 in
+  let rec loop () =
+    match try_recv t with
+    | Some v -> v
+    | None ->
+        Sim.pause poll_pause;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/ssht/ssht.ml: Array Libslock List Lock Ssync_locks

@@ -1,0 +1,1 @@
+lib/ssht/ssht.mli: Ssync_locks

@@ -1,0 +1,1 @@
+lib/ssht/ssht_mp.ml: Array Hashtbl Memory Platform Sim Ssync_coherence Ssync_engine Ssync_platform Ssync_simmp

@@ -1,0 +1,1 @@
+lib/ssht/ssht_sim.ml: Array Lock_type Memory Platform Sim Simlock Ssync_coherence Ssync_engine Ssync_platform Ssync_simlocks

@@ -1,0 +1,77 @@
+(* ssht — the native concurrent hash table (paper section 4.3): put, get
+   and remove over fixed buckets, one lock per bucket, configurable with
+   any lock of the native libslock.  Keys and values are 64-bit integers
+   as in the paper's evaluation. *)
+
+open Ssync_locks
+
+type bucket = {
+  lock : Lock.t;
+  mutable entries : (int * int) list; (* assoc list, newest first *)
+  mutable size : int;
+}
+
+type t = {
+  n_buckets : int;
+  buckets : bucket array;
+}
+
+(* Fibonacci hashing of the key into a bucket index. *)
+let hash_key ~n_buckets k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int mod n_buckets
+
+let create ?(lock_algo = Libslock.Ticket) ?max_threads ~n_buckets () : t =
+  if n_buckets <= 0 then invalid_arg "Ssht.create: n_buckets must be positive";
+  {
+    n_buckets;
+    buckets =
+      Array.init n_buckets (fun _ ->
+          {
+            lock = Libslock.create ?max_threads lock_algo;
+            entries = [];
+            size = 0;
+          });
+  }
+
+let bucket_of t k = t.buckets.(hash_key ~n_buckets:t.n_buckets k)
+
+(* [get t k] returns the value bound to [k], if any. *)
+let get t k =
+  let b = bucket_of t k in
+  Lock.with_lock b.lock (fun () -> List.assoc_opt k b.entries)
+
+(* [put t k v] inserts or updates; returns [true] when the key was
+   freshly inserted. *)
+let put t k v =
+  let b = bucket_of t k in
+  Lock.with_lock b.lock (fun () ->
+      if List.mem_assoc k b.entries then begin
+        b.entries <- (k, v) :: List.remove_assoc k b.entries;
+        false
+      end
+      else begin
+        b.entries <- (k, v) :: b.entries;
+        b.size <- b.size + 1;
+        true
+      end)
+
+(* [remove t k] deletes the binding; returns [true] when it existed. *)
+let remove t k =
+  let b = bucket_of t k in
+  Lock.with_lock b.lock (fun () ->
+      if List.mem_assoc k b.entries then begin
+        b.entries <- List.remove_assoc k b.entries;
+        b.size <- b.size - 1;
+        true
+      end
+      else false)
+
+(* Number of entries (takes all bucket locks one at a time; a snapshot,
+   not linearizable with concurrent updates). *)
+let size t =
+  Array.fold_left
+    (fun acc b -> acc + Lock.with_lock b.lock (fun () -> b.size))
+    0 t.buckets
+
+let mem t k = get t k <> None

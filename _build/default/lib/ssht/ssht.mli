@@ -1,0 +1,30 @@
+(** ssht — the native concurrent hash table (paper section 4.3): put,
+    get and remove over fixed buckets, one lock per bucket, configurable
+    with any native libslock algorithm.  Keys and values are integers,
+    as in the paper's evaluation. *)
+
+type t
+
+val create :
+  ?lock_algo:Ssync_locks.Libslock.algo ->
+  ?max_threads:int ->
+  n_buckets:int ->
+  unit ->
+  t
+(** [create ~n_buckets ()] builds an empty table.  [lock_algo] defaults
+    to the ticket lock (the paper's recommendation for low-contention
+    fine-grained locking). *)
+
+val get : t -> int -> int option
+val mem : t -> int -> bool
+
+val put : t -> int -> int -> bool
+(** [put t k v] inserts or updates; [true] iff the key was freshly
+    inserted. *)
+
+val remove : t -> int -> bool
+(** [remove t k] deletes the binding; [true] iff it existed. *)
+
+val size : t -> int
+(** Number of entries (a snapshot, not linearizable with concurrent
+    updates). *)

@@ -1,0 +1,134 @@
+(* The simulated ssht, used to regenerate Figure 11.  Buckets live in
+   simulated memory: a count line plus [capacity] (key, value) line
+   pairs, protected by one lock per bucket.  Gets scan the key lines —
+   mostly-read buckets stay Shared in the readers' caches, which is the
+   prefetch/locality effect the paper credits for the multi-sockets'
+   low-contention scalability (section 6.3). *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+open Ssync_simlocks
+
+type bucket = {
+  lock : Lock_type.t;
+  count : Memory.addr;
+  keys : Memory.addr array;
+  vals : Memory.addr array;
+}
+
+type t = {
+  platform : Platform.t;
+  n_buckets : int;
+  capacity : int; (* entries per bucket *)
+  buckets : bucket array;
+}
+
+let hash_key ~n_buckets k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int mod n_buckets
+
+(* Keys stored as k+1 so 0 means "empty slot". *)
+let create ?(lock_algo = Simlock.Ticket) ?(home_core = 0) mem platform
+    ~n_threads ~n_buckets ~capacity : t =
+  if n_buckets <= 0 || capacity <= 0 then
+    invalid_arg "Ssht_sim.create: sizes must be positive";
+  let mk_bucket _ =
+    {
+      lock = Simlock.create ~home_core mem platform ~n_threads lock_algo;
+      count = Memory.alloc ~home_core mem;
+      keys = Array.init capacity (fun _ -> Memory.alloc ~home_core mem);
+      vals = Array.init capacity (fun _ -> Memory.alloc ~home_core mem);
+    }
+  in
+  {
+    platform;
+    n_buckets;
+    capacity;
+    buckets = Array.init n_buckets mk_bucket;
+  }
+
+let bucket_of t k = t.buckets.(hash_key ~n_buckets:t.n_buckets k)
+
+(* Scan for the slot holding key [k]; returns the slot index or -1.
+   Costs one simulated load per inspected key line. *)
+let find_slot t b k =
+  let n = min (Sim.load b.count) t.capacity in
+  let rec scan i =
+    if i >= n then -1
+    else if Sim.load b.keys.(i) = k + 1 then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let get t ~tid k : int option =
+  let b = bucket_of t k in
+  b.lock.Lock_type.acquire ~tid;
+  let slot = find_slot t b k in
+  let r = if slot < 0 then None else Some (Sim.load b.vals.(slot)) in
+  b.lock.Lock_type.release ~tid;
+  r
+
+(* Returns [true] when freshly inserted; [false] on update or when the
+   bucket is full (the paper keeps the table size constant, so inserts
+   into full buckets are dropped like overflow chains would absorb). *)
+let put t ~tid k v : bool =
+  let b = bucket_of t k in
+  b.lock.Lock_type.acquire ~tid;
+  let slot = find_slot t b k in
+  let inserted =
+    if slot >= 0 then begin
+      Sim.store b.vals.(slot) v;
+      false
+    end
+    else begin
+      let n = Sim.load b.count in
+      if n >= t.capacity then false
+      else begin
+        Sim.store b.keys.(n) (k + 1);
+        Sim.store b.vals.(n) v;
+        Sim.store b.count (n + 1);
+        true
+      end
+    end
+  in
+  b.lock.Lock_type.release ~tid;
+  inserted
+
+let remove t ~tid k : bool =
+  let b = bucket_of t k in
+  b.lock.Lock_type.acquire ~tid;
+  let slot = find_slot t b k in
+  let removed =
+    if slot < 0 then false
+    else begin
+      let n = Sim.load b.count in
+      (* move the last entry into the vacated slot *)
+      if slot < n - 1 then begin
+        Sim.store b.keys.(slot) (Sim.load b.keys.(n - 1));
+        Sim.store b.vals.(slot) (Sim.load b.vals.(n - 1))
+      end;
+      Sim.store b.keys.(n - 1) 0;
+      Sim.store b.count (n - 1);
+      true
+    end
+  in
+  b.lock.Lock_type.release ~tid;
+  removed
+
+(* Fill the table to 50% capacity so the paper's 80/10/10 mix keeps its
+   size steady.  Must run inside a simulated thread. *)
+let prefill t ~tid ~key_space =
+  let target = t.n_buckets * t.capacity / 2 in
+  let inserted = ref 0 in
+  let k = ref 0 in
+  while !inserted < target && !k < key_space do
+    if put t ~tid !k (!k * 3) then incr inserted;
+    incr k
+  done
+
+(* Total entries, read without cost (debug/test). *)
+let debug_size mem t =
+  Array.fold_left
+    (fun acc b -> acc + min (Memory.peek mem b.count) t.capacity)
+    0 t.buckets

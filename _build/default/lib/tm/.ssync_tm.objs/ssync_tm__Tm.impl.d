@@ -1,0 +1,1 @@
+lib/tm/tm.ml: Array Atomic Domain Hashtbl List

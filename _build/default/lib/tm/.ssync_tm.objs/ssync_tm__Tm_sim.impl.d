@@ -1,0 +1,1 @@
+lib/tm/tm_sim.ml: Array Hashtbl List Memory Sim Ssync_coherence Ssync_engine Ssync_simmp

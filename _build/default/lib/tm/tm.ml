@@ -1,0 +1,118 @@
+(* TM2C's shared-memory sibling: a portable word-based software
+   transactional memory over a fixed array of cells, with lazy writes,
+   per-cell versioned spinlock words and commit-time validation (the
+   TL2 recipe).  Usable from any OCaml 5 domain.
+
+   Cell metadata word: even = unlocked, value is 2*version;
+                       odd  = locked by a committer. *)
+
+type t = {
+  clock : int Atomic.t;
+  meta : int Atomic.t array;
+  cells : int Atomic.t array;
+}
+
+exception Conflict (* internal: abort and retry *)
+exception Too_many_retries of int
+
+let create ~size : t =
+  if size <= 0 then invalid_arg "Tm.create: size must be positive";
+  {
+    clock = Atomic.make 0;
+    meta = Array.init size (fun _ -> Atomic.make 0);
+    cells = Array.init size (fun _ -> Atomic.make 0);
+  }
+
+let size t = Array.length t.cells
+
+(* Direct (non-transactional) accessors, for initialization and tests. *)
+let unsafe_get t i = Atomic.get t.cells.(i)
+let unsafe_set t i v = Atomic.set t.cells.(i) v
+
+type tx = {
+  tm : t;
+  rv : int; (* read version: clock at txn start *)
+  mutable reads : (int * int) list; (* (cell, version seen) *)
+  writes : (int, int) Hashtbl.t; (* redo log *)
+}
+
+let read tx i =
+  match Hashtbl.find_opt tx.writes i with
+  | Some v -> v
+  | None ->
+      let m1 = Atomic.get tx.tm.meta.(i) in
+      if m1 land 1 = 1 then raise Conflict;
+      let v = Atomic.get tx.tm.cells.(i) in
+      let m2 = Atomic.get tx.tm.meta.(i) in
+      (* consistent, unlocked, and not newer than our snapshot *)
+      if m1 <> m2 || m2 / 2 > tx.rv then raise Conflict;
+      tx.reads <- (i, m1) :: tx.reads;
+      v
+
+let write tx i v = Hashtbl.replace tx.writes i v
+
+(* Commit: lock the write set in index order (deadlock-free), take a
+   write version, validate the read set, publish the redo log, release
+   each cell with the new version. *)
+let commit tx =
+  let tm = tx.tm in
+  let ws = List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) tx.writes []) in
+  let locked = ref [] in
+  let unlock_all () =
+    List.iter (fun (i, m) -> Atomic.set tm.meta.(i) m) !locked
+  in
+  let lock_cell i =
+    let m = Atomic.get tm.meta.(i) in
+    if m land 1 = 1 || m / 2 > tx.rv then begin
+      unlock_all ();
+      raise Conflict
+    end;
+    if Atomic.compare_and_set tm.meta.(i) m (m lor 1) then
+      locked := (i, m) :: !locked
+    else begin
+      unlock_all ();
+      raise Conflict
+    end
+  in
+  List.iter lock_cell ws;
+  let wv = Atomic.fetch_and_add tm.clock 1 + 1 in
+  let check (i, seen) =
+    let m = Atomic.get tm.meta.(i) in
+    let ours = List.mem_assoc i !locked in
+    if (m land 1 = 1 && not ours) || m lsr 1 <> seen lsr 1 then begin
+      unlock_all ();
+      raise Conflict
+    end
+  in
+  List.iter check tx.reads;
+  Hashtbl.iter (fun i v -> Atomic.set tm.cells.(i) v) tx.writes;
+  List.iter (fun (i, _) -> Atomic.set tm.meta.(i) (wv * 2)) !locked
+
+type stats = { mutable commits : int; mutable aborts : int }
+
+let global_stats = { commits = 0; aborts = 0 }
+
+(* Run [f] transactionally, retrying on conflicts (bounded by
+   [max_retries], default effectively unbounded). *)
+let atomically ?(max_retries = max_int) ?(stats = global_stats) t f =
+  let rec attempt n backoff =
+    if n > max_retries then raise (Too_many_retries n);
+    let tx =
+      { tm = t; rv = Atomic.get t.clock; reads = []; writes = Hashtbl.create 8 }
+    in
+    match
+      let r = f tx in
+      commit tx;
+      r
+    with
+    | r ->
+        stats.commits <- stats.commits + 1;
+        r
+    | exception Conflict ->
+        stats.aborts <- stats.aborts + 1;
+        for _ = 1 to backoff do
+          Domain.cpu_relax ()
+        done;
+        attempt (n + 1) (min 4096 (backoff * 2))
+  in
+  attempt 1 8

@@ -1,0 +1,34 @@
+(** TM2C's shared-memory sibling: a portable word-based software
+    transactional memory over a fixed array of cells, with lazy writes,
+    per-cell versioned lock words and commit-time validation (the TL2
+    recipe).  Usable from any OCaml 5 domain. *)
+
+type t
+type tx
+
+exception Too_many_retries of int
+
+val create : size:int -> t
+val size : t -> int
+
+val unsafe_get : t -> int -> int
+(** Non-transactional read, for initialization and testing. *)
+
+val unsafe_set : t -> int -> int -> unit
+(** Non-transactional write, for initialization and testing. *)
+
+val read : tx -> int -> int
+(** Transactional read; sees the transaction's own buffered writes. *)
+
+val write : tx -> int -> int -> unit
+(** Transactional write, buffered until commit. *)
+
+type stats = { mutable commits : int; mutable aborts : int }
+
+val global_stats : stats
+
+val atomically : ?max_retries:int -> ?stats:stats -> t -> (tx -> 'a) -> 'a
+(** [atomically t f] runs [f] as a transaction, retrying on conflicts
+    with exponential backoff.  Raises [Too_many_retries] beyond
+    [max_retries] (default: effectively unbounded).  [f] must not
+    perform irrevocable side effects: it may run several times. *)

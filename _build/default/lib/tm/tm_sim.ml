@@ -1,0 +1,196 @@
+(* The two TM2C backends on the simulator, for the paper's section 8
+   remark that the STM results mirror the hash table's: under low
+   contention the lock-based (shared-memory) version wins; under extreme
+   contention the message-passing version scales better.
+
+   - [Lock_based]: two-phase locking over per-cell spinlock lines with
+     sorted acquisition, then in-place writes (the "shared memory
+     version built with the spin locks of libslock").
+   - [Mp_based]: TM2C proper — distributed lock-service (DSL) threads
+     own partitions of the cells; transactions acquire each cell's lock
+     by messaging its server and commit by sending the writes back. *)
+
+
+open Ssync_coherence
+open Ssync_engine
+
+(* A transaction reads a set of cells, computes, and writes some of
+   them atomically: [f] receives the values of [cells] (in order) and
+   returns the (cell, value) writes, which must target cells in the
+   read set (2PL: everything touched is locked up front). *)
+
+(* ----------------------- lock-based backend ---------------------- *)
+
+type lock_based = {
+  locks : Memory.addr array; (* TAS word per cell *)
+  values : Memory.addr array;
+}
+
+let create_lock_based ?(home_core = 0) mem ~n_cells : lock_based =
+  {
+    locks = Array.init n_cells (fun _ -> Memory.alloc ~home_core mem);
+    values = Array.init n_cells (fun _ -> Memory.alloc ~home_core mem);
+  }
+
+(* Execute one transaction over [cells]; 2PL with sorted lock
+   acquisition: no deadlock, no aborts.  Returns the values read. *)
+let transaction_lock_based (t : lock_based) ~cells
+    (f : int array -> (int * int) list) : int array =
+  let cells = List.sort_uniq compare cells in
+  List.iter
+    (fun c ->
+      while not (Sim.tas t.locks.(c)) do
+        Sim.pause 120
+      done)
+    cells;
+  let values = Array.of_list (List.map (fun c -> Sim.load t.values.(c)) cells) in
+  let writes = f values in
+  List.iter
+    (fun (c, v) ->
+      if not (List.mem c cells) then
+        invalid_arg "Tm_sim: write outside the locked set";
+      Sim.store t.values.(c) v)
+    writes;
+  List.iter (fun c -> Sim.store t.locks.(c) 0) cells;
+  values
+
+(* ------------------------- MP backend ---------------------------- *)
+
+(* Message encoding: op (2 bits) | cell (24 bits) | value (24 bits,
+   biased by 2^23 so cell values in [-2^23, 2^23) — e.g. overdrafted
+   bank balances — stay encodable). *)
+let op_lock = 0 (* lock cell; reply = current value + grant bit *)
+let op_commit = 1 (* write value and unlock *)
+let op_release = 2 (* unlock without writing *)
+let op_stop = 3
+
+let value_bias = 1 lsl 23
+
+let encode ~op ~cell ~value =
+  if value < -value_bias || value >= value_bias then
+    invalid_arg "Tm_sim: value out of the 24-bit encodable range";
+  (op lsl 48) lor (cell lsl 24) lor (value + value_bias)
+
+let decode m =
+  ( (m lsr 48) land 3,
+    (m lsr 24) land 0xFFFFFF,
+    (m land 0xFFFFFF) - value_bias )
+
+type mp_based = {
+  n_cells : int;
+  n_servers : int;
+  channels : Ssync_simmp.Client_server.t array; (* per server *)
+  tables : int array array; (* per server: cell values *)
+  owners : int array array; (* per server: -1 free, else client id *)
+}
+
+let create_mp_based mem platform ~n_cells ~server_cores ~client_cores :
+    mp_based =
+  let n_servers = Array.length server_cores in
+  {
+    n_cells;
+    n_servers;
+    channels =
+      Array.map
+        (fun sc ->
+          Ssync_simmp.Client_server.create mem platform ~server_core:sc
+            ~client_cores)
+        server_cores;
+    tables = Array.init n_servers (fun _ -> Array.make n_cells 0);
+    owners = Array.init n_servers (fun _ -> Array.make n_cells (-1));
+  }
+
+let server_of t cell = cell mod t.n_servers
+
+(* DSL server [i]: grants cell locks, applies committed writes. *)
+let run_mp_server (t : mp_based) i =
+  let cs = t.channels.(i) in
+  let table = t.tables.(i) and owners = t.owners.(i) in
+  let stops = ref 0 in
+  let n_clients = Ssync_simmp.Client_server.n_clients cs in
+  while !stops < n_clients do
+    let client, msg = Ssync_simmp.Client_server.recv_any cs in
+    let op, cell, value = decode msg in
+    if op = op_stop then incr stops
+    else if op = op_lock then begin
+      if owners.(cell) = -1 || owners.(cell) = client then begin
+        owners.(cell) <- client;
+        (* grant: bit 24 set, biased value in the low bits *)
+        Ssync_simmp.Client_server.respond cs client
+          ((1 lsl 24) lor ((table.(cell) + value_bias) land 0xFFFFFF))
+      end
+      else Ssync_simmp.Client_server.respond cs client 0 (* deny *)
+    end
+    else begin
+      (if op = op_commit then table.(cell) <- value);
+      if owners.(cell) = client then owners.(cell) <- -1;
+      Ssync_simmp.Client_server.respond cs client 1
+    end
+  done
+
+exception Denied of int list (* cells locked so far *)
+
+(* Execute one transaction from [client]: visible 2PL over the DSL
+   servers with abort-and-retry on denial (TM2C's contention policy).
+   [f] receives the granted values of [cells] (sorted order) and returns
+   the writes. *)
+let transaction_mp (t : mp_based) ~client ~cells
+    (f : int array -> (int * int) list) : int array =
+  let cells = List.sort_uniq compare cells in
+  let rec attempt backoff =
+    let values = Hashtbl.create 8 in
+    match
+      List.iter
+        (fun c ->
+          let s = server_of t c in
+          let r =
+            Ssync_simmp.Client_server.request t.channels.(s) ~client
+              (encode ~op:op_lock ~cell:c ~value:0)
+          in
+          if r land (1 lsl 24) = 0 then
+            raise (Denied (List.filter (fun c' -> c' < c) cells))
+          else Hashtbl.replace values c ((r land 0xFFFFFF) - value_bias))
+        cells
+    with
+    | () ->
+        let varr = Array.of_list (List.map (fun c -> Hashtbl.find values c) cells) in
+        let writes = f varr in
+        List.iter
+          (fun (c, _) ->
+            if not (List.mem c cells) then
+              invalid_arg "Tm_sim: write outside the locked set")
+          writes;
+        (* commit: send writes, release pure reads *)
+        List.iter
+          (fun c ->
+            let s = server_of t c in
+            match List.assoc_opt c writes with
+            | Some v ->
+                ignore
+                  (Ssync_simmp.Client_server.request t.channels.(s) ~client
+                     (encode ~op:op_commit ~cell:c ~value:v))
+            | None ->
+                ignore
+                  (Ssync_simmp.Client_server.request t.channels.(s) ~client
+                     (encode ~op:op_release ~cell:c ~value:0)))
+          cells;
+        varr
+    | exception Denied held ->
+        List.iter
+          (fun c ->
+            let s = server_of t c in
+            ignore
+              (Ssync_simmp.Client_server.request t.channels.(s) ~client
+                 (encode ~op:op_release ~cell:c ~value:0)))
+          held;
+        Sim.pause backoff;
+        attempt (min 8000 (backoff * 2))
+  in
+  attempt 200
+
+let stop_mp (t : mp_based) ~client =
+  for i = 0 to t.n_servers - 1 do
+    Ssync_simmp.Client_server.send_request t.channels.(i) ~client
+      (encode ~op:op_stop ~cell:0 ~value:0)
+  done
+

@@ -1,0 +1,1 @@
+lib/workload/key_dist.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/workload/op_mix.ml: Rng

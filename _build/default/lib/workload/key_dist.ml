@@ -1,0 +1,43 @@
+(* Key distributions for the hash-table / key-value-store workloads:
+   uniform and Zipfian over a finite key space. *)
+
+type t =
+  | Uniform of { n : int }
+  | Zipf of { n : int; cdf : float array }
+
+let uniform ~n =
+  if n <= 0 then invalid_arg "Key_dist.uniform: n must be positive";
+  Uniform { n }
+
+(* Zipf with exponent [theta]: P(k) proportional to 1/(k+1)^theta.  The
+   CDF is precomputed; sampling is a binary search. *)
+let zipf ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Key_dist.zipf: n must be positive";
+  if theta <= 0. then invalid_arg "Key_dist.zipf: theta must be positive";
+  let weights = Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.;
+  Zipf { n; cdf }
+
+let size = function Uniform { n } -> n | Zipf { n; _ } -> n
+
+let sample t rng =
+  match t with
+  | Uniform { n } -> Rng.int rng n
+  | Zipf { n; cdf } ->
+      let u = Rng.float rng in
+      (* first index whose cdf >= u *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+      in
+      search 0 (n - 1)

@@ -1,0 +1,1 @@
+test/test_ccbench.ml: Alcotest Arch Atomic_bench Ccbench Float List Lock_bench Mp_bench Option Printf Ssync_ccbench Ssync_engine Ssync_platform Ssync_simlocks

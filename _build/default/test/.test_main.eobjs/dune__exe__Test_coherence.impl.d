@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Arch Array Gen List Memory Platform Printf QCheck QCheck_alcotest Ssync_coherence Ssync_platform Topology

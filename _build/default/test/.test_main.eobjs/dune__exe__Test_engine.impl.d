@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Arch Array Event_queue Gen Harness List Memory Platform QCheck QCheck_alcotest Sim Ssync_coherence Ssync_engine Ssync_platform

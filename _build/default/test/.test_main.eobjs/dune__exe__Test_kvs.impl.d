@@ -1,0 +1,1 @@
+test/test_kvs.ml: Alcotest Arch Domain Driver Gen Hashtbl Kvs Kvs_sim List Printf QCheck QCheck_alcotest Ssync_kvs Ssync_platform Ssync_simlocks

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Atomic Domain Libslock List Lock Printf QCheck QCheck_alcotest Ssync_locks

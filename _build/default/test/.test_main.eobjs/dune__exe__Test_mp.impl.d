@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Channel Client_server Domain Fun Gen List QCheck QCheck_alcotest Ssync_mp

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Arch Cost_model Float Latencies List Option Platform Printf QCheck QCheck_alcotest Random Ssync_platform Topology

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Series Ssync_report String Table

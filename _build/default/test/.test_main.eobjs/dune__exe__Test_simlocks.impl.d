@@ -1,0 +1,1 @@
+test/test_simlocks.ml: Alcotest Arch Harness List Lock_type Memory Platform Printf QCheck QCheck_alcotest Sim Simlock Ssync_coherence Ssync_engine Ssync_platform Ssync_simlocks

@@ -1,0 +1,1 @@
+test/test_simmp.ml: Alcotest Arch Array Channel Client_server Gen List Option Platform Printf QCheck QCheck_alcotest Sim Ssync_ccbench Ssync_engine Ssync_platform Ssync_simmp Topology

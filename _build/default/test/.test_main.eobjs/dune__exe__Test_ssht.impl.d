@@ -1,0 +1,1 @@
+test/test_ssht.ml: Alcotest Array Atomic Domain Gen Hashtbl List Platform Printf QCheck QCheck_alcotest Rng Sim Ssync_engine Ssync_locks Ssync_platform Ssync_ssht Ssync_workload Unix

@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Array Domain Gen List Platform QCheck QCheck_alcotest Sim Ssync_coherence Ssync_engine Ssync_platform Ssync_tm Ssync_workload Tm Tm_sim

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Key_dist Op_mix Printf QCheck QCheck_alcotest Rng Ssync_workload

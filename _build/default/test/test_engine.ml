@@ -1,0 +1,218 @@
+(* Tests of the discrete-event engine: virtual time, effects-based
+   threads, barriers, determinism and the throughput harness. *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  Event_queue.push q ~time:30 (fun () -> order := 30 :: !order);
+  Event_queue.push q ~time:10 (fun () -> order := 10 :: !order);
+  Event_queue.push q ~time:20 (fun () -> order := 20 :: !order);
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some e ->
+        e.Event_queue.run ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "time order" [ 30; 20; 10 ] !order
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:5 (fun () -> order := i :: !order)
+  done;
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some e ->
+        e.Event_queue.run ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo on ties" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ]
+    !order
+
+let test_time_advances_with_ops () =
+  let sim = Sim.create Platform.opteron in
+  let a = Memory.alloc (Sim.memory sim) in
+  let seen = ref (-1) in
+  Sim.spawn sim ~core:0 (fun () ->
+      Sim.store a 42;
+      ignore (Sim.load a);
+      seen := Sim.now ());
+  let final = Sim.run sim in
+  check_bool "ops consumed cycles" true (!seen > 0);
+  check_int "run returns final time" final !seen
+
+let test_pause () =
+  let sim = Sim.create Platform.niagara in
+  let t_after = ref 0 in
+  Sim.spawn sim ~core:0 (fun () ->
+      Sim.pause 500;
+      t_after := Sim.now ());
+  ignore (Sim.run sim);
+  check_int "pause advances virtual time" 500 !t_after
+
+let test_two_threads_communicate () =
+  let sim = Sim.create Platform.xeon in
+  let mem = Sim.memory sim in
+  let flag = Memory.alloc mem in
+  let data = Memory.alloc mem in
+  let got = ref 0 in
+  Sim.spawn sim ~core:0 (fun () ->
+      Sim.store data 1234;
+      Sim.store flag 1);
+  Sim.spawn sim ~core:10 (fun () ->
+      while Sim.load flag = 0 do
+        Sim.pause 50
+      done;
+      got := Sim.load data);
+  ignore (Sim.run sim ~until:1_000_000);
+  check_int "message received" 1234 !got
+
+let test_barrier_synchronizes () =
+  let sim = Sim.create Platform.tilera in
+  let b = Sim.make_barrier 3 in
+  let times = Array.make 3 0 in
+  List.iteri
+    (fun i delay ->
+      Sim.spawn sim ~core:i (fun () ->
+          Sim.pause delay;
+          Sim.await b;
+          times.(i) <- Sim.now ()))
+    [ 10; 200; 3000 ];
+  ignore (Sim.run sim);
+  check_int "all leave at the latest arrival" times.(0) times.(1);
+  check_int "all leave at the latest arrival'" times.(1) times.(2);
+  check_bool "left after slowest" true (times.(0) >= 3000)
+
+let test_determinism () =
+  let run_once () =
+    let sim = Sim.create Platform.opteron in
+    let mem = Sim.memory sim in
+    let a = Memory.alloc mem in
+    let acc = ref 0 in
+    for tid = 0 to 7 do
+      Sim.spawn sim ~core:(tid * 3) (fun () ->
+          for _ = 1 to 20 do
+            ignore (Sim.fai a);
+            Sim.pause 30
+          done;
+          acc := !acc + Sim.now ())
+    done;
+    let t = Sim.run sim in
+    (t, !acc, Memory.peek mem a)
+  in
+  let r1 = run_once () and r2 = run_once () in
+  check_bool "identical runs" true (r1 = r2)
+
+let test_fai_is_atomic_under_concurrency () =
+  let sim = Sim.create Platform.xeon in
+  let mem = Sim.memory sim in
+  let a = Memory.alloc mem in
+  let per_thread = 50 and threads = 16 in
+  for tid = 0 to threads - 1 do
+    Sim.spawn sim ~core:tid (fun () ->
+        for _ = 1 to per_thread do
+          ignore (Sim.fai a)
+        done)
+  done;
+  ignore (Sim.run sim);
+  check_int "all increments counted" (per_thread * threads) (Memory.peek mem a)
+
+let test_runaway_protection () =
+  let sim = Sim.create Platform.opteron in
+  Sim.spawn sim ~core:0 (fun () ->
+      while true do
+        Sim.pause 10
+      done);
+  (* [until] bound stops a spinning thread *)
+  let t = Sim.run sim ~until:5_000 in
+  check_bool "bounded by until" true (t <= 5_100)
+
+let test_harness_counts_ops () =
+  let r =
+    Harness.run Platform.opteron ~threads:4 ~duration:50_000
+      ~setup:(fun mem -> Memory.alloc mem)
+      ~body:(fun a _mem ~tid:_ ~deadline ->
+        let n = ref 0 in
+        while Sim.now () < deadline do
+          ignore (Sim.fai a);
+          Sim.pause 100;
+          incr n
+        done;
+        !n)
+  in
+  check_int "threads" 4 (Array.length r.Harness.ops);
+  check_bool "some ops on each thread" true
+    (Array.for_all (fun n -> n > 10) r.Harness.ops);
+  check_bool "mops positive" true (r.Harness.mops > 0.)
+
+let test_harness_rejects_bad_args () =
+  let fails f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "zero threads" true
+    (fails (fun () ->
+         Harness.run Platform.opteron ~threads:0 ~duration:100
+           ~setup:(fun _ -> ())
+           ~body:(fun () _ ~tid:_ ~deadline:_ -> 0)));
+  check_bool "too many threads" true
+    (fails (fun () ->
+         Harness.run Platform.tilera ~threads:37 ~duration:100
+           ~setup:(fun _ -> ())
+           ~body:(fun () _ ~tid:_ ~deadline:_ -> 0)))
+
+(* qcheck: counter increments across random thread/iteration mixes are
+   never lost. *)
+let qcheck_no_lost_updates =
+  QCheck.Test.make ~count:60 ~name:"no lost updates (random mixes)"
+    QCheck.(
+      make
+        Gen.(
+          triple (oneofl Arch.paper_platform_ids) (int_range 1 12)
+            (int_range 1 40)))
+    (fun (pid, threads, iters) ->
+      let p = Platform.get pid in
+      let threads = min threads (Platform.n_cores p) in
+      let sim = Sim.create p in
+      let mem = Sim.memory sim in
+      let a = Memory.alloc mem in
+      for tid = 0 to threads - 1 do
+        Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+            for _ = 1 to iters do
+              ignore (Sim.fai a);
+              Sim.pause ((tid * 13 mod 31) + 1)
+            done)
+      done;
+      ignore (Sim.run sim);
+      Memory.peek mem a = threads * iters)
+
+let suite =
+  [
+    Alcotest.test_case "event queue orders by time" `Quick
+      test_event_queue_order;
+    Alcotest.test_case "event queue FIFO on ties" `Quick
+      test_event_queue_fifo_ties;
+    Alcotest.test_case "ops advance virtual time" `Quick
+      test_time_advances_with_ops;
+    Alcotest.test_case "pause" `Quick test_pause;
+    Alcotest.test_case "threads communicate through memory" `Quick
+      test_two_threads_communicate;
+    Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+    Alcotest.test_case "simulation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "FAI atomic under concurrency" `Quick
+      test_fai_is_atomic_under_concurrency;
+    Alcotest.test_case "runaway protection" `Quick test_runaway_protection;
+    Alcotest.test_case "harness counts ops" `Quick test_harness_counts_ops;
+    Alcotest.test_case "harness validates arguments" `Quick
+      test_harness_rejects_bad_args;
+    QCheck_alcotest.to_alcotest qcheck_no_lost_updates;
+  ]

@@ -1,0 +1,213 @@
+(* Tests of the Memcached-like store: full native API with a controlled
+   clock, LRU/eviction/expiry behavior, concurrency smoke tests, the
+   driver, and the Figure 12 simulation model. *)
+
+open Ssync_kvs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_str_opt msg expected got =
+  Alcotest.(check (option string)) msg expected got
+
+(* A manually-advanced clock for deterministic expiry. *)
+let make_clock () =
+  let t = ref 1000. in
+  ((fun () -> !t), fun dt -> t := !t +. dt)
+
+let fresh ?(capacity = 100_000) ?(maintenance_every = 1_000_000) () =
+  let now, advance = make_clock () in
+  (Kvs.create ~now ~capacity ~maintenance_every (), advance)
+
+let test_set_get_delete () =
+  let kvs, _ = fresh () in
+  Kvs.set kvs "a" "1";
+  check_str_opt "get hit" (Some "1") (Kvs.get kvs "a");
+  check_str_opt "get miss" None (Kvs.get kvs "b");
+  Kvs.set kvs "a" "2";
+  check_str_opt "overwrite" (Some "2") (Kvs.get kvs "a");
+  check_bool "delete" true (Kvs.delete kvs "a");
+  check_bool "delete missing" false (Kvs.delete kvs "a");
+  check_str_opt "gone" None (Kvs.get kvs "a")
+
+let test_add_replace () =
+  let kvs, _ = fresh () in
+  check_bool "add new" true (Kvs.add kvs "k" "v1");
+  check_bool "add existing fails" false (Kvs.add kvs "k" "v2");
+  check_str_opt "unchanged" (Some "v1") (Kvs.get kvs "k");
+  check_bool "replace existing" true (Kvs.replace kvs "k" "v3");
+  check_str_opt "replaced" (Some "v3") (Kvs.get kvs "k");
+  check_bool "replace missing fails" false (Kvs.replace kvs "nope" "x")
+
+let test_expiry () =
+  let kvs, advance = fresh () in
+  Kvs.set kvs ~ttl:10. "t" "v";
+  check_str_opt "alive" (Some "v") (Kvs.get kvs "t");
+  advance 11.;
+  check_str_opt "expired" None (Kvs.get kvs "t");
+  (* a set over an expired item is a fresh insert *)
+  check_bool "re-add" true (Kvs.add kvs "t" "v2");
+  check_str_opt "new value" (Some "v2") (Kvs.get kvs "t")
+
+let test_memcached_cas () =
+  let kvs, _ = fresh () in
+  Kvs.set kvs "c" "1";
+  match Kvs.gets kvs "c" with
+  | None -> Alcotest.fail "gets missed"
+  | Some (v, token) ->
+      check_bool "value" true (v = "1");
+      check_bool "cas ok" true (Kvs.cas kvs "c" "2" ~token);
+      check_bool "stale token fails" false (Kvs.cas kvs "c" "3" ~token);
+      check_str_opt "cas stored" (Some "2") (Kvs.get kvs "c")
+
+let test_incr () =
+  let kvs, _ = fresh () in
+  Kvs.set kvs "n" "41";
+  check_bool "incr" true (Kvs.incr kvs "n" 1 = Some 42);
+  check_str_opt "stored" (Some "42") (Kvs.get kvs "n");
+  Kvs.set kvs "s" "abc";
+  check_bool "non-numeric" true (Kvs.incr kvs "s" 1 = None);
+  check_bool "missing" true (Kvs.incr kvs "zz" 1 = None)
+
+let test_lru_eviction () =
+  let now, _ = make_clock () in
+  let kvs = Kvs.create ~now ~capacity:3 ~maintenance_every:1_000_000 () in
+  Kvs.set kvs "a" "1";
+  Kvs.set kvs "b" "2";
+  Kvs.set kvs "c" "3";
+  (* touch a so b becomes LRU *)
+  ignore (Kvs.get kvs "a");
+  Kvs.set kvs "d" "4";
+  check_int "capacity respected" 3 (Kvs.size kvs);
+  check_str_opt "LRU victim evicted" None (Kvs.get kvs "b");
+  check_str_opt "recently used kept" (Some "1") (Kvs.get kvs "a");
+  check_int "evictions counted" 1 (Kvs.stats kvs).Kvs.evictions
+
+let test_maintenance_reaps_expired () =
+  let now, advance = make_clock () in
+  let kvs = Kvs.create ~now ~maintenance_every:4 () in
+  Kvs.set kvs ~ttl:5. "x" "1";
+  Kvs.set kvs ~ttl:5. "y" "2";
+  advance 10.;
+  (* these sets cross the maintenance threshold and trigger the sweep *)
+  Kvs.set kvs "p" "3";
+  Kvs.set kvs "q" "4";
+  Kvs.set kvs "r" "5";
+  let s = Kvs.stats kvs in
+  check_bool "maintenance ran" true (s.Kvs.global_lock_acquisitions >= 1);
+  check_bool "expired reaped" true (s.Kvs.expired_reaped >= 2);
+  check_int "only live items remain" 3 (Kvs.size kvs)
+
+let test_flush_all () =
+  let kvs, _ = fresh () in
+  for i = 0 to 20 do
+    Kvs.set kvs (string_of_int i) "v"
+  done;
+  Kvs.flush_all kvs;
+  check_int "emptied" 0 (Kvs.size kvs);
+  check_str_opt "gone" None (Kvs.get kvs "5")
+
+let test_stats_counters () =
+  let kvs, _ = fresh () in
+  Kvs.set kvs "a" "1";
+  ignore (Kvs.get kvs "a");
+  ignore (Kvs.get kvs "zz");
+  let s = Kvs.stats kvs in
+  check_int "sets" 1 s.Kvs.sets;
+  check_int "gets" 2 s.Kvs.gets;
+  check_int "hits" 1 s.Kvs.get_hits
+
+let test_concurrent_smoke () =
+  let kvs, _ = fresh () in
+  let domains = 3 and per = 200 in
+  let worker d () =
+    for i = 0 to per - 1 do
+      let k = Printf.sprintf "d%d:%d" d i in
+      Kvs.set kvs k (string_of_int i);
+      if Kvs.get kvs k = None then failwith "lost own write"
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  check_int "all items live" (domains * per) (Kvs.size kvs)
+
+let test_driver () =
+  let kvs, _ = fresh () in
+  Driver.preload kvs ~n_keys:100;
+  let r =
+    Driver.run kvs ~threads:2 ~ops_per_thread:500 ~n_keys:100
+      ~mix:(Driver.mixed 30)
+  in
+  check_int "all ops ran" 1000 r.Driver.ops;
+  check_bool "gets hit the preload" true (r.Driver.get_hits > 0);
+  check_int "no misses on preloaded keys" 0 r.Driver.get_misses
+
+(* -------------------------- Figure 12 ---------------------------- *)
+
+let test_fig12_model_shapes () =
+  let open Ssync_platform in
+  let tput pid algo threads =
+    Kvs_sim.set_throughput ~duration:1_500_000 pid algo ~threads
+  in
+  (* single thread lands in the tens of Kops/s, like the paper *)
+  let x1 = tput Arch.Xeon Ssync_simlocks.Simlock.Ticket 1 in
+  check_bool (Printf.sprintf "Xeon 1t %.0f in [20;90] Kops" x1) true
+    (x1 > 20. && x1 < 90.);
+  (* throughput grows from 1 to 10 threads *)
+  let x10 = tput Arch.Xeon Ssync_simlocks.Simlock.Ticket 10 in
+  check_bool (Printf.sprintf "scales 1t %.0f -> 10t %.0f" x1 x10) true
+    (x10 > 3. *. x1);
+  (* spin locks beat MUTEX at high thread counts (the paper's 29-50%) *)
+  let mutex18 = tput Arch.Xeon Ssync_simlocks.Simlock.Mutex 18 in
+  let ticket18 = tput Arch.Xeon Ssync_simlocks.Simlock.Ticket 18 in
+  let mcs18 = tput Arch.Xeon Ssync_simlocks.Simlock.Mcs 18 in
+  check_bool
+    (Printf.sprintf "TICKET (%.0f) >= MUTEX (%.0f) at 18t" ticket18 mutex18)
+    true
+    (ticket18 >= 1.02 *. mutex18);
+  check_bool
+    (Printf.sprintf "MCS (%.0f) > MUTEX (%.0f) at 18t" mcs18 mutex18)
+    true
+    (mcs18 > 1.08 *. mutex18)
+
+let qcheck_kvs_vs_model =
+  QCheck.Test.make ~count:40 ~name:"kvs = model (sequential, no expiry)"
+    QCheck.(
+      list_of_size (Gen.int_range 1 100)
+        (pair (int_range 0 15) (int_range 0 2)))
+    (fun ops ->
+      let kvs, _ = fresh () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, op) ->
+          let key = string_of_int k in
+          match op with
+          | 0 -> Kvs.get kvs key = Hashtbl.find_opt model key
+          | 1 ->
+              Kvs.set kvs key key;
+              Hashtbl.replace model key key;
+              true
+          | _ ->
+              let existed = Hashtbl.mem model key in
+              Hashtbl.remove model key;
+              Kvs.delete kvs key = existed)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "set/get/delete" `Quick test_set_get_delete;
+    Alcotest.test_case "add/replace" `Quick test_add_replace;
+    Alcotest.test_case "expiry" `Quick test_expiry;
+    Alcotest.test_case "memcached cas tokens" `Quick test_memcached_cas;
+    Alcotest.test_case "incr" `Quick test_incr;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "maintenance reaps expired" `Quick
+      test_maintenance_reaps_expired;
+    Alcotest.test_case "flush_all" `Quick test_flush_all;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "concurrent smoke (4 domains)" `Slow
+      test_concurrent_smoke;
+    Alcotest.test_case "memslap-like driver" `Slow test_driver;
+    Alcotest.test_case "Figure 12 model shapes" `Slow test_fig12_model_shapes;
+    QCheck_alcotest.to_alcotest qcheck_kvs_vs_model;
+  ]

@@ -1,0 +1,139 @@
+(* Tests of the native lock library under real Domain-based concurrency.
+   The container has few cores, so domain counts stay small; preemptive
+   OS scheduling still interleaves critical sections aggressively. *)
+
+open Ssync_locks
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let n_domains = 3
+let iters = 250
+(* modest volumes: domains outnumber the host's cores, so every lock
+   handoff can cost an OS timeslice *)
+
+(* Increment a plain (non-atomic) counter under the lock from several
+   domains; lost updates reveal mutual-exclusion bugs. *)
+let hammer (lock : Lock.t) =
+  let counter = ref 0 in
+  let worker () =
+    for _ = 1 to iters do
+      Lock.with_lock lock (fun () ->
+          let v = !counter in
+          (* widen the race window across preemption points *)
+          if v land 63 = 63 then Domain.cpu_relax ();
+          counter := v + 1)
+    done
+  in
+  let ds = List.init n_domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  !counter
+
+let test_mutual_exclusion () =
+  List.iter
+    (fun algo ->
+      let lock = Libslock.create ~max_threads:n_domains ~n_clusters:2 algo in
+      check_int
+        (Printf.sprintf "%s no lost updates" (Libslock.name algo))
+        (n_domains * iters) (hammer lock))
+    Libslock.all
+
+let test_try_acquire () =
+  List.iter
+    (fun algo ->
+      let lock = Libslock.create algo in
+      match lock.Lock.try_acquire with
+      | None -> ()
+      | Some try_acquire ->
+          check_bool
+            (Printf.sprintf "%s trylock on free" (Libslock.name algo))
+            true (try_acquire ());
+          check_bool
+            (Printf.sprintf "%s trylock on held" (Libslock.name algo))
+            false (try_acquire ());
+          lock.Lock.release ();
+          check_bool
+            (Printf.sprintf "%s trylock after release" (Libslock.name algo))
+            true (try_acquire ());
+          lock.Lock.release ())
+    Libslock.all
+
+let test_with_lock_releases_on_exception () =
+  let lock = Libslock.create Libslock.Ticket in
+  (try Lock.with_lock lock (fun () -> failwith "boom") with Failure _ -> ());
+  (* if the exception leaked the lock, this would deadlock *)
+  let ok = ref false in
+  Lock.with_lock lock (fun () -> ok := true);
+  check_bool "reacquirable after exception" true !ok
+
+let test_reentrant_sequences () =
+  (* a single domain acquiring/releasing many times (queue-node reuse) *)
+  List.iter
+    (fun algo ->
+      let lock = Libslock.create ~max_threads:2 algo in
+      for i = 0 to 999 do
+        Lock.with_lock lock (fun () -> ignore i)
+      done)
+    Libslock.all;
+  check_bool "sequences fine" true true
+
+let test_handoff_between_domains () =
+  (* strict alternation through a lock plus a shared flag: exercises
+     cross-domain handoff paths (MCS successor links, CLH recycling) *)
+  List.iter
+    (fun algo ->
+      let lock = Libslock.create ~max_threads:2 algo in
+      let turn = Atomic.make 0 in
+      let log = ref [] in
+      let log_lock = Libslock.create Libslock.Tas in
+      let player me rounds () =
+        for r = 1 to rounds do
+          while Atomic.get turn <> me do
+            Domain.cpu_relax ()
+          done;
+          Lock.with_lock lock (fun () ->
+              Lock.with_lock log_lock (fun () -> log := (me, r) :: !log));
+          Atomic.set turn (1 - me)
+        done
+      in
+      let d0 = Domain.spawn (player 0 25) in
+      let d1 = Domain.spawn (player 1 25) in
+      Domain.join d0;
+      Domain.join d1;
+      check_int
+        (Printf.sprintf "%s handoff count" (Libslock.name algo))
+        50 (List.length !log))
+    [ Libslock.Mcs; Libslock.Clh; Libslock.Hticket; Libslock.Hclh ]
+
+let qcheck_mutual_exclusion_random =
+  QCheck.Test.make ~count:5 ~name:"native locks: random algo/domain mixes"
+    QCheck.(
+      pair
+        (oneofl Libslock.all)
+        (int_range 2 4))
+    (fun (algo, domains) ->
+      let lock = Libslock.create ~max_threads:domains algo in
+      let counter = ref 0 in
+      let per = 100 in
+      let worker () =
+        for _ = 1 to per do
+          Lock.with_lock lock (fun () -> incr counter)
+        done
+      in
+      let ds = List.init domains (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join ds;
+      !counter = domains * per)
+
+let suite =
+  [
+    Alcotest.test_case "mutual exclusion (all 9 algos)" `Slow
+      test_mutual_exclusion;
+    Alcotest.test_case "try_acquire semantics" `Quick test_try_acquire;
+    Alcotest.test_case "with_lock releases on exception" `Quick
+      test_with_lock_releases_on_exception;
+    Alcotest.test_case "long acquire/release sequences" `Quick
+      test_reentrant_sequences;
+    Alcotest.test_case "cross-domain handoff" `Slow
+      test_handoff_between_domains;
+    QCheck_alcotest.to_alcotest qcheck_mutual_exclusion_random;
+  ]

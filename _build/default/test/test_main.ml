@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "ssync"
+    [
+      ("platform", Test_platform.suite);
+      ("coherence", Test_coherence.suite);
+      ("engine", Test_engine.suite);
+      ("simlocks", Test_simlocks.suite);
+      ("simmp", Test_simmp.suite);
+      ("ccbench", Test_ccbench.suite);
+      ("workload", Test_workload.suite);
+      ("report", Test_report.suite);
+      ("locks-native", Test_locks.suite);
+      ("mp-native", Test_mp.suite);
+      ("ssht", Test_ssht.suite);
+      ("tm", Test_tm.suite);
+      ("kvs", Test_kvs.suite);
+      ("extras", Test_extras.suite);
+    ]

@@ -1,0 +1,96 @@
+(* Tests of the native message-passing library. *)
+
+open Ssync_mp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_channel_fifo () =
+  let ch = Channel.create () in
+  let n = 800 in
+  let producer = Domain.spawn (fun () -> for i = 1 to n do Channel.send ch i done) in
+  let got = ref [] in
+  for _ = 1 to n do
+    got := Channel.recv ch :: !got
+  done;
+  Domain.join producer;
+  let ok = ref true in
+  List.iteri
+    (fun i v -> if v <> n - i then ok := false)
+    !got;
+  check_bool "FIFO and lossless" true !ok
+
+let test_try_recv () =
+  let ch = Channel.create () in
+  check_bool "empty" true (Channel.try_recv ch = None);
+  Channel.send ch 42;
+  check_bool "full" true (Channel.try_recv ch = Some 42);
+  check_bool "drained" true (Channel.try_recv ch = None)
+
+let test_polymorphic_payloads () =
+  let ch = Channel.create () in
+  Channel.send ch ("hello", [ 1; 2; 3 ]);
+  let s, l = Channel.recv ch in
+  Alcotest.(check string) "string payload" "hello" s;
+  Alcotest.(check (list int)) "list payload" [ 1; 2; 3 ] l
+
+let test_client_server_roundtrips () =
+  let clients = 3 in
+  let cs : (int, int) Client_server.t = Client_server.create ~clients in
+  let per_client = 60 in
+  let server =
+    Domain.spawn (fun () ->
+        for _ = 1 to clients * per_client do
+          let i, v = Client_server.recv_any cs in
+          Client_server.respond cs i (v * 2)
+        done)
+  in
+  let mk_client i =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for k = 1 to per_client do
+          if Client_server.request cs ~client:i k <> 2 * k then ok := false
+        done;
+        !ok)
+  in
+  let cs_domains = List.init clients mk_client in
+  let oks = List.map Domain.join cs_domains in
+  Domain.join server;
+  check_bool "all responses correct" true (List.for_all Fun.id oks)
+
+let test_round_robin_fairness () =
+  (* with all slots full, repeated try_recv_any must drain every client *)
+  let clients = 4 in
+  let cs : (int, int) Client_server.t = Client_server.create ~clients in
+  for i = 0 to clients - 1 do
+    Client_server.send_request cs ~client:i i
+  done;
+  let seen = Array.make clients false in
+  for _ = 1 to clients do
+    match Client_server.try_recv_any cs with
+    | Some (i, _) -> seen.(i) <- true
+    | None -> Alcotest.fail "missing message"
+  done;
+  check_int "all clients drained" clients
+    (Array.fold_left (fun a b -> a + if b then 1 else 0) 0 seen)
+
+let qcheck_channel_sequences =
+  QCheck.Test.make ~count:15 ~name:"native channel preserves sequences"
+    QCheck.(list_of_size (Gen.int_range 1 60) small_int)
+    (fun xs ->
+      let ch = Channel.create () in
+      let producer = Domain.spawn (fun () -> List.iter (Channel.send ch) xs) in
+      let got = List.rev (List.fold_left (fun acc _ -> Channel.recv ch :: acc) [] xs) in
+      Domain.join producer;
+      got = xs)
+
+let suite =
+  [
+    Alcotest.test_case "channel FIFO" `Slow test_channel_fifo;
+    Alcotest.test_case "try_recv" `Quick test_try_recv;
+    Alcotest.test_case "polymorphic payloads" `Quick test_polymorphic_payloads;
+    Alcotest.test_case "client-server roundtrips" `Slow
+      test_client_server_roundtrips;
+    Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
+    QCheck_alcotest.to_alcotest qcheck_channel_sequences;
+  ]

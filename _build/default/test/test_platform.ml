@@ -1,0 +1,367 @@
+(* Tests of the platform substrate: topologies, distance classes and the
+   calibrated cost models (checked against the paper's Tables 2/3). *)
+
+open Ssync_platform
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- topology ------------------------------ *)
+
+let test_core_counts () =
+  check_int "Opteron cores" 48 Topology.opteron.Topology.n_cores;
+  check_int "Xeon cores" 80 Topology.xeon.Topology.n_cores;
+  check_int "Niagara contexts" 64 Topology.niagara.Topology.n_cores;
+  check_int "Tilera tiles" 36 Topology.tilera.Topology.n_cores;
+  check_int "Opteron nodes" 8 Topology.opteron.Topology.n_nodes;
+  check_int "Xeon sockets" 8 Topology.xeon.Topology.n_nodes
+
+let test_hops_symmetric_and_zero () =
+  List.iter
+    (fun topo ->
+      let n = topo.Topology.n_cores in
+      for _ = 1 to 200 do
+        let c1 = Random.int n and c2 = Random.int n in
+        check_int
+          (Printf.sprintf "%s hops sym %d %d" topo.Topology.name c1 c2)
+          (Topology.hops topo c1 c2) (Topology.hops topo c2 c1);
+        check_int
+          (Printf.sprintf "%s hops self %d" topo.Topology.name c1)
+          0
+          (Topology.hops topo c1 c1)
+      done)
+    [ Topology.opteron; Topology.xeon; Topology.niagara; Topology.tilera ]
+
+let test_max_distances () =
+  (* Paper: max 2 hops on both multi-sockets; 10 on the Tilera mesh. *)
+  let max_hops topo =
+    let m = ref 0 in
+    for c1 = 0 to topo.Topology.n_cores - 1 do
+      for c2 = 0 to topo.Topology.n_cores - 1 do
+        m := max !m (Topology.hops topo c1 c2)
+      done
+    done;
+    !m
+  in
+  check_int "Opteron max 2 hops" 2 (max_hops Topology.opteron);
+  check_int "Xeon max 2 hops" 2 (max_hops Topology.xeon);
+  check_int "Niagara max 1" 1 (max_hops Topology.niagara);
+  check_int "Tilera max 10 hops" 10 (max_hops Topology.tilera)
+
+let test_distance_classes () =
+  let t = Topology.opteron in
+  Alcotest.(check string)
+    "same die" "same die"
+    (Arch.distance_name (Topology.distance_class t 0 5));
+  Alcotest.(check string)
+    "same mcm" "same mcm"
+    (Arch.distance_name (Topology.distance_class t 0 6));
+  Alcotest.(check string)
+    "one hop" "one hop"
+    (Arch.distance_name (Topology.distance_class t 0 12));
+  Alcotest.(check string)
+    "two hops" "two hops"
+    (Arch.distance_name (Topology.distance_class t 0 18));
+  let n = Topology.niagara in
+  Alcotest.(check string)
+    "niagara same core" "same core"
+    (Arch.distance_name (Topology.distance_class n 0 8));
+  Alcotest.(check string)
+    "niagara other core" "same die"
+    (Arch.distance_name (Topology.distance_class n 0 1))
+
+let test_pairs_at_distance () =
+  List.iter
+    (fun pid ->
+      let topo = Topology.of_platform pid in
+      List.iter
+        (fun d ->
+          match Topology.pair_at_distance topo d with
+          | None ->
+              Alcotest.failf "%s: no pair at %s" topo.Topology.name
+                (Arch.distance_name d)
+          | Some (a, b) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s pair %s classifies back" topo.Topology.name
+                   (Arch.distance_name d))
+                (Arch.distance_name d)
+                (Arch.distance_name (Topology.distance_class topo a b)))
+        (Latencies.distance_classes pid))
+    Arch.paper_platform_ids
+
+(* ------------------------- cost model ---------------------------- *)
+
+(* Construct the ccbench view: the line was brought into [st] by core
+   [holder] (with a second sharer where the state needs one), and is then
+   accessed by [requester].  Home is the holder's node: the paper's
+   best-case placement. *)
+let view_for topo ~holder ?(second = None) (st : Arch.cstate) :
+    Cost_model.view =
+  let home = topo.Topology.mem_node_of_core holder in
+  match st with
+  | Arch.Modified | Arch.Exclusive ->
+      { state = st; owner = Some holder; sharers = []; home }
+  | Arch.Owned ->
+      {
+        state = st;
+        owner = Some holder;
+        sharers = (match second with Some s -> [ s ] | None -> []);
+        home;
+      }
+  | Arch.Shared | Arch.Forward ->
+      {
+        state = Arch.Shared;
+        owner = None;
+        sharers = (holder :: (match second with Some s -> [ s ] | None -> []));
+        home;
+      }
+  | Arch.Invalid -> { state = st; owner = None; sharers = []; home }
+
+let tolerance_ok ~expected ~actual =
+  let e = float_of_int expected and a = float_of_int actual in
+  Float.abs (a -. e) <= Float.max 3. (0.12 *. e)
+
+(* Every (platform, op, state, distance) cell the paper reports must be
+   reproduced by the cost model within 12% (or 3 cycles). *)
+let test_table2_calibration () =
+  let states =
+    [
+      Arch.Modified; Arch.Owned; Arch.Exclusive; Arch.Shared; Arch.Invalid;
+    ]
+  in
+  let ops = [ Arch.Load; Arch.Store; Arch.Cas; Arch.Fai; Arch.Tas; Arch.Swap ] in
+  let checked = ref 0 in
+  List.iter
+    (fun pid ->
+      let topo = Topology.of_platform pid in
+      List.iter
+        (fun d ->
+          match Topology.pair_at_distance topo d with
+          | None -> ()
+          | Some (requester, holder) ->
+              List.iter
+                (fun st ->
+                    List.iter
+                      (fun op ->
+                        match Latencies.table2 pid op st d with
+                        | None -> ()
+                        | Some expected ->
+                            let v = view_for topo ~holder st in
+                            let actual =
+                              Cost_model.op_latency topo op ~requester v
+                            in
+                            incr checked;
+                            if not (tolerance_ok ~expected ~actual) then
+                              Alcotest.failf
+                                "%s %s on %s at %s: paper %d, model %d"
+                                (Arch.platform_name pid) (Arch.memop_name op)
+                                (Arch.cstate_name st) (Arch.distance_name d)
+                                expected actual)
+                      ops)
+                states)
+        (Latencies.distance_classes pid))
+    Arch.paper_platform_ids;
+  check_bool "checked many cells" true (!checked > 80)
+
+let test_local_hits_cheap () =
+  List.iter
+    (fun pid ->
+      let topo = Topology.of_platform pid in
+      let v : Cost_model.view =
+        {
+          state = Arch.Modified;
+          owner = Some 0;
+          sharers = [];
+          home = topo.Topology.mem_node_of_core 0;
+        }
+      in
+      let lat = Cost_model.op_latency topo Arch.Load ~requester:0 v in
+      check_bool
+        (Printf.sprintf "%s local load <= 5" (Arch.platform_name pid))
+        true (lat <= 5))
+    Arch.paper_platform_ids
+
+let test_opteron_store_shared_broadcast () =
+  (* Section 5.2/5.3: a store on a shared line costs ~3x a store on an
+     exclusive line even when all sharers are on the same die. *)
+  let topo = Topology.opteron in
+  let home = 0 in
+  let shared : Cost_model.view =
+    { state = Arch.Shared; owner = None; sharers = [ 1; 2 ]; home }
+  in
+  let excl : Cost_model.view =
+    { state = Arch.Exclusive; owner = Some 1; sharers = []; home }
+  in
+  let s_lat = Cost_model.op_latency topo Arch.Store ~requester:0 shared in
+  let e_lat = Cost_model.op_latency topo Arch.Store ~requester:0 excl in
+  check_bool "broadcast penalty" true
+    (float_of_int s_lat >= 2.5 *. float_of_int e_lat)
+
+let test_xeon_intra_socket_locality () =
+  (* Xeon: shared loads within the socket are served by the inclusive
+     LLC (44 cycles), 7.5x cheaper than two hops away. *)
+  let topo = Topology.xeon in
+  let mk holder : Cost_model.view =
+    {
+      state = Arch.Shared;
+      owner = None;
+      sharers = [ holder ];
+      home = topo.Topology.mem_node_of_core holder;
+    }
+  in
+  let local = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
+  let remote = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 30) in
+  check_int "intra-socket shared load" 44 local;
+  check_bool "cross-socket 7.5x" true
+    (float_of_int remote >= 7. *. float_of_int local)
+
+let test_opteron_directory_penalty () =
+  (* Section 5.2: when both cores are 2 hops from the directory, a
+     2-hop transfer grows from 252 toward ~312 cycles. *)
+  let topo = Topology.opteron in
+  let best : Cost_model.view =
+    { state = Arch.Modified; owner = Some 18; sharers = []; home = 3 }
+  in
+  let worst : Cost_model.view =
+    { state = Arch.Modified; owner = Some 18; sharers = []; home = 5 }
+  in
+  (* requester 0 is die 0; owner 18 is die 3; die 5 is 2 hops from die 0 *)
+  let b = Cost_model.op_latency topo Arch.Load ~requester:0 best in
+  let w = Cost_model.op_latency topo Arch.Load ~requester:0 worst in
+  check_int "best case" 252 b;
+  check_bool "remote directory costs more" true (w > b && w >= 300 && w <= 330)
+
+let test_niagara_uniformity () =
+  (* Stores cost the LLC regardless of sharers and distance. *)
+  let topo = Topology.niagara in
+  List.iter
+    (fun sharers ->
+      let v : Cost_model.view =
+        { state = Arch.Shared; owner = None; sharers; home = 0 }
+      in
+      check_int "niagara store" 24
+        (Cost_model.op_latency topo Arch.Store ~requester:3 v))
+    [ [ 1 ]; [ 1; 2 ]; List.init 40 (fun i -> i + 1) ]
+
+let test_tilera_distance_sensitivity () =
+  let topo = Topology.tilera in
+  let mk home : Cost_model.view =
+    { state = Arch.Modified; owner = Some home; sharers = []; home }
+  in
+  let near = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
+  let far = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 35) in
+  check_int "one hop" 45 near;
+  check_int "max hops" 65 far
+
+let test_small_platform_ratios () =
+  (* Section 8: cross-socket ~1.6x (Opteron2) and ~2.7x (Xeon2) the
+     intra-socket latency. *)
+  List.iter
+    (fun (pid, ratio) ->
+      let topo = Topology.of_platform pid in
+      let cross_core = topo.Topology.n_cores - 1 in
+      let mk holder : Cost_model.view =
+        {
+          state = Arch.Modified;
+          owner = Some holder;
+          sharers = [];
+          home = topo.Topology.mem_node_of_core holder;
+        }
+      in
+      let intra = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
+      let cross =
+        Cost_model.op_latency topo Arch.Load ~requester:0 (mk cross_core)
+      in
+      let measured = float_of_int cross /. float_of_int intra in
+      check_bool
+        (Printf.sprintf "%s ratio %.2f ~ %.1f" (Arch.platform_name pid)
+           measured ratio)
+        true
+        (Float.abs (measured -. ratio) < 0.3))
+    [ (Arch.Opteron2, 1.6); (Arch.Xeon2, 2.7) ]
+
+let test_table3_known_values () =
+  check_int "Opteron LLC" 40
+    (Option.get (Latencies.table3 Arch.Opteron Arch.LLC));
+  check_int "Xeon LLC" 44 (Option.get (Latencies.table3 Arch.Xeon Arch.LLC));
+  check_int "Niagara RAM" 176
+    (Option.get (Latencies.table3 Arch.Niagara Arch.RAM));
+  check_bool "Niagara has no L2 entry" true
+    (Latencies.table3 Arch.Niagara Arch.L2 = None)
+
+let test_platform_mops () =
+  (* 1 op per 95 cycles at 2.1 GHz is ~22 Mops/s. *)
+  let m = Platform.mops Platform.opteron ~ops:1 ~cycles:95 in
+  check_bool "mops conversion" true (Float.abs (m -. 22.1) < 0.2)
+
+let test_occupancy_bounds () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun op ->
+          let occ = p.Platform.occupancy op ~state:Arch.Modified ~latency:100 in
+          check_bool
+            (Printf.sprintf "%s %s occupancy in (0;latency]" p.Platform.name
+               (Arch.memop_name op))
+            true
+            (occ > 0 && occ <= 100))
+        [ Arch.Load; Arch.Store; Arch.Cas; Arch.Fai; Arch.Tas; Arch.Swap ])
+    Platform.all
+
+(* qcheck: cost model total latency is positive and bounded for random
+   views. *)
+let qcheck_latency_positive =
+  let gen =
+    QCheck.Gen.(
+      let* pid = oneofl Arch.paper_platform_ids in
+      let topo = Topology.of_platform pid in
+      let n = topo.Topology.n_cores in
+      let* requester = int_range 0 (n - 1) in
+      let* holder = int_range 0 (n - 1) in
+      let* second = int_range 0 (n - 1) in
+      let* st =
+        oneofl
+          (match pid with
+          | Arch.Opteron -> [ Arch.Modified; Arch.Owned; Arch.Exclusive; Arch.Shared; Arch.Invalid ]
+          | _ -> [ Arch.Modified; Arch.Exclusive; Arch.Shared; Arch.Invalid ])
+      in
+      let* op = oneofl [ Arch.Load; Arch.Store; Arch.Cas; Arch.Fai; Arch.Tas; Arch.Swap ] in
+      return (pid, requester, holder, second, st, op))
+  in
+  QCheck.Test.make ~count:2000 ~name:"cost model positive and bounded"
+    (QCheck.make gen) (fun (pid, requester, holder, second, st, op) ->
+      let topo = Topology.of_platform pid in
+      let v =
+        view_for topo ~holder
+          ~second:(if second <> holder then Some second else None)
+          st
+      in
+      let lat = Cost_model.op_latency topo op ~requester v in
+      lat >= 1 && lat < 5000)
+
+let suite =
+  [
+    Alcotest.test_case "core counts" `Quick test_core_counts;
+    Alcotest.test_case "hops symmetric, zero on self" `Quick
+      test_hops_symmetric_and_zero;
+    Alcotest.test_case "max distances" `Quick test_max_distances;
+    Alcotest.test_case "distance classes" `Quick test_distance_classes;
+    Alcotest.test_case "pairs at distance" `Quick test_pairs_at_distance;
+    Alcotest.test_case "Table 2 calibration" `Quick test_table2_calibration;
+    Alcotest.test_case "local hits are cheap" `Quick test_local_hits_cheap;
+    Alcotest.test_case "Opteron store-on-shared broadcast" `Quick
+      test_opteron_store_shared_broadcast;
+    Alcotest.test_case "Xeon intra-socket locality" `Quick
+      test_xeon_intra_socket_locality;
+    Alcotest.test_case "Opteron remote-directory penalty" `Quick
+      test_opteron_directory_penalty;
+    Alcotest.test_case "Niagara uniformity" `Quick test_niagara_uniformity;
+    Alcotest.test_case "Tilera distance sensitivity" `Quick
+      test_tilera_distance_sensitivity;
+    Alcotest.test_case "small-platform ratios (section 8)" `Quick
+      test_small_platform_ratios;
+    Alcotest.test_case "Table 3 values" `Quick test_table3_known_values;
+    Alcotest.test_case "Mops conversion" `Quick test_platform_mops;
+    Alcotest.test_case "occupancy bounds" `Quick test_occupancy_bounds;
+    QCheck_alcotest.to_alcotest qcheck_latency_positive;
+  ]

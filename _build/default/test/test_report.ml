@@ -1,0 +1,73 @@
+(* Tests of the reporting helpers. *)
+
+open Ssync_report
+
+let check_bool = Alcotest.(check bool)
+
+let test_table_renders () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  check_bool "contains alpha" true
+    (List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "alpha") lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  check_bool "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_arity_check () =
+  let t = Table.create [ "a"; "b" ] in
+  check_bool "wrong arity rejected" true
+    (try
+       Table.add_row t [ "only-one" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_vs_paper () =
+  Alcotest.(check string) "with paper" "81 (83)"
+    (Table.vs_paper ~measured:81 ~paper:(Some 83));
+  Alcotest.(check string) "without paper" "81"
+    (Table.vs_paper ~measured:81 ~paper:None)
+
+let test_series_table () =
+  let s1 = Series.make "a" [ (1, 1.0); (2, 2.0) ] in
+  let s2 = Series.make "b" [ (1, 3.0); (4, 4.0) ] in
+  let out = Series.table ~x_label:"threads" [ s1; s2 ] in
+  check_bool "mentions both series" true
+    (String.length out > 0
+    && String.index_opt out 'a' <> None
+    && String.index_opt out 'b' <> None);
+  (* x=4 row exists with '-' for the missing series *)
+  let lines = String.split_on_char '\n' out in
+  check_bool "hole rendered as dash" true
+    (List.exists
+       (fun l ->
+         String.length l > 0
+         && String.trim l <> ""
+         && String.length l >= 1
+         && String.contains l '-'
+         && String.contains l '4')
+       lines)
+
+let test_series_bars () =
+  let s = Series.make "x" [ (1, 10.0); (2, 20.0) ] in
+  let out = Series.bars ~width:10 s in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "two bars" 2 (List.length lines);
+  let count_hash l =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 l
+  in
+  check_bool "proportional" true
+    (count_hash (List.nth lines 1) > count_hash (List.nth lines 0))
+
+let suite =
+  [
+    Alcotest.test_case "table renders aligned" `Quick test_table_renders;
+    Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+    Alcotest.test_case "vs_paper cells" `Quick test_vs_paper;
+    Alcotest.test_case "series table" `Quick test_series_table;
+    Alcotest.test_case "series bars" `Quick test_series_bars;
+  ]

@@ -1,0 +1,235 @@
+(* Tests of the simulated lock suite: mutual exclusion for all nine
+   algorithms on all four platforms, FIFO fairness of the queue-based
+   locks, and the ticket-variant behaviors of Figure 3. *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+open Ssync_simlocks
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Run [threads] threads that each perform [iters] non-atomic
+   increments of a shared word under [algo]; any mutual-exclusion
+   violation loses updates. *)
+let run_mutex_test pid algo ~threads ~iters =
+  let p = Platform.get pid in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let lock = Simlock.create mem p ~n_threads:threads algo in
+  let data = Memory.alloc mem in
+  let b = Sim.make_barrier threads in
+  for tid = 0 to threads - 1 do
+    Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+        Sim.await b;
+        for _ = 1 to iters do
+          lock.Lock_type.acquire ~tid;
+          let v = Sim.load data in
+          Sim.pause 30; (* widen the race window *)
+          Sim.store data (v + 1);
+          lock.Lock_type.release ~tid
+        done)
+  done;
+  ignore (Sim.run sim);
+  Memory.peek mem data
+
+let test_mutual_exclusion () =
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      List.iter
+        (fun algo ->
+          let threads = min 12 (Platform.n_cores p) in
+          let iters = 25 in
+          let got = run_mutex_test pid algo ~threads ~iters in
+          check_int
+            (Printf.sprintf "%s/%s no lost updates" (Arch.platform_name pid)
+               (Simlock.name algo))
+            (threads * iters) got)
+        (Simlock.algos_for p))
+    Arch.paper_platform_ids
+
+let test_figure3_variants_mutual_exclusion () =
+  List.iter
+    (fun algo ->
+      let got = run_mutex_test Arch.Opteron algo ~threads:12 ~iters:20 in
+      check_int (Simlock.name algo) 240 got)
+    [ Simlock.Ticket_spin; Simlock.Ticket_prefetchw ]
+
+(* FIFO locks grant in arrival order: with each thread acquiring once
+   after staggered arrivals, completion order equals arrival order. *)
+let test_fifo_order algo =
+  let p = Platform.opteron in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let threads = 10 in
+  let lock = Simlock.create mem p ~n_threads:threads algo in
+  let order = ref [] in
+  (* thread 0 holds the lock while the others queue up in tid order *)
+  Sim.spawn sim ~core:(Platform.place p 0) (fun () ->
+      lock.Lock_type.acquire ~tid:0;
+      Sim.pause 100_000;
+      lock.Lock_type.release ~tid:0);
+  for tid = 1 to threads - 1 do
+    Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+        Sim.pause (1000 * tid); (* staggered, well-separated arrivals *)
+        lock.Lock_type.acquire ~tid;
+        order := tid :: !order;
+        Sim.pause 50;
+        lock.Lock_type.release ~tid)
+  done;
+  ignore (Sim.run sim);
+  List.rev !order
+
+let test_ticket_fifo () =
+  Alcotest.(check (list int))
+    "ticket FIFO" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (test_fifo_order Simlock.Ticket)
+
+let test_mcs_fifo () =
+  Alcotest.(check (list int))
+    "MCS FIFO" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (test_fifo_order Simlock.Mcs)
+
+let test_clh_fifo () =
+  Alcotest.(check (list int))
+    "CLH FIFO" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (test_fifo_order Simlock.Clh)
+
+(* Uncontested acquire+release should be cheap (no spinning, a handful
+   of memory operations). *)
+let test_uncontested_latency_sane () =
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      List.iter
+        (fun algo ->
+          let sim = Sim.create p in
+          let mem = Sim.memory sim in
+          let lock = Simlock.create mem p ~n_threads:4 algo in
+          let cost = ref 0 in
+          Sim.spawn sim ~core:0 (fun () ->
+              (* warm the lines *)
+              lock.Lock_type.acquire ~tid:0;
+              lock.Lock_type.release ~tid:0;
+              let t0 = Sim.now () in
+              lock.Lock_type.acquire ~tid:0;
+              lock.Lock_type.release ~tid:0;
+              cost := Sim.now () - t0);
+          ignore (Sim.run sim);
+          check_bool
+            (Printf.sprintf "%s/%s uncontested %d cycles in (0, 3000)"
+               (Arch.platform_name pid) (Simlock.name algo) !cost)
+            true
+            (!cost > 0 && !cost < 3000))
+        (Simlock.algos_for p))
+    Arch.paper_platform_ids
+
+(* Hierarchical locks must actually bound global handoffs: under heavy
+   same-cluster traffic, a cohort lock acquires the global lock far
+   fewer times than it acquires the local one.  We check indirectly:
+   throughput of HTICKET on Xeon under extreme contention with threads
+   on two sockets beats TAS. *)
+let contended_throughput pid algo ~threads =
+  let p = Platform.get pid in
+  let r =
+    Harness.run p ~threads ~duration:300_000
+      ~setup:(fun mem -> Simlock.create mem p ~n_threads:threads algo)
+      ~body:(fun lock _mem ~tid ~deadline ->
+        let n = ref 0 in
+        while Sim.now () < deadline do
+          lock.Lock_type.acquire ~tid;
+          Sim.pause 40;
+          lock.Lock_type.release ~tid;
+          Sim.pause 80;
+          incr n
+        done;
+        !n)
+  in
+  r.Harness.mops
+
+let test_hticket_beats_tas_cross_socket () =
+  let tas = contended_throughput Arch.Xeon Simlock.Tas ~threads:20 in
+  let ht = contended_throughput Arch.Xeon Simlock.Hticket ~threads:20 in
+  check_bool
+    (Printf.sprintf "hticket (%.2f) > tas (%.2f) on 2 sockets" ht tas)
+    true (ht > tas)
+
+let test_queue_locks_resilient () =
+  (* CLH should not collapse from 1 to many threads as badly as TAS
+     (section 6.1.2: queue locks are the most resilient). *)
+  let t1 = contended_throughput Arch.Opteron Simlock.Clh ~threads:1 in
+  let t24 = contended_throughput Arch.Opteron Simlock.Clh ~threads:24 in
+  let tas24 = contended_throughput Arch.Opteron Simlock.Tas ~threads:24 in
+  check_bool
+    (Printf.sprintf "CLH keeps >10%% of single-thread (%.2f -> %.2f)" t1 t24)
+    true
+    (t24 > 0.1 *. t1);
+  check_bool
+    (Printf.sprintf "CLH (%.2f) >= TAS (%.2f) at 24 threads" t24 tas24)
+    true (t24 >= tas24 *. 0.9)
+
+(* Figure 3's headline: the non-optimized ticket lock is dramatically
+   worse than proportional backoff at high thread counts on Opteron. *)
+let test_ticket_backoff_helps_on_opteron () =
+  let p = Platform.opteron in
+  let latency variant threads =
+    let _, mean =
+      Harness.run_latency p ~threads ~duration:400_000
+        ~setup:(fun mem -> Simlock.create mem p ~n_threads:threads variant)
+        ~body:(fun lock _mem ~tid ~deadline ->
+          let n = ref 0 and cy = ref 0 in
+          while Sim.now () < deadline do
+            let t0 = Sim.now () in
+            lock.Lock_type.acquire ~tid;
+            lock.Lock_type.release ~tid;
+            cy := !cy + (Sim.now () - t0);
+            Sim.pause 300;
+            incr n
+          done;
+          (!n, !cy))
+    in
+    mean
+  in
+  let spin = latency Simlock.Ticket_spin 24 in
+  let backoff = latency Simlock.Ticket 24 in
+  check_bool
+    (Printf.sprintf "spin %.0f cy >> backoff %.0f cy" spin backoff)
+    true
+    (spin > 2. *. backoff)
+
+(* qcheck: random (platform, algo, threads, iters) never loses updates. *)
+let qcheck_mutual_exclusion =
+  let gen =
+    QCheck.Gen.(
+      let* pid = oneofl Arch.paper_platform_ids in
+      let p = Platform.get pid in
+      let* algo = oneofl (Simlock.algos_for p) in
+      let* threads = int_range 2 (min 16 (Platform.n_cores p)) in
+      let* iters = int_range 1 15 in
+      return (pid, algo, threads, iters))
+  in
+  QCheck.Test.make ~count:40 ~name:"mutual exclusion (random configs)"
+    (QCheck.make gen) (fun (pid, algo, threads, iters) ->
+      run_mutex_test pid algo ~threads ~iters = threads * iters)
+
+let suite =
+  [
+    Alcotest.test_case "mutual exclusion: 9 algos x 4 platforms" `Quick
+      test_mutual_exclusion;
+    Alcotest.test_case "figure 3 ticket variants exclude" `Quick
+      test_figure3_variants_mutual_exclusion;
+    Alcotest.test_case "ticket is FIFO" `Quick test_ticket_fifo;
+    Alcotest.test_case "MCS is FIFO" `Quick test_mcs_fifo;
+    Alcotest.test_case "CLH is FIFO" `Quick test_clh_fifo;
+    Alcotest.test_case "uncontested latency sane" `Quick
+      test_uncontested_latency_sane;
+    Alcotest.test_case "hticket beats TAS across sockets" `Quick
+      test_hticket_beats_tas_cross_socket;
+    Alcotest.test_case "queue locks resilient to contention" `Quick
+      test_queue_locks_resilient;
+    Alcotest.test_case "ticket backoff helps (Figure 3)" `Quick
+      test_ticket_backoff_helps_on_opteron;
+    QCheck_alcotest.to_alcotest qcheck_mutual_exclusion;
+  ]

@@ -1,0 +1,169 @@
+(* Tests of the simulated message passing (libssmp): delivery, ordering,
+   the client-server layer, Tilera hardware MP, and the prefetchw
+   optimization. *)
+
+open Ssync_platform
+open Ssync_engine
+open Ssync_simmp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_send_recv_roundtrip () =
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      let sim = Sim.create p in
+      let mem = Sim.memory sim in
+      let ch = Channel.create mem p ~sender_core:0 ~receiver_core:1 in
+      let got = ref [] in
+      Sim.spawn sim ~core:0 (fun () ->
+          for i = 1 to 20 do
+            Channel.send ch (i * 3)
+          done);
+      Sim.spawn sim ~core:1 (fun () ->
+          for _ = 1 to 20 do
+            got := Channel.recv ch :: !got
+          done);
+      ignore (Sim.run sim ~until:10_000_000);
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: FIFO, no loss" (Arch.platform_name pid))
+        (List.init 20 (fun i -> (i + 1) * 3))
+        (List.rev !got))
+    Arch.paper_platform_ids
+
+let test_try_recv_empty () =
+  let p = Platform.xeon in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let ch = Channel.create mem p ~sender_core:0 ~receiver_core:1 in
+  let r = ref (Some 99) in
+  Sim.spawn sim ~core:1 (fun () -> r := Channel.try_recv ch);
+  ignore (Sim.run sim);
+  check_bool "empty channel" true (!r = None)
+
+let test_tilera_uses_hardware () =
+  (* Hardware MP is nearly distance-insensitive (Figure 9: 61 vs 64
+     cycles one-way), unlike the coherence-based implementation. *)
+  let lat use_hw distance =
+    let p = Platform.tilera in
+    let a_core, b_core =
+      Option.get (Topology.pair_at_distance p.Platform.topo distance)
+    in
+    let sim = Sim.create p in
+    let mem = Sim.memory sim in
+    let ch = Channel.create ~use_hw mem p ~sender_core:a_core ~receiver_core:b_core in
+    let dt = ref 0 in
+    Sim.spawn sim ~core:a_core (fun () -> Channel.send ch 5);
+    Sim.spawn sim ~core:b_core (fun () ->
+        let t0 = Sim.now () in
+        ignore (Channel.recv ch);
+        dt := Sim.now () - t0);
+    ignore (Sim.run sim ~until:1_000_000);
+    !dt
+  in
+  let hw_near = lat true Arch.One_hop and hw_far = lat true Arch.Max_hops in
+  let sw_far = lat false Arch.Max_hops in
+  check_bool
+    (Printf.sprintf "hw nearly flat (%d vs %d)" hw_near hw_far)
+    true
+    (hw_far - hw_near <= 12);
+  check_bool
+    (Printf.sprintf "hw (%d) beats sw (%d) at max distance" hw_far sw_far)
+    true (hw_far < sw_far)
+
+let test_client_server_serves_all () =
+  let p = Platform.opteron in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let clients = 6 in
+  let cs =
+    Client_server.create mem p ~server_core:0
+      ~client_cores:(Array.init clients (fun i -> i + 1))
+  in
+  let served = Array.make clients 0 in
+  let reqs_per_client = 15 in
+  Sim.spawn sim ~core:0 (fun () ->
+      for _ = 1 to clients * reqs_per_client do
+        let i, v = Client_server.recv_any cs in
+        served.(i) <- served.(i) + 1;
+        Client_server.respond cs i (v + 1)
+      done);
+  for i = 0 to clients - 1 do
+    Sim.spawn sim ~core:(i + 1) (fun () ->
+        for k = 1 to reqs_per_client do
+          let r = Client_server.request cs ~client:i k in
+          if r <> k + 1 then failwith "bad response"
+        done)
+  done;
+  ignore (Sim.run sim ~until:50_000_000);
+  Array.iteri
+    (fun i n ->
+      check_int (Printf.sprintf "client %d fully served" i) reqs_per_client n)
+    served
+
+let test_one_to_one_costs () =
+  (* A one-way message costs about two line transfers; a round trip
+     about four (section 6.2). *)
+  match Ssync_ccbench.Mp_bench.one_to_one Arch.Xeon Arch.One_hop with
+  | None -> Alcotest.fail "no pair"
+  | Some r ->
+      check_bool
+        (Printf.sprintf "round trip (%.0f) ~ 2x one way (%.0f)" r.round_trip
+           r.one_way)
+        true
+        (r.round_trip > 1.5 *. r.one_way
+        && r.round_trip < 3.0 *. r.one_way)
+
+let test_mp_distance_sensitivity () =
+  let lat d =
+    match Ssync_ccbench.Mp_bench.one_to_one Arch.Opteron d with
+    | Some r -> r.one_way
+    | None -> nan
+  in
+  let near = lat Arch.Same_die and far = lat Arch.Two_hops in
+  check_bool
+    (Printf.sprintf "one-way grows with distance (%.0f -> %.0f)" near far)
+    true (far > near)
+
+let test_prefetchw_speedup () =
+  let plain, pfw = Ssync_ccbench.Mp_bench.opteron_prefetchw_speedup () in
+  check_bool
+    (Printf.sprintf "prefetchw faster (%.0f vs %.0f)" plain pfw)
+    true
+    (pfw < plain && plain /. pfw > 1.3 && plain /. pfw < 4.0)
+
+(* qcheck: random payload sequences arrive intact and in order. *)
+let qcheck_channel_fifo =
+  QCheck.Test.make ~count:50 ~name:"channel preserves sequences"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 10000))
+    (fun payloads ->
+      let p = Platform.niagara in
+      let sim = Sim.create p in
+      let mem = Sim.memory sim in
+      let ch = Channel.create mem p ~sender_core:0 ~receiver_core:9 in
+      let got = ref [] in
+      Sim.spawn sim ~core:0 (fun () -> List.iter (Channel.send ch) payloads);
+      Sim.spawn sim ~core:9 (fun () ->
+          for _ = 1 to List.length payloads do
+            got := Channel.recv ch :: !got
+          done);
+      ignore (Sim.run sim ~until:50_000_000);
+      List.rev !got = payloads)
+
+let suite =
+  [
+    Alcotest.test_case "send/recv FIFO on all platforms" `Quick
+      test_send_recv_roundtrip;
+    Alcotest.test_case "try_recv on empty" `Quick test_try_recv_empty;
+    Alcotest.test_case "Tilera hardware MP" `Quick test_tilera_uses_hardware;
+    Alcotest.test_case "client-server serves all" `Quick
+      test_client_server_serves_all;
+    Alcotest.test_case "one-way vs round-trip cost" `Quick
+      test_one_to_one_costs;
+    Alcotest.test_case "MP latency grows with distance" `Quick
+      test_mp_distance_sensitivity;
+    Alcotest.test_case "Opteron prefetchw speedup (section 5.3)" `Quick
+      test_prefetchw_speedup;
+    QCheck_alcotest.to_alcotest qcheck_channel_fifo;
+  ]

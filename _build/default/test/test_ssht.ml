@@ -1,0 +1,223 @@
+(* Tests of the hash table: the native ssht against a model and under
+   domains; the simulated ssht against a model inside the engine; and
+   the message-passing version end to end. *)
+
+open Ssync_platform
+open Ssync_engine
+open Ssync_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- native ssht --------------------------- *)
+
+let test_native_basic () =
+  let t = Ssync_ssht.Ssht.create ~n_buckets:16 () in
+  check_bool "fresh insert" true (Ssync_ssht.Ssht.put t 1 10);
+  check_bool "update" false (Ssync_ssht.Ssht.put t 1 11);
+  check_bool "get" true (Ssync_ssht.Ssht.get t 1 = Some 11);
+  check_bool "miss" true (Ssync_ssht.Ssht.get t 2 = None);
+  check_bool "remove" true (Ssync_ssht.Ssht.remove t 1);
+  check_bool "remove missing" false (Ssync_ssht.Ssht.remove t 1);
+  check_int "empty" 0 (Ssync_ssht.Ssht.size t)
+
+(* Model-based sequential test against Hashtbl. *)
+let test_native_model () =
+  let rng = Rng.create ~seed:9 in
+  let t = Ssync_ssht.Ssht.create ~n_buckets:8 () in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 3000 do
+    let k = Rng.int rng 50 in
+    match Rng.int rng 3 with
+    | 0 ->
+        let expected = Hashtbl.find_opt model k in
+        check_bool "get agrees" true (Ssync_ssht.Ssht.get t k = expected)
+    | 1 ->
+        let v = Rng.int rng 1000 in
+        let fresh = not (Hashtbl.mem model k) in
+        Hashtbl.replace model k v;
+        check_bool "put agrees" true (Ssync_ssht.Ssht.put t k v = fresh)
+    | _ ->
+        let existed = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        check_bool "remove agrees" true (Ssync_ssht.Ssht.remove t k = existed)
+  done;
+  check_int "sizes agree" (Hashtbl.length model) (Ssync_ssht.Ssht.size t)
+
+(* Concurrent: disjoint key ranges per domain — every insert must
+   survive; then a shared-range smoke test for crash-freedom. *)
+let test_native_concurrent () =
+  let t = Ssync_ssht.Ssht.create ~n_buckets:64 ~lock_algo:Ssync_locks.Libslock.Mcs () in
+  let domains = 3 and per = 250 in
+  let worker d () =
+    for i = 0 to per - 1 do
+      ignore (Ssync_ssht.Ssht.put t ((d * per) + i) i)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  check_int "all inserts live" (domains * per) (Ssync_ssht.Ssht.size t);
+  let ok = ref true in
+  for d = 0 to domains - 1 do
+    for i = 0 to per - 1 do
+      if Ssync_ssht.Ssht.get t ((d * per) + i) <> Some i then ok := false
+    done
+  done;
+  check_bool "all readable" true !ok
+
+let test_native_concurrent_mixed () =
+  let t = Ssync_ssht.Ssht.create ~n_buckets:32 () in
+  let stop = Atomic.make false in
+  let worker seed () =
+    let rng = Rng.create ~seed in
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      let k = Rng.int rng 40 in
+      (match Rng.int rng 3 with
+      | 0 -> ignore (Ssync_ssht.Ssht.get t k)
+      | 1 -> ignore (Ssync_ssht.Ssht.put t k !n)
+      | _ -> ignore (Ssync_ssht.Ssht.remove t k));
+      incr n
+    done;
+    !n
+  in
+  let ds = List.init 3 (fun i -> Domain.spawn (worker (i + 1))) in
+  Unix.sleepf 0.2;
+  Atomic.set stop true;
+  let counts = List.map Domain.join ds in
+  check_bool "all domains progressed" true (List.for_all (fun n -> n > 0) counts);
+  (* table is still consistent: size equals live key count *)
+  let live = ref 0 in
+  for k = 0 to 39 do
+    if Ssync_ssht.Ssht.get t k <> None then incr live
+  done;
+  check_int "size consistent" !live (Ssync_ssht.Ssht.size t)
+
+(* ------------------------ simulated ssht ------------------------- *)
+
+let test_sim_model () =
+  let p = Platform.opteron in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let t = Ssync_ssht.Ssht_sim.create mem p ~n_threads:1 ~n_buckets:4 ~capacity:8 in
+  let passed = ref false in
+  Sim.spawn sim ~core:0 (fun () ->
+      let model = Hashtbl.create 32 in
+      let rng = Rng.create ~seed:17 in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let k = Rng.int rng 24 in
+        match Rng.int rng 3 with
+        | 0 ->
+            if Ssync_ssht.Ssht_sim.get t ~tid:0 k <> Hashtbl.find_opt model k
+            then ok := false
+        | 1 ->
+            let v = Rng.int rng 100 in
+            let inserted = Ssync_ssht.Ssht_sim.put t ~tid:0 k v in
+            if inserted || Hashtbl.mem model k then Hashtbl.replace model k v
+        | _ ->
+            let removed = Ssync_ssht.Ssht_sim.remove t ~tid:0 k in
+            if removed <> Hashtbl.mem model k then ok := false;
+            Hashtbl.remove model k
+      done;
+      passed := !ok);
+  ignore (Sim.run sim ~until:500_000_000);
+  check_bool "sim table agrees with model" true !passed
+
+let test_sim_concurrent_counts () =
+  (* concurrent puts of disjoint keys must all be present *)
+  let p = Platform.xeon in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let threads = 8 and per = 12 in
+  let t =
+    Ssync_ssht.Ssht_sim.create mem p ~n_threads:threads ~n_buckets:64
+      ~capacity:8
+  in
+  let b = Sim.make_barrier threads in
+  for tid = 0 to threads - 1 do
+    Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+        Sim.await b;
+        for i = 0 to per - 1 do
+          ignore (Ssync_ssht.Ssht_sim.put t ~tid ((tid * per) + i) i)
+        done)
+  done;
+  ignore (Sim.run sim ~until:500_000_000);
+  check_int "all present" (threads * per) (Ssync_ssht.Ssht_sim.debug_size mem t)
+
+(* --------------------------- mp ssht ----------------------------- *)
+
+let test_mp_end_to_end () =
+  let p = Platform.tilera in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let n_servers = 2 and n_clients = 4 in
+  let server_cores = Array.init n_servers (fun i -> i) in
+  let client_cores = Array.init n_clients (fun i -> n_servers + i) in
+  let t =
+    Ssync_ssht.Ssht_mp.create mem p ~server_cores ~client_cores ~touch_lines:3
+  in
+  for i = 0 to n_servers - 1 do
+    Sim.spawn sim ~core:server_cores.(i) (fun () ->
+        Ssync_ssht.Ssht_mp.run_server t i)
+  done;
+  let oks = Array.make n_clients false in
+  for c = 0 to n_clients - 1 do
+    Sim.spawn sim ~core:client_cores.(c) (fun () ->
+        let ok = ref true in
+        let base = c * 100 in
+        for i = 0 to 19 do
+          if not (Ssync_ssht.Ssht_mp.put t ~client:c (base + i) i) then
+            ok := false
+        done;
+        for i = 0 to 19 do
+          if Ssync_ssht.Ssht_mp.get t ~client:c (base + i) <> Some i then
+            ok := false
+        done;
+        if not (Ssync_ssht.Ssht_mp.remove t ~client:c base) then ok := false;
+        if Ssync_ssht.Ssht_mp.get t ~client:c base <> None then ok := false;
+        oks.(c) <- !ok;
+        Ssync_ssht.Ssht_mp.stop t ~client:c)
+  done;
+  ignore (Sim.run sim ~until:500_000_000);
+  Array.iteri
+    (fun c ok -> check_bool (Printf.sprintf "client %d ok" c) true ok)
+    oks
+
+(* qcheck: native ssht vs Hashtbl over random op sequences. *)
+let qcheck_native_vs_model =
+  QCheck.Test.make ~count:60 ~name:"native ssht = Hashtbl (sequential)"
+    QCheck.(
+      list_of_size (Gen.int_range 1 150)
+        (pair (int_range 0 30) (int_range 0 2)))
+    (fun ops ->
+      let t = Ssync_ssht.Ssht.create ~n_buckets:4 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 -> Ssync_ssht.Ssht.get t k = Hashtbl.find_opt model k
+          | 1 ->
+              let fresh = not (Hashtbl.mem model k) in
+              Hashtbl.replace model k (k * 2);
+              Ssync_ssht.Ssht.put t k (k * 2) = fresh
+          | _ ->
+              let existed = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              Ssync_ssht.Ssht.remove t k = existed)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "native basic ops" `Quick test_native_basic;
+    Alcotest.test_case "native vs model (3000 ops)" `Quick test_native_model;
+    Alcotest.test_case "native concurrent inserts" `Slow
+      test_native_concurrent;
+    Alcotest.test_case "native concurrent mixed smoke" `Slow
+      test_native_concurrent_mixed;
+    Alcotest.test_case "simulated vs model" `Quick test_sim_model;
+    Alcotest.test_case "simulated concurrent puts" `Quick
+      test_sim_concurrent_counts;
+    Alcotest.test_case "mp version end-to-end" `Quick test_mp_end_to_end;
+    QCheck_alcotest.to_alcotest qcheck_native_vs_model;
+  ]

@@ -1,0 +1,228 @@
+(* Tests of the software transactional memory: the native TL2-style TM
+   (atomicity, isolation, bank invariant under domains) and the two
+   simulated TM2C backends. *)
+
+open Ssync_platform
+open Ssync_engine
+open Ssync_tm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- native TM ----------------------------- *)
+
+let test_read_write_commit () =
+  let tm = Tm.create ~size:8 in
+  Tm.unsafe_set tm 0 5;
+  let r =
+    Tm.atomically tm (fun tx ->
+        let v = Tm.read tx 0 in
+        Tm.write tx 1 (v + 1);
+        v)
+  in
+  check_int "read value" 5 r;
+  check_int "write committed" 6 (Tm.unsafe_get tm 1)
+
+let test_buffered_writes_invisible_before_commit () =
+  let tm = Tm.create ~size:4 in
+  ignore
+    (Tm.atomically tm (fun tx ->
+         Tm.write tx 0 99;
+         (* our own write is visible to us *)
+         check_int "read-own-write" 99 (Tm.read tx 0);
+         (* but not yet published *)
+         check_int "not yet committed" 0 (Tm.unsafe_get tm 0)));
+  check_int "committed after" 99 (Tm.unsafe_get tm 0)
+
+let test_bank_invariant_concurrent () =
+  (* classic STM test: random transfers preserve the total balance *)
+  let accounts = 16 and domains = 3 and transfers = 600 in
+  let tm = Tm.create ~size:accounts in
+  for i = 0 to accounts - 1 do
+    Tm.unsafe_set tm i 100
+  done;
+  let worker seed () =
+    let rng = Ssync_workload.Rng.create ~seed in
+    for _ = 1 to transfers do
+      let a = Ssync_workload.Rng.int rng accounts in
+      let b = Ssync_workload.Rng.int rng accounts in
+      if a <> b then
+        Tm.atomically tm (fun tx ->
+            let va = Tm.read tx a and vb = Tm.read tx b in
+            Tm.write tx a (va - 1);
+            Tm.write tx b (vb + 1))
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    total := !total + Tm.unsafe_get tm i
+  done;
+  check_int "total conserved" (accounts * 100) !total
+
+let test_concurrent_counter () =
+  (* increments through transactions are never lost *)
+  let tm = Tm.create ~size:1 in
+  let domains = 3 and per = 400 in
+  let worker () =
+    for _ = 1 to per do
+      Tm.atomically tm (fun tx -> Tm.write tx 0 (Tm.read tx 0 + 1))
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  check_int "counter exact" (domains * per) (Tm.unsafe_get tm 0)
+
+let test_abort_stats () =
+  let tm = Tm.create ~size:1 in
+  let stats = Tm.{ commits = 0; aborts = 0 } in
+  let domains = 3 and per = 200 in
+  let worker () =
+    for _ = 1 to per do
+      Tm.atomically ~stats tm (fun tx -> Tm.write tx 0 (Tm.read tx 0 + 1))
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  check_int "commits counted" (domains * per) stats.Tm.commits;
+  check_bool "stats non-negative" true (stats.Tm.aborts >= 0)
+
+let qcheck_sequential_tm_is_plain_memory =
+  QCheck.Test.make ~count:80 ~name:"sequential TM behaves like an array"
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (triple (int_range 0 7) (int_range 0 7) small_int))
+    (fun ops ->
+      let tm = Tm.create ~size:8 in
+      let model = Array.make 8 0 in
+      List.for_all
+        (fun (i, j, v) ->
+          let ok =
+            Tm.atomically tm (fun tx ->
+                let got = Tm.read tx i in
+                Tm.write tx j v;
+                got = model.(i))
+          in
+          model.(j) <- v;
+          ok)
+        ops)
+
+(* ------------------------ simulated TM2C ------------------------- *)
+
+(* Bank transfers as single atomic transactions on each backend; the
+   total balance must be conserved. *)
+let run_sim_bank ~backend ~threads ~transfers : int =
+  let p = Platform.opteron in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let accounts = 12 in
+  let transfer_writes cells values =
+    (* cells = [a; c] sorted; move 1 from the first to the second *)
+    match (cells, values) with
+    | ([ a; c ], [| va; vc |]) -> [ (a, va - 1); (c, vc + 1) ]
+    | _ -> failwith "unexpected transaction shape"
+  in
+  match backend with
+  | `Lock ->
+      let t = Tm_sim.create_lock_based mem ~n_cells:accounts in
+      Array.iter
+        (fun a -> Ssync_coherence.Memory.poke mem a 100)
+        t.Tm_sim.values;
+      let b = Sim.make_barrier threads in
+      for tid = 0 to threads - 1 do
+        Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+            Sim.await b;
+            let rng = Ssync_workload.Rng.create ~seed:(tid + 1) in
+            for _ = 1 to transfers do
+              let a = Ssync_workload.Rng.int rng accounts in
+              let c = Ssync_workload.Rng.int rng accounts in
+              if a <> c then begin
+                let cells = List.sort_uniq compare [ a; c ] in
+                ignore
+                  (Tm_sim.transaction_lock_based t ~cells
+                     (transfer_writes cells))
+              end
+            done)
+      done;
+      ignore (Sim.run sim ~until:2_000_000_000);
+      Array.fold_left
+        (fun acc a -> acc + Ssync_coherence.Memory.peek mem a)
+        0 t.Tm_sim.values
+  | `Mp ->
+      let n_servers = 2 in
+      let server_cores = Array.init n_servers (fun i -> i) in
+      let client_cores = Array.init threads (fun i -> n_servers + i) in
+      let t =
+        Tm_sim.create_mp_based mem p ~n_cells:accounts ~server_cores
+          ~client_cores
+      in
+      for c = 0 to accounts - 1 do
+        t.Tm_sim.tables.(Tm_sim.server_of t c).(c) <- 100
+      done;
+      for i = 0 to n_servers - 1 do
+        Sim.spawn sim ~core:server_cores.(i) (fun () ->
+            Tm_sim.run_mp_server t i)
+      done;
+      for tid = 0 to threads - 1 do
+        Sim.spawn sim ~core:client_cores.(tid) (fun () ->
+            let rng = Ssync_workload.Rng.create ~seed:(tid + 1) in
+            for _ = 1 to transfers do
+              let a = Ssync_workload.Rng.int rng accounts in
+              let c = Ssync_workload.Rng.int rng accounts in
+              if a <> c then begin
+                let cells = List.sort_uniq compare [ a; c ] in
+                ignore
+                  (Tm_sim.transaction_mp t ~client:tid ~cells
+                     (transfer_writes cells))
+              end
+            done;
+            Tm_sim.stop_mp t ~client:tid)
+      done;
+      ignore (Sim.run sim ~until:2_000_000_000);
+      let total = ref 0 in
+      for c = 0 to accounts - 1 do
+        total := !total + t.Tm_sim.tables.(Tm_sim.server_of t c).(c)
+      done;
+      !total
+
+let test_sim_lock_bank () =
+  check_int "lock backend conserves total" 1200
+    (run_sim_bank ~backend:`Lock ~threads:8 ~transfers:50)
+
+let test_sim_mp_bank () =
+  check_int "mp backend conserves total" 1200
+    (run_sim_bank ~backend:`Mp ~threads:8 ~transfers:50)
+
+let test_sim_write_outside_set_rejected () =
+  let p = Platform.opteron in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let t = Tm_sim.create_lock_based mem ~n_cells:4 in
+  let raised = ref false in
+  Sim.spawn sim ~core:0 (fun () ->
+      try
+        ignore
+          (Tm_sim.transaction_lock_based t ~cells:[ 0 ] (fun _ -> [ (3, 1) ]))
+      with Invalid_argument _ -> raised := true);
+  ignore (Sim.run sim);
+  check_bool "rejected" true !raised
+
+let suite =
+  [
+    Alcotest.test_case "read/write/commit" `Quick test_read_write_commit;
+    Alcotest.test_case "writes buffered until commit" `Quick
+      test_buffered_writes_invisible_before_commit;
+    Alcotest.test_case "bank invariant (4 domains)" `Slow
+      test_bank_invariant_concurrent;
+    Alcotest.test_case "transactional counter exact" `Slow
+      test_concurrent_counter;
+    Alcotest.test_case "abort/commit stats" `Slow test_abort_stats;
+    QCheck_alcotest.to_alcotest qcheck_sequential_tm_is_plain_memory;
+    Alcotest.test_case "sim lock backend: bank invariant" `Quick
+      test_sim_lock_bank;
+    Alcotest.test_case "sim mp backend: bank invariant" `Quick
+      test_sim_mp_bank;
+    Alcotest.test_case "sim: write outside locked set rejected" `Quick
+      test_sim_write_outside_set_rejected;
+  ]

@@ -1,0 +1,105 @@
+(* Tests of the workload generators: determinism, distribution shape. *)
+
+open Ssync_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create ~seed:43 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then diff := true
+  done;
+  check_bool "different seeds differ" true !diff
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_uniform_covers () =
+  let r = Rng.create ~seed:3 in
+  let d = Key_dist.uniform ~n:10 in
+  let seen = Array.make 10 0 in
+  for _ = 1 to 2000 do
+    seen.(Key_dist.sample d r) <- 1
+  done;
+  check_int "all keys seen" 10 (Array.fold_left ( + ) 0 seen)
+
+let test_zipf_skew () =
+  let r = Rng.create ~seed:5 in
+  let d = Key_dist.zipf ~theta:0.99 ~n:1000 () in
+  let counts = Array.make 1000 0 in
+  let samples = 20_000 in
+  for _ = 1 to samples do
+    let k = Key_dist.sample d r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* key 0 should be far more popular than key 500 *)
+  check_bool
+    (Printf.sprintf "zipf skew (%d vs %d)" counts.(0) counts.(500))
+    true
+    (counts.(0) > 10 * (counts.(500) + 1));
+  (* all samples in range and head-heavy overall *)
+  let head = Array.sub counts 0 100 |> Array.fold_left ( + ) 0 in
+  check_bool "head-heavy" true (head > samples / 2)
+
+let test_op_mix () =
+  let r = Rng.create ~seed:11 in
+  let m = Op_mix.paper in
+  let g = ref 0 and p = ref 0 and d = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Op_mix.sample m r with
+    | Op_mix.Get -> incr g
+    | Op_mix.Put -> incr p
+    | Op_mix.Remove -> incr d
+  done;
+  check_int "all sampled" n (!g + !p + !d);
+  check_bool
+    (Printf.sprintf "~80%% gets (%d)" !g)
+    true
+    (abs (!g - (n * 80 / 100)) < n / 20);
+  check_bool "puts ~ removes" true (abs (!p - !d) < n / 20)
+
+let test_op_mix_validation () =
+  let fails f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "bad sum rejected" true
+    (fails (fun () -> Op_mix.make ~get:50 ~put:10 ~remove:10));
+  check_bool "negative rejected" true
+    (fails (fun () -> Op_mix.make ~get:110 ~put:(-10) ~remove:0))
+
+let qcheck_zipf_in_range =
+  QCheck.Test.make ~count:100 ~name:"zipf samples in range"
+    QCheck.(pair (int_range 1 500) small_int)
+    (fun (n, seed) ->
+      let r = Rng.create ~seed in
+      let d = Key_dist.zipf ~n () in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = Key_dist.sample d r in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "uniform covers keyspace" `Quick test_uniform_covers;
+    Alcotest.test_case "zipf is skewed" `Quick test_zipf_skew;
+    Alcotest.test_case "op mix proportions" `Quick test_op_mix;
+    Alcotest.test_case "op mix validation" `Quick test_op_mix_validation;
+    QCheck_alcotest.to_alcotest qcheck_zipf_in_range;
+  ]
