@@ -1,0 +1,95 @@
+(* Lock-holder-preemption sensitivity: throughput of each lock algorithm
+   as the per-scheduling-point preemption probability rises, per
+   platform.  The paper measures on dedicated machines with pinned
+   threads; this experiment asks the question those machines hide —
+   which lock families degrade gracefully when the OS deschedules
+   threads, including ones holding the lock?
+
+   Expected shape (and what the table shows): FIFO handoff locks
+   (TICKET, ARRAY, MCS, CLH and the hierarchical cohorts) collapse under
+   holder/waiter preemption, because the lock is granted to a specific
+   thread — if that thread is descheduled, every later waiter stalls
+   behind it.  Unordered spinlocks (TAS, TTAS) shrug: a preempted waiter
+   just loses races it wasn't guaranteed to win, and only preemption of
+   the holder itself hurts.  MUTEX sits between — sleeping waiters are
+   preemption-tolerant, but the holder still serializes.  All faults are
+   drawn from seeded per-thread streams, so every cell is reproducible.
+
+   Runs that end with live threads stalled past the window (e.g. a
+   preempted FIFO holder at high rates) are marked with [*]: their
+   throughput is the genuinely completed work, and the harness's health
+   record says who stalled — nothing is silently truncated. *)
+
+open Ssync_platform
+open Ssync_engine
+open Ssync_simlocks
+open Ssync_ccbench
+open Ssync_report
+
+let hr title = Printf.printf "\n==== %s ====\n%!" title
+
+(* Preemption probabilities per scheduling point.  With critical
+   sections of a few hundred cycles, 1e-3 preempts roughly one CS in
+   ten and 1e-2 most of them. *)
+let rates = [ 0.; 0.0002; 0.001; 0.005 ]
+
+(* A preemption quantum: 2k-20k cycles, i.e. 1-10x a contended handoff,
+   far below an OS quantum but enough to stall a FIFO handoff chain. *)
+let preempt_cycles = (2_000, 20_000)
+
+let threads_for pid =
+  match pid with
+  | Arch.Opteron -> 18
+  | Arch.Xeon -> 20
+  | Arch.Niagara -> 16
+  | Arch.Tilera -> 18
+  | Arch.Opteron2 -> 8
+  | Arch.Xeon2 -> 12
+
+let cell ?duration pid algo ~threads ~rate =
+  let faults =
+    if rate = 0. then Fault.none
+    else Fault.preemption ~seed:42 ~cycles:preempt_cycles rate
+  in
+  let r = Lock_bench.throughput ~faults ?duration pid algo ~threads ~n_locks:1 in
+  let stalled =
+    match r.Ssync_engine.Harness.health.Sim.verdict with
+    | Sim.Completed -> false
+    | Sim.Stalled _ -> true
+  in
+  (r.Ssync_engine.Harness.mops, stalled)
+
+let run ?(quick = false) () =
+  let duration = if quick then 60_000 else 200_000 in
+  hr
+    "Preemption sensitivity: single-lock throughput (Mops/s) vs \
+     per-scheduling-point preemption rate";
+  Printf.printf
+    "(quantum %d-%d cycles; seed 42; '*' = run ended with a stalled thread \
+     past the measurement window)\n"
+    (fst preempt_cycles) (snd preempt_cycles);
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      let threads = threads_for pid in
+      Printf.printf "\n-- %s, %d threads, 1 lock --\n%!" p.Platform.name
+        threads;
+      let t =
+        Table.create
+          ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) rates)
+          ("lock"
+          :: List.map (fun r -> Printf.sprintf "p=%g" r) rates)
+      in
+      List.iter
+        (fun algo ->
+          let cells =
+            List.map
+              (fun rate ->
+                let mops, stalled = cell ~duration pid algo ~threads ~rate in
+                Printf.sprintf "%.2f%s" mops (if stalled then "*" else ""))
+              rates
+          in
+          Table.add_row t (Simlock.name algo :: cells))
+        (Simlock.algos_for p);
+      Table.print t)
+    Arch.paper_platform_ids

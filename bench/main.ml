@@ -52,6 +52,8 @@ let sections : (string * string * (quick:bool -> unit)) list =
        Figures_app.extra_stm ~duration:(if quick then 60_000 else 150_000) ());
     ("table1", "Table 1: platform characteristics",
      fun ~quick:_ -> Figures.table1 ());
+    ("preemption", "Fault injection: lock throughput vs preemption rate",
+     fun ~quick -> Faults_bench.run ~quick ());
     ("ablations", "Ablations: backoff base, max_pass, placement, occupancy",
      fun ~quick -> Ablations.run ~quick ());
     ("native_bechamel", "Native library microbenchmarks (Bechamel)",

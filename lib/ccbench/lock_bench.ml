@@ -13,12 +13,14 @@ let lcg_next s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
 
 (* Throughput of [algo]: each thread acquires a random one of [n_locks]
    locks, reads and writes the corresponding data line, releases, then
-   pauses so the release is visible before it retries (section 6.1.2). *)
-let throughput ?(duration = 400_000) ?(cs_extra = 0) pid algo ~threads
+   pauses so the release is visible before it retries (section 6.1.2).
+   [faults] injects deterministic preemption/jitter/crash interference
+   (the lock-holder-preemption experiment); default none. *)
+let throughput ?faults ?(duration = 400_000) ?(cs_extra = 0) pid algo ~threads
     ~n_locks : Harness.result =
   let p = Platform.get pid in
   let local_work = Platform.local_work_for p ~threads in
-  Harness.run p ~threads ~duration
+  Harness.run ?faults p ~threads ~duration
     ~setup:(fun mem ->
       let home = Platform.place p 0 in
       let locks =

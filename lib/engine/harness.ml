@@ -1,7 +1,15 @@
 (* The common measurement harness used by the paper-style benchmarks:
    spawn [threads] simulated threads placed per the platform's policy,
    synchronize them on a barrier, let each run its body until a virtual
-   deadline, and report per-thread operation counts and throughput. *)
+   deadline, and report per-thread operation counts and throughput.
+
+   The harness degrades gracefully under pathological schedules: a
+   thread that never reaches its deadline (preempted holder, crash-stop
+   victim spinning on a dead lock, livelock) no longer vanishes into a
+   silently understated throughput number — [completed] records which
+   threads returned, and [health] carries the engine's structured
+   verdict ([Stalled {tid; core; last_progress}]) plus fault-injection
+   counters.  Callers that care must check [completed_all]. *)
 
 open Ssync_platform
 open Ssync_coherence
@@ -10,20 +18,24 @@ type result = {
   platform : Platform.t;
   threads : int;
   ops : int array;       (* operations completed per thread *)
+  completed : bool array; (* per thread: did the body return? *)
   duration : int;        (* measured window, cycles *)
   total_ops : int;
   mops : float;          (* total throughput in Mops/s (paper's unit) *)
+  health : Sim.health;   (* engine verdict + fault counters *)
 }
 
 let total_of ops = Array.fold_left ( + ) 0 ops
+let completed_all r = Array.for_all (fun c -> c) r.completed
 
 (* [body shared mem ~tid ~deadline] runs inside a simulated thread and
    returns the number of operations it completed; it must poll
    [Sim.now () < deadline] to terminate.  [setup] builds the shared
    state (locks, buffers...) before any thread starts; allocations
    default to the first participating thread's memory node, as in the
-   paper (section 6). *)
-let run (platform : Platform.t) ~threads ~duration
+   paper (section 6).  [faults] (default: none) injects deterministic
+   preemption/jitter/crash faults into the run. *)
+let run ?(faults = Fault.none) (platform : Platform.t) ~threads ~duration
     ~(setup : Memory.t -> 'a)
     ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int) : result =
   if threads <= 0 then invalid_arg "Harness.run: threads must be positive";
@@ -31,38 +43,42 @@ let run (platform : Platform.t) ~threads ~duration
     invalid_arg
       (Printf.sprintf "Harness.run: %d threads > %d cores on %s" threads
          (Platform.n_cores platform) platform.Platform.name);
-  let sim = Sim.create platform in
+  let sim = Sim.create ~faults platform in
   let mem = Sim.memory sim in
   let shared = setup mem in
   let ops = Array.make threads 0 in
+  let completed = Array.make threads false in
   let barrier = Sim.make_barrier threads in
   for tid = 0 to threads - 1 do
     let core = Platform.place platform tid in
     Sim.spawn sim ~core (fun () ->
         Sim.await barrier;
         let deadline = Sim.now () + duration in
-        ops.(tid) <- body shared mem ~tid ~deadline)
+        ops.(tid) <- body shared mem ~tid ~deadline;
+        completed.(tid) <- true)
   done;
-  ignore (Sim.run sim ~until:(duration * 4));
+  let _, health = Sim.run_health sim ~until:(duration * 4) in
   let total_ops = total_of ops in
   {
     platform;
     threads;
     ops;
+    completed;
     duration;
     total_ops;
     mops = Platform.mops platform ~ops:total_ops ~cycles:duration;
+    health;
   }
 
 (* Latency-style harness: like [run] but the body accumulates cycles of
    interest (e.g. acquire+release latency) into its return value
    together with the op count; returns mean cycles per op. *)
-let run_latency platform ~threads ~duration ~setup
+let run_latency ?faults platform ~threads ~duration ~setup
     ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int * int) :
     result * float =
   let cycles_acc = Array.make threads 0 in
   let r =
-    run platform ~threads ~duration ~setup
+    run ?faults platform ~threads ~duration ~setup
       ~body:(fun shared mem ~tid ~deadline ->
         let n, cy = body shared mem ~tid ~deadline in
         cycles_acc.(tid) <- cy;

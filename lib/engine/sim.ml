@@ -5,10 +5,36 @@
    performs an effect; the engine computes the operation's virtual-time
    cost against the coherent memory model and resumes the thread when it
    completes.  This lets the lock/message-passing algorithms be written
-   in direct style, exactly as their native counterparts. *)
+   in direct style, exactly as their native counterparts.
+
+   Two robustness layers sit on top of the pure engine:
+
+   - Fault injection ([Fault.spec], strictly opt-in): every scheduling
+     point — the completion of a memory op or pause — may be perturbed
+     by deterministic, seeded preemption/jitter draws, and threads may
+     crash-stop.  With [Fault.none] (the default) no draws are consumed
+     and runs are bit-identical to the fault-free engine.
+
+   - A progress watchdog: the engine records per-thread last-progress
+     timestamps, so [run_health] can report *why* a run ended —
+     [Completed] (all threads returned) versus [Stalled] (live threads
+     remained at the [until] backstop or deadlocked on an empty queue)
+     — instead of silently discarding the tail of the schedule. *)
 
 open Ssync_platform
 open Ssync_coherence
+module Rng = Ssync_workload.Rng
+
+(* Per-thread bookkeeping for faults and the watchdog. *)
+type thread_state = {
+  tid : int;
+  core : int;
+  rng : Rng.t; (* this thread's private fault stream *)
+  crash_at : int; (* -1 = never *)
+  mutable last_progress : int;
+  mutable finished : bool;
+  mutable crashed : bool;
+}
 
 type t = {
   platform : Platform.t;
@@ -17,12 +43,18 @@ type t = {
   mutable now : int;
   mutable live_threads : int;
   mutable spawned : int;
+  faults : Fault.spec;
+  faults_active : bool;
+  tstates : (int, thread_state) Hashtbl.t;
+  mutable preempt_count : int;
+  mutable jitter_count : int;
+  mutable crashed_tids : int list; (* reversed *)
 }
 
 type barrier = {
   mutable expected : int;
   mutable arrived : int;
-  mutable waiters : (unit, unit) Effect.Deep.continuation list;
+  mutable waiters : (thread_state * (unit, unit) Effect.Deep.continuation) list;
 }
 
 type _ Effect.t +=
@@ -32,7 +64,8 @@ type _ Effect.t +=
   | E_self : (int * int) Effect.t (* (core, tid) *)
   | E_barrier : barrier -> unit Effect.t
 
-let create platform =
+let create ?(faults = Fault.none) platform =
+  let faults = Fault.validate faults in
   {
     platform;
     mem = Memory.create platform;
@@ -40,6 +73,12 @@ let create platform =
     now = 0;
     live_threads = 0;
     spawned = 0;
+    faults;
+    faults_active = not (Fault.is_none faults);
+    tstates = Hashtbl.create 64;
+    preempt_count = 0;
+    jitter_count = 0;
+    crashed_tids = [];
   }
 
 let memory t = t.mem
@@ -87,16 +126,81 @@ let make_barrier n : barrier = { expected = n; arrived = 0; waiters = [] }
 let await b = Effect.perform (E_barrier b)
 
 (* ------------------------------------------------------------------ *)
+(* Fault hooks. *)
+
+(* Extra completion delay at a scheduling point: latency jitter (memory
+   ops only) plus preemption — the thread is descheduled for the drawn
+   duration, whatever it holds staying held.  Draws come from the
+   thread's private stream, so faults in one thread never perturb
+   another thread's draws. *)
+let fault_extra t st ~mem_op =
+  if not t.faults_active then 0
+  else begin
+    let f = t.faults in
+    let extra = ref 0 in
+    if mem_op && f.Fault.jitter_prob > 0.
+       && Rng.float st.rng < f.Fault.jitter_prob
+    then begin
+      extra := !extra + Fault.sample st.rng f.Fault.jitter_cycles;
+      t.jitter_count <- t.jitter_count + 1
+    end;
+    if f.Fault.preempt_prob > 0. && Rng.float st.rng < f.Fault.preempt_prob
+    then begin
+      extra := !extra + Fault.sample st.rng f.Fault.preempt_cycles;
+      t.preempt_count <- t.preempt_count + 1
+    end;
+    !extra
+  end
+
+(* Resume [k] at [at] — unless the thread's crash time falls first, in
+   which case the continuation is dropped and the crash is booked at the
+   crash time itself (so it is recorded even when the never-to-happen
+   resume would fall past the [until] backstop).  A crash-stopped thread
+   is simply never resumed: no unwinding, no cleanup — whatever it holds
+   stays held, which is what crash-stop means. *)
+let resume : type a.
+    t -> thread_state -> (a, unit) Effect.Deep.continuation -> at:int -> a -> unit
+    =
+ fun t st k ~at v ->
+  if st.crash_at >= 0 && (not st.crashed) && at >= st.crash_at then
+    schedule t ~at:(max t.now st.crash_at) (fun () ->
+        if not st.crashed then begin
+          st.crashed <- true;
+          t.crashed_tids <- st.tid :: t.crashed_tids;
+          t.live_threads <- t.live_threads - 1
+        end)
+  else
+    schedule t ~at (fun () ->
+        st.last_progress <- t.now;
+        Effect.Deep.continue k v)
+
+(* ------------------------------------------------------------------ *)
 
 let spawn t ~core body =
   Topology.check t.platform.Platform.topo core;
   let tid = t.spawned in
   t.spawned <- tid + 1;
   t.live_threads <- t.live_threads + 1;
+  let st =
+    {
+      tid;
+      core;
+      rng = Fault.stream t.faults ~tid;
+      crash_at = Fault.crash_time t.faults ~tid;
+      last_progress = t.now;
+      finished = false;
+      crashed = false;
+    }
+  in
+  Hashtbl.replace t.tstates tid st;
   let open Effect.Deep in
   let handler : (unit, unit) handler =
     {
-      retc = (fun () -> t.live_threads <- t.live_threads - 1);
+      retc =
+        (fun () ->
+          st.finished <- true;
+          st.last_progress <- t.now;
+          t.live_threads <- t.live_threads - 1);
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -108,12 +212,13 @@ let spawn t ~core body =
                     Memory.access t.mem ~core ~now:t.now op a ~operand:op1
                       ~operand2:op2
                   in
-                  schedule t ~at:(t.now + latency) (fun () -> continue k v))
+                  let latency = latency + fault_extra t st ~mem_op:true in
+                  resume t st k ~at:(t.now + latency) v)
           | E_pause cycles ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule t ~at:(t.now + max 1 cycles) (fun () ->
-                      continue k ()))
+                  let cycles = max 1 cycles + fault_extra t st ~mem_op:false in
+                  resume t st k ~at:(t.now + cycles) ())
           | E_now ->
               Some (fun (k : (a, unit) continuation) -> continue k t.now)
           | E_self ->
@@ -121,35 +226,105 @@ let spawn t ~core body =
           | E_barrier b ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  st.last_progress <- t.now;
                   b.arrived <- b.arrived + 1;
                   if b.arrived >= b.expected then begin
                     let to_wake = b.waiters in
                     b.waiters <- [];
                     b.arrived <- 0;
                     List.iter
-                      (fun w -> schedule t ~at:t.now (fun () -> continue w ()))
+                      (fun (wst, w) -> resume t wst w ~at:t.now ())
                       to_wake;
-                    schedule t ~at:t.now (fun () -> continue k ())
+                    resume t st k ~at:t.now ()
                   end
-                  else b.waiters <- k :: b.waiters)
+                  else b.waiters <- (st, k) :: b.waiters)
           | _ -> None);
     }
   in
-  schedule t ~at:t.now (fun () -> match_with body () handler)
+  schedule t ~at:t.now (fun () ->
+      st.last_progress <- t.now;
+      match_with body () handler)
 
 exception Simulation_runaway of int
 
-(* Run the simulation until no events remain.  [until] drops any events
-   scheduled after that time (a backstop against threads that spin
-   forever); [max_events] bounds total event count. *)
-let run ?(until = max_int) ?(max_events = 200_000_000) t =
+(* ------------------------------------------------------------------ *)
+(* Run loop and watchdog. *)
+
+type verdict =
+  | Completed
+  | Stalled of { tid : int; core : int; last_progress : int }
+
+type health = {
+  verdict : verdict;
+  crashed : int list; (* tids crash-stopped by fault injection *)
+  preemptions : int; (* injected preemption events *)
+  jitter_events : int; (* injected latency-jitter events *)
+  dropped_events : int; (* events discarded past [until] *)
+}
+
+let verdict_to_string = function
+  | Completed -> "completed"
+  | Stalled { tid; core; last_progress } ->
+      Printf.sprintf "stalled (tid %d on core %d, last progress at %d)" tid
+        core last_progress
+
+let health_to_string h =
+  let base = verdict_to_string h.verdict in
+  let extras =
+    List.filter
+      (fun s -> s <> "")
+      [
+        (if h.crashed = [] then ""
+         else
+           Printf.sprintf "crashed tids: %s"
+             (String.concat "," (List.map string_of_int h.crashed)));
+        (if h.preemptions = 0 then ""
+         else Printf.sprintf "%d preemptions" h.preemptions);
+        (if h.jitter_events = 0 then ""
+         else Printf.sprintf "%d jittered ops" h.jitter_events);
+        (if h.dropped_events = 0 then ""
+         else Printf.sprintf "%d events dropped" h.dropped_events);
+      ]
+  in
+  if extras = [] then base
+  else Printf.sprintf "%s; %s" base (String.concat "; " extras)
+
+(* The live thread that has gone the longest without progress — the
+   watchdog's culprit.  Ties break toward the lowest tid so the verdict
+   is deterministic. *)
+let most_stalled t =
+  let best = ref None in
+  for tid = 0 to t.spawned - 1 do
+    match Hashtbl.find_opt t.tstates tid with
+    | Some st when (not st.finished) && not st.crashed -> (
+        match !best with
+        | Some b when b.last_progress <= st.last_progress -> ()
+        | _ -> best := Some st)
+    | _ -> ()
+  done;
+  !best
+
+(* Run the simulation until no events remain.  [until] stops the run at
+   that virtual time (a backstop against threads that spin forever);
+   [max_events] bounds total event count.  Returns the final time plus a
+   structured health record: [Completed] when every thread returned,
+   [Stalled] when live threads remained — either because the [until]
+   backstop dropped their pending events or because the queue drained
+   with threads still blocked (a deadlock, e.g. a barrier that never
+   fills or a lock whose holder crash-stopped). *)
+let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
   let executed = ref 0 in
+  let dropped = ref 0 in
   let continue_run = ref true in
   while !continue_run do
     match Event_queue.pop t.events with
     | None -> continue_run := false
     | Some ev ->
-        if ev.Event_queue.time > until then continue_run := false
+        if ev.Event_queue.time > until then begin
+          (* the popped event plus everything still queued is discarded *)
+          dropped := 1 + Event_queue.length t.events;
+          continue_run := false
+        end
         else begin
           incr executed;
           if !executed > max_events then raise (Simulation_runaway !executed);
@@ -157,4 +332,22 @@ let run ?(until = max_int) ?(max_events = 200_000_000) t =
           ev.Event_queue.run ()
         end
   done;
-  t.now
+  let verdict =
+    if t.live_threads <= 0 then Completed
+    else
+      match most_stalled t with
+      | Some st ->
+          Stalled
+            { tid = st.tid; core = st.core; last_progress = st.last_progress }
+      | None -> Completed
+  in
+  ( t.now,
+    {
+      verdict;
+      crashed = List.rev t.crashed_tids;
+      preemptions = t.preempt_count;
+      jitter_events = t.jitter_count;
+      dropped_events = !dropped;
+    } )
+
+let run ?until ?max_events t = fst (run_health ?until ?max_events t)

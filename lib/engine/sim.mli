@@ -5,13 +5,25 @@
     pause) suspends the thread, the engine charges its virtual-time
     cost against the coherent memory model, and resumes the thread at
     completion time.  Lock and message-passing algorithms are written
-    in direct style, exactly like their native counterparts. *)
+    in direct style, exactly like their native counterparts.
+
+    The engine optionally injects deterministic faults ({!Fault.spec}:
+    preemption, latency jitter, crash-stop threads) and always tracks
+    per-thread progress, so {!run_health} reports a structured verdict
+    — finished versus stalled/deadlocked — instead of silently
+    dropping the tail of a pathological schedule. *)
 
 type t
 
 exception Simulation_runaway of int
 
-val create : Ssync_platform.Platform.t -> t
+val create : ?faults:Fault.spec -> Ssync_platform.Platform.t -> t
+(** [create ?faults p] builds a simulation on platform [p].  [faults]
+    defaults to {!Fault.none}, which injects nothing and consumes no
+    random draws — fault-free runs are bit-identical to the engine
+    without the fault layer.  Raises [Invalid_argument] on a malformed
+    spec. *)
+
 val memory : t -> Ssync_coherence.Memory.t
 val platform : t -> Ssync_platform.Platform.t
 
@@ -22,11 +34,37 @@ val spawn : t -> core:int -> (unit -> unit) -> unit
 (** [spawn t ~core body] schedules a simulated thread pinned to [core].
     [body] may use every operation below. *)
 
+(** {1 Run loop and progress watchdog} *)
+
+type verdict =
+  | Completed  (** every spawned thread returned *)
+  | Stalled of { tid : int; core : int; last_progress : int }
+      (** live threads remained when the run ended — the [until]
+          backstop dropped their pending events, or the event queue
+          drained with threads still blocked (deadlock).  The reported
+          thread is the live one that has gone longest without
+          progress. *)
+
+type health = {
+  verdict : verdict;
+  crashed : int list;  (** tids crash-stopped by fault injection *)
+  preemptions : int;  (** injected preemption events *)
+  jitter_events : int;  (** injected latency-jitter events *)
+  dropped_events : int;  (** events discarded past [until] *)
+}
+
+val verdict_to_string : verdict -> string
+val health_to_string : health -> string
+
+val run_health : ?until:int -> ?max_events:int -> t -> int * health
+(** Run until no events remain; returns the final virtual time and the
+    health record.  [until] stops the run at that virtual time (a
+    backstop against threads that spin forever); [max_events] bounds
+    the total event count and raises [Simulation_runaway] beyond it. *)
+
 val run : ?until:int -> ?max_events:int -> t -> int
-(** Run until no events remain; returns the final virtual time.
-    [until] drops events scheduled later (a backstop against threads
-    that spin forever); [max_events] bounds the total event count and
-    raises [Simulation_runaway] beyond it. *)
+(** [run t] is [fst (run_health t)] — the original interface, for
+    callers that do not inspect health. *)
 
 (** {1 Operations available inside a simulated thread}
 

@@ -44,9 +44,11 @@ let default_config (p : Platform.t) =
     maintenance_every = 16;
   }
 
-(* Throughput (Kops/s) of the set-only test with [threads] threads. *)
-let set_throughput ?(duration = 3_000_000) ?config pid lock_algo ~threads :
-    float =
+(* Throughput (Kops/s) of the set-only test with [threads] threads.
+   [faults] injects deterministic preemption/jitter/crash interference
+   into the run (default none). *)
+let set_throughput ?faults ?(duration = 3_000_000) ?config pid lock_algo
+    ~threads : float =
   let p = Platform.get pid in
   let cfg = match config with Some c -> c | None -> default_config p in
   let cfg =
@@ -59,7 +61,7 @@ let set_throughput ?(duration = 3_000_000) ?config pid lock_algo ~threads :
     }
   in
   let r =
-    Harness.run p ~threads ~duration
+    Harness.run ?faults p ~threads ~duration
       ~setup:(fun mem ->
         let home = Platform.place p 0 in
         let mk algo = Simlock.create ~home_core:home mem p ~n_threads:threads algo in

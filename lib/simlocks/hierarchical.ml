@@ -70,6 +70,21 @@ let cohort ~name ~platform ~place ?(max_pass = default_max_pass)
           global.Lock_type.release ~tid:c;
           locals.(c).lock.Lock_type.release ~tid
         end);
+    (* trylock both levels; back out of the local lock if the global one
+       is taken, so a failed try leaves the cohort state untouched *)
+    try_acquire =
+      (fun ~tid ->
+        let c = cluster_of platform ~place tid in
+        if not (locals.(c).lock.Lock_type.try_acquire ~tid) then false
+        else if global_owned.(c) then true
+        else if global.Lock_type.try_acquire ~tid:c then begin
+          global_owned.(c) <- true;
+          true
+        end
+        else begin
+          locals.(c).lock.Lock_type.release ~tid;
+          false
+        end);
   }
 
 let hticket ?max_pass mem platform ~home_core ~n_threads:_ ~place :

@@ -1,12 +1,25 @@
 (* The common lock interface of the simulated libslock: every algorithm
    is reduced to acquire/release closures usable from inside simulated
    threads.  [tid] identifies the calling thread (0..n_threads-1) for
-   algorithms that keep per-thread queue nodes or slots. *)
+   algorithms that keep per-thread queue nodes or slots.
+
+   [try_acquire] is the non-blocking entry: it succeeds only when the
+   lock can be taken *immediately* and otherwise leaves no trace in the
+   lock's shared state (no ticket drawn, no queue node published) — the
+   spin_trylock discipline.  That makes it safe to give up: a waiter
+   bounded by [acquire_timeout] never wedges the lock for later
+   acquirers, even on the queue locks, whose blocking acquire cannot
+   abandon a published node. *)
+
+open Ssync_engine
 
 type t = {
   name : string;
   acquire : tid:int -> unit;
   release : tid:int -> unit;
+  try_acquire : tid:int -> bool;
+      (* immediate, non-blocking; on failure the shared state is as if
+         the call never happened *)
 }
 
 (* Run [f] under the lock. *)
@@ -15,3 +28,34 @@ let with_lock t ~tid f =
   let r = f () in
   t.release ~tid;
   r
+
+(* Timed acquisition: retry [try_acquire] under capped exponential
+   backoff until it succeeds or [timeout] virtual cycles elapse.
+   Returns [false] on timeout, with the lock state untouched.  Bounded
+   progress even when the holder is preempted or crash-stopped — the
+   escape hatch the blocking [acquire] of a queue lock cannot offer. *)
+let acquire_timeout t ~tid ~timeout =
+  if timeout <= 0 then invalid_arg "acquire_timeout: timeout must be positive";
+  if t.try_acquire ~tid then true
+  else begin
+    let deadline = Sim.now () + timeout in
+    let b = Backoff.create ~min_delay:32 ~max_delay:4096 ~seed:(tid + 1) () in
+    let rec loop () =
+      if Sim.now () >= deadline then false
+      else begin
+        Sim.pause (min (Backoff.once b) (max 1 (deadline - Sim.now ())));
+        if t.try_acquire ~tid then true else loop ()
+      end
+    in
+    loop ()
+  end
+
+(* [with_lock_timeout t ~tid ~timeout f] runs [f] under the lock when it
+   can be acquired within [timeout] cycles; [None] otherwise. *)
+let with_lock_timeout t ~tid ~timeout f =
+  if acquire_timeout t ~tid ~timeout then begin
+    let r = f () in
+    t.release ~tid;
+    Some r
+  end
+  else None

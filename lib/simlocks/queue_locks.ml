@@ -46,6 +46,12 @@ let mcs mem ~home_core ~n_threads ~place : Lock_type.t =
           end
         end
         else Sim.store locked.(successor - 1) 0);
+    (* a published queue node cannot be abandoned, so only enqueue when
+       the queue is empty: CAS nil -> our node *)
+    try_acquire =
+      (fun ~tid ->
+        Sim.store next.(tid) 0;
+        Sim.cas tail ~expected:0 ~desired:(tid + 1));
   }
 
 (* ------------------------------ CLH ------------------------------ *)
@@ -88,6 +94,26 @@ let clh_ext mem ~home_core ~n_threads ~place : Lock_type.t * (tid:int -> bool)
           (* recycle the predecessor's node *)
           st.mine <- st.pred;
           st.pred <- -1);
+      (* enqueue only behind a node already free (lock idle, no queue):
+         the node stays private until the tail CAS succeeds, so a failed
+         try leaves nothing for later acquirers to spin on *)
+      try_acquire =
+        (fun ~tid ->
+          let st = states.(tid) in
+          Sim.store st.mine 1;
+          let cur = Sim.load tail in
+          let prev = cur - 1 in
+          if Sim.load prev = 0
+             && Sim.cas tail ~expected:cur ~desired:(st.mine + 1)
+          then begin
+            st.pred <- prev;
+            true
+          end
+          else begin
+            (* unpublished: reset our node and walk away *)
+            Sim.store st.mine 0;
+            false
+          end);
     }
   in
   let waiters ~tid = Sim.load tail <> states.(tid).mine + 1 in

@@ -18,6 +18,7 @@ let tas mem ~home_core : Lock_type.t =
           ()
         done);
     release = (fun ~tid:_ -> Sim.store lock 0);
+    try_acquire = (fun ~tid:_ -> Sim.tas lock);
   }
 
 (* ------------------------------ TTAS ----------------------------- *)
@@ -45,6 +46,8 @@ let ttas mem ~home_core : Lock_type.t =
         in
         loop ());
     release = (fun ~tid:_ -> Sim.store lock 0);
+    (* probe first so a failed try costs one local load, not a TAS miss *)
+    try_acquire = (fun ~tid:_ -> Sim.load lock = 0 && Sim.tas lock);
   }
 
 (* ----------------------------- TICKET ---------------------------- *)
@@ -107,6 +110,15 @@ let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
           let my = (old lsr 24) land ticket_mask in
           if old land ticket_mask <> my then wait_turn my);
       release = (fun ~tid:_ -> ignore (Sim.faa_store line 1));
+      (* a drawn ticket cannot be abandoned, so the trylock only draws
+         one when it wins on the spot: CAS the whole line from
+         "next = current" to "next+1 = current" *)
+      try_acquire =
+        (fun ~tid:_ ->
+          let v = Sim.load line in
+          let cur = v land ticket_mask in
+          let nxt = (v lsr 24) land ticket_mask in
+          nxt = cur && Sim.cas line ~expected:v ~desired:(v + ticket_shift));
     }
   in
   let waiters () =
@@ -142,6 +154,17 @@ let array_lock mem ~home_core ~n_slots : Lock_type.t =
         let idx = my_slot.(tid) in
         Sim.store slots.(idx) 0;
         Sim.store slots.((idx + 1) mod n_slots) 1);
+    (* a taken slot cannot be abandoned, so only claim one whose grant
+       flag is already set: CAS the tail forward iff its slot is free *)
+    try_acquire =
+      (fun ~tid ->
+        let tl = Sim.load tail in
+        let idx = tl mod n_slots in
+        Sim.load slots.(idx) = 1
+        && Sim.cas tail ~expected:tl ~desired:(tl + 1)
+        &&
+        (my_slot.(tid) <- idx;
+         true));
   }
 
 (* ----------------------------- MUTEX ----------------------------- *)
@@ -172,4 +195,8 @@ let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
         if Sim.swap lock 0 = 2 then
           (* wake one sleeper: futex_wake syscall *)
           Sim.pause syscall_cycles);
+    try_acquire =
+      (fun ~tid:_ ->
+        Sim.pause 20; (* library call overhead *)
+        Sim.cas lock ~expected:0 ~desired:1);
   }

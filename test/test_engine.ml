@@ -170,6 +170,145 @@ let test_harness_rejects_bad_args () =
            ~setup:(fun _ -> ())
            ~body:(fun () _ ~tid:_ ~deadline:_ -> 0)))
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection and the progress watchdog. *)
+
+(* A deterministic contended workload for the fault tests. *)
+let fault_workload ?faults ~threads ~duration () =
+  Harness.run ?faults Platform.xeon ~threads ~duration
+    ~setup:(fun mem -> Memory.alloc mem)
+    ~body:(fun a _mem ~tid ~deadline ->
+      let n = ref 0 in
+      while Sim.now () < deadline do
+        ignore (Sim.fai a);
+        Sim.pause (60 + (tid * 7));
+        incr n
+      done;
+      !n)
+
+let result_fingerprint (r : Harness.result) =
+  (Array.to_list r.Harness.ops,
+   Array.to_list r.Harness.completed,
+   r.Harness.total_ops,
+   r.Harness.health)
+
+let test_fault_seed_determinism () =
+  let faults =
+    {
+      Fault.none with
+      Fault.seed = 7;
+      preempt_prob = 0.01;
+      preempt_cycles = (1_000, 8_000);
+      jitter_prob = 0.2;
+      jitter_cycles = (10, 200);
+    }
+  in
+  let r1 = fault_workload ~faults ~threads:8 ~duration:80_000 () in
+  let r2 = fault_workload ~faults ~threads:8 ~duration:80_000 () in
+  check_bool "same fault seed, identical results" true
+    (result_fingerprint r1 = result_fingerprint r2);
+  check_bool "faults were actually injected" true
+    (r1.Harness.health.Sim.preemptions > 0
+    && r1.Harness.health.Sim.jitter_events > 0)
+
+let test_faults_slow_the_run () =
+  let faults =
+    { (Fault.preemption ~seed:3 ~cycles:(2_000, 10_000) 0.02) with
+      Fault.jitter_prob = 0.3; jitter_cycles = (50, 400) }
+  in
+  let clean = fault_workload ~threads:8 ~duration:80_000 () in
+  let faulty = fault_workload ~faults ~threads:8 ~duration:80_000 () in
+  check_bool
+    (Printf.sprintf "preemption+jitter cost throughput (%d -> %d ops)"
+       clean.Harness.total_ops faulty.Harness.total_ops)
+    true
+    (faulty.Harness.total_ops < clean.Harness.total_ops)
+
+let test_faults_disabled_is_noop () =
+  (* [Fault.none] must consume no draws and perturb nothing: the layer
+     is strictly opt-in. *)
+  let implicit = fault_workload ~threads:6 ~duration:60_000 () in
+  let explicit =
+    fault_workload ~faults:Fault.none ~threads:6 ~duration:60_000 ()
+  in
+  check_bool "Fault.none is the default" true
+    (result_fingerprint implicit = result_fingerprint explicit);
+  check_bool "clean run reports Completed" true
+    (implicit.Harness.health.Sim.verdict = Sim.Completed);
+  check_bool "clean run injected nothing" true
+    (implicit.Harness.health.Sim.preemptions = 0
+    && implicit.Harness.health.Sim.jitter_events = 0
+    && implicit.Harness.health.Sim.crashed = []);
+  check_bool "all threads completed" true (Harness.completed_all implicit)
+
+let test_runaway_exception () =
+  let sim = Sim.create Platform.opteron in
+  Sim.spawn sim ~core:0 (fun () ->
+      while true do
+        Sim.pause 10
+      done);
+  let raised =
+    try
+      ignore (Sim.run sim ~max_events:1_000);
+      false
+    with Sim.Simulation_runaway n -> n > 1_000
+  in
+  check_bool "max_events raises Simulation_runaway" true raised
+
+let test_watchdog_deadlock_verdict () =
+  (* a barrier that never fills: the queue drains with a live thread,
+     which the watchdog must report instead of claiming completion *)
+  let sim = Sim.create Platform.opteron in
+  let b = Sim.make_barrier 2 in
+  Sim.spawn sim ~core:0 (fun () ->
+      Sim.pause 10;
+      Sim.await b);
+  let _, h = Sim.run_health sim in
+  (match h.Sim.verdict with
+  | Sim.Stalled { tid = 0; core = 0; _ } -> ()
+  | v -> Alcotest.failf "expected stalled tid 0, got %s" (Sim.verdict_to_string v));
+  check_int "nothing dropped (deadlock, not backstop)" 0 h.Sim.dropped_events
+
+let test_watchdog_crash_stall_verdict () =
+  (* thread 0 takes a TAS "lock" and crash-stops while holding it;
+     thread 1 spins forever and must be reported as stalled, with the
+     crash recorded — no hang, no silent truncation *)
+  let faults = Fault.crash_stop ~seed:1 [ (0, 500) ] in
+  let sim = Sim.create ~faults Platform.opteron in
+  let mem = Sim.memory sim in
+  let flag = Memory.alloc mem in
+  Sim.spawn sim ~core:0 (fun () ->
+      ignore (Sim.tas flag);
+      Sim.pause 5_000;
+      (* crash-stops before this release runs *)
+      Sim.store flag 0);
+  Sim.spawn sim ~core:6 (fun () ->
+      while Sim.load flag = 0 do
+        Sim.pause 10
+      done;
+      while Sim.load flag = 1 do
+        Sim.pause 40
+      done);
+  let _, h = Sim.run_health sim ~until:50_000 in
+  check_bool "crash recorded" true (h.Sim.crashed = [ 0 ]);
+  (match h.Sim.verdict with
+  | Sim.Stalled { tid = 1; _ } -> ()
+  | v -> Alcotest.failf "expected stalled tid 1, got %s" (Sim.verdict_to_string v));
+  check_bool "backstop dropped the spin tail" true (h.Sim.dropped_events > 0)
+
+let test_fault_spec_validation () =
+  let fails f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "bad probability" true
+    (fails (fun () -> Sim.create ~faults:(Fault.preemption 1.5) Platform.opteron));
+  check_bool "bad cycle range" true
+    (fails (fun () ->
+         Sim.create
+           ~faults:{ Fault.none with Fault.preempt_prob = 0.1; preempt_cycles = (10, 5) }
+           Platform.opteron));
+  check_bool "bad crash tid" true
+    (fails (fun () ->
+         Sim.create ~faults:(Fault.crash_stop [ (-1, 0) ]) Platform.opteron))
+
 (* qcheck: counter increments across random thread/iteration mixes are
    never lost. *)
 let qcheck_no_lost_updates =
@@ -214,5 +353,18 @@ let suite =
     Alcotest.test_case "harness counts ops" `Quick test_harness_counts_ops;
     Alcotest.test_case "harness validates arguments" `Quick
       test_harness_rejects_bad_args;
+    Alcotest.test_case "fault seed determinism" `Quick
+      test_fault_seed_determinism;
+    Alcotest.test_case "faults slow the run" `Quick test_faults_slow_the_run;
+    Alcotest.test_case "fault layer disabled is a no-op" `Quick
+      test_faults_disabled_is_noop;
+    Alcotest.test_case "Simulation_runaway raised at max_events" `Quick
+      test_runaway_exception;
+    Alcotest.test_case "watchdog reports deadlock" `Quick
+      test_watchdog_deadlock_verdict;
+    Alcotest.test_case "watchdog reports crash-induced stall" `Quick
+      test_watchdog_crash_stall_verdict;
+    Alcotest.test_case "fault spec validation" `Quick
+      test_fault_spec_validation;
     QCheck_alcotest.to_alcotest qcheck_no_lost_updates;
   ]

@@ -199,6 +199,161 @@ let test_ticket_backoff_helps_on_opteron () =
     true
     (spin > 2. *. backoff)
 
+(* ------------------------------------------------------------------ *)
+(* Timed acquisition. *)
+
+(* try_acquire: wins a free lock, refuses a held one without leaving a
+   trace, and acquire_timeout gives up within its bound — for all nine
+   algorithms. *)
+let test_try_acquire_semantics () =
+  List.iter
+    (fun pid ->
+      let p = Platform.get pid in
+      List.iter
+        (fun algo ->
+          let label s =
+            Printf.sprintf "%s/%s %s" (Arch.platform_name pid)
+              (Simlock.name algo) s
+          in
+          let sim = Sim.create p in
+          let mem = Sim.memory sim in
+          let lock = Simlock.create mem p ~n_threads:2 algo in
+          let free_try = ref false in
+          let held_try = ref true in
+          let timed_out = ref true in
+          let gave_up_at = ref 0 in
+          let eventually = ref false in
+          Sim.spawn sim ~core:(Platform.place p 0) (fun () ->
+              free_try := lock.Lock_type.try_acquire ~tid:0;
+              Sim.pause 50_000;
+              lock.Lock_type.release ~tid:0);
+          Sim.spawn sim ~core:(Platform.place p 1) (fun () ->
+              Sim.pause 5_000;
+              held_try := lock.Lock_type.try_acquire ~tid:1;
+              let t0 = Sim.now () in
+              timed_out :=
+                not (Lock_type.acquire_timeout lock ~tid:1 ~timeout:10_000);
+              gave_up_at := Sim.now () - t0;
+              eventually :=
+                Lock_type.acquire_timeout lock ~tid:1 ~timeout:200_000;
+              if !eventually then lock.Lock_type.release ~tid:1);
+          ignore (Sim.run sim ~until:500_000);
+          check_bool (label "free trylock wins") true !free_try;
+          check_bool (label "held trylock refuses") false !held_try;
+          check_bool (label "acquire_timeout gives up") true !timed_out;
+          check_bool
+            (label (Printf.sprintf "gave up within bound (%d cy)" !gave_up_at))
+            true
+            (!gave_up_at >= 10_000 && !gave_up_at < 20_000);
+          check_bool (label "succeeds once free") true !eventually)
+        (Simlock.algos_for p))
+    Arch.paper_platform_ids
+
+(* The trylock path must still exclude: increments under
+   acquire_timeout-guarded critical sections are never lost, and the
+   counter matches the number of successful acquisitions. *)
+let test_timeout_mutual_exclusion () =
+  let p = Platform.opteron in
+  List.iter
+    (fun algo ->
+      let sim = Sim.create p in
+      let mem = Sim.memory sim in
+      let threads = 8 in
+      let lock = Simlock.create mem p ~n_threads:threads algo in
+      let data = Memory.alloc mem in
+      let succ = Array.make threads 0 in
+      let b = Sim.make_barrier threads in
+      for tid = 0 to threads - 1 do
+        Sim.spawn sim ~core:(Platform.place p tid) (fun () ->
+            Sim.await b;
+            for _ = 1 to 30 do
+              if Lock_type.acquire_timeout lock ~tid ~timeout:3_000 then begin
+                let v = Sim.load data in
+                Sim.pause 25;
+                Sim.store data (v + 1);
+                lock.Lock_type.release ~tid;
+                succ.(tid) <- succ.(tid) + 1
+              end
+            done)
+      done;
+      ignore (Sim.run sim);
+      check_int
+        (Printf.sprintf "%s trylock excludes" (Simlock.name algo))
+        (Array.fold_left ( + ) 0 succ)
+        (Memory.peek mem data))
+    (Simlock.algos_for p)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection meets the queue locks: a holder that dies while
+   holding wedges every FIFO waiter.  The blocking path must terminate
+   via the watchdog with a structured verdict; the timed path must let
+   waiters escape and complete with partial results. *)
+
+let crashed_holder_run algo ~timeout =
+  let p = Platform.opteron in
+  let threads = 6 in
+  let faults = Fault.crash_stop ~seed:1 [ (0, 40_000) ] in
+  Harness.run ~faults p ~threads ~duration:100_000
+    ~setup:(fun mem -> Simlock.create mem p ~n_threads:threads algo)
+    ~body:(fun lock _mem ~tid ~deadline ->
+      if tid = 0 then begin
+        (* the victim: acquires, then is crash-stopped mid-hold *)
+        lock.Lock_type.acquire ~tid;
+        Sim.pause 500_000;
+        lock.Lock_type.release ~tid;
+        0
+      end
+      else begin
+        let n = ref 0 in
+        while Sim.now () < deadline do
+          (match timeout with
+          | None ->
+              lock.Lock_type.acquire ~tid;
+              Sim.pause 50;
+              lock.Lock_type.release ~tid;
+              incr n
+          | Some timeout ->
+              if Lock_type.acquire_timeout lock ~tid ~timeout then begin
+                Sim.pause 50;
+                lock.Lock_type.release ~tid;
+                incr n
+              end);
+          Sim.pause 100
+        done;
+        !n
+      end)
+
+let test_crashed_holder_watchdog () =
+  List.iter
+    (fun algo ->
+      let r = crashed_holder_run algo ~timeout:None in
+      let label s = Printf.sprintf "%s %s" (Simlock.name algo) s in
+      check_bool (label "crash recorded") true
+        (r.Harness.health.Sim.crashed = [ 0 ]);
+      check_bool (label "verdict is Stalled") true
+        (match r.Harness.health.Sim.verdict with
+        | Sim.Stalled _ -> true
+        | Sim.Completed -> false);
+      check_bool (label "incomplete threads surfaced") false
+        (Harness.completed_all r))
+    [ Simlock.Mcs; Simlock.Clh; Simlock.Ticket; Simlock.Array_lock ]
+
+let test_timeout_escapes_crashed_holder () =
+  List.iter
+    (fun algo ->
+      let r = crashed_holder_run algo ~timeout:(Some 2_000) in
+      let label s = Printf.sprintf "%s %s" (Simlock.name algo) s in
+      (* impatient waiters give up on the dead holder: the run finishes
+         instead of stalling, with the crash on record *)
+      check_bool (label "verdict is Completed") true
+        (r.Harness.health.Sim.verdict = Sim.Completed);
+      check_bool (label "crash recorded") true
+        (r.Harness.health.Sim.crashed = [ 0 ]);
+      check_bool (label "victim marked incomplete") false r.Harness.completed.(0);
+      check_bool (label "survivors completed") true
+        (Array.for_all (fun c -> c) (Array.sub r.Harness.completed 1 5)))
+    [ Simlock.Mcs; Simlock.Clh; Simlock.Ticket ]
+
 (* qcheck: random (platform, algo, threads, iters) never loses updates. *)
 let qcheck_mutual_exclusion =
   let gen =
@@ -231,5 +386,13 @@ let suite =
       test_queue_locks_resilient;
     Alcotest.test_case "ticket backoff helps (Figure 3)" `Quick
       test_ticket_backoff_helps_on_opteron;
+    Alcotest.test_case "try_acquire semantics: 9 algos x 4 platforms" `Quick
+      test_try_acquire_semantics;
+    Alcotest.test_case "timed acquisition excludes" `Quick
+      test_timeout_mutual_exclusion;
+    Alcotest.test_case "crashed holder trips the watchdog" `Quick
+      test_crashed_holder_watchdog;
+    Alcotest.test_case "acquire_timeout escapes a crashed holder" `Quick
+      test_timeout_escapes_crashed_holder;
     QCheck_alcotest.to_alcotest qcheck_mutual_exclusion;
   ]
