@@ -233,7 +233,7 @@ let extra_small_platforms () =
         {
           state = Arch.Modified;
           owner = Some holder;
-          sharers = [];
+          sharers = Ssync_platform.Coreset.of_list [];
           home = topo.Topology.mem_node_of_core holder;
         }
       in

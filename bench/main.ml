@@ -7,7 +7,10 @@
      bench/main.exe            run everything
      bench/main.exe SECTIONS   run a subset, e.g. `main.exe fig5 fig11`
      bench/main.exe --quick    shorter simulated windows
-     bench/main.exe --list     list section names *)
+     bench/main.exe --list     list section names
+     bench/main.exe --json     also write per-section engine counters
+                               (wall time, events, parked waiters,
+                               simulated cycles/s) to BENCH_PERF.json *)
 
 let sections : (string * string * (quick:bool -> unit)) list =
   [
@@ -60,10 +63,69 @@ let sections : (string * string * (quick:bool -> unit)) list =
      fun ~quick:_ -> Native_bench.run ());
   ]
 
+(* One machine-readable line per section: the engine-counter deltas
+   around its run.  [sim_mcps] is simulated cycles per wall second — the
+   simulator's own throughput. *)
+type section_perf = {
+  sp_name : string;
+  sp_wall_s : float;
+  sp_events : int;
+  sp_parks : int;
+  sp_wakeups : int;
+  sp_elided : int;
+  sp_sim_cycles : int;
+}
+
+let perf_json_line sp =
+  let sim_mcps =
+    if sp.sp_wall_s <= 0. then 0.
+    else float_of_int sp.sp_sim_cycles /. sp.sp_wall_s /. 1e6
+  in
+  Printf.sprintf
+    "{\"section\":%S,\"wall_s\":%.3f,\"events\":%d,\"parks\":%d,\
+     \"wakeups\":%d,\"elided_probes\":%d,\"sim_cycles\":%d,\
+     \"sim_mcycles_per_s\":%.1f}"
+    sp.sp_name sp.sp_wall_s sp.sp_events sp.sp_parks sp.sp_wakeups
+    sp.sp_elided sp.sp_sim_cycles sim_mcps
+
+let write_perf_json ~quick ~total_wall sps =
+  let oc = open_out "BENCH_PERF.json" in
+  let total =
+    List.fold_left
+      (fun acc sp ->
+        {
+          acc with
+          sp_events = acc.sp_events + sp.sp_events;
+          sp_parks = acc.sp_parks + sp.sp_parks;
+          sp_wakeups = acc.sp_wakeups + sp.sp_wakeups;
+          sp_elided = acc.sp_elided + sp.sp_elided;
+          sp_sim_cycles = acc.sp_sim_cycles + sp.sp_sim_cycles;
+        })
+      {
+        sp_name = "total";
+        sp_wall_s = total_wall;
+        sp_events = 0;
+        sp_parks = 0;
+        sp_wakeups = 0;
+        sp_elided = 0;
+        sp_sim_cycles = 0;
+      }
+      sps
+  in
+  output_string oc "[\n";
+  Printf.fprintf oc "{\"mode\":%S},\n" (if quick then "quick" else "full");
+  List.iter (fun sp -> Printf.fprintf oc "%s,\n" (perf_json_line sp)) sps;
+  Printf.fprintf oc "%s\n]\n" (perf_json_line total);
+  close_out oc;
+  Printf.printf "(engine counters written to BENCH_PERF.json)\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let json = List.mem "--json" args in
+  let args =
+    List.filter (fun a -> a <> "--quick" && a <> "--json") args
+  in
   if List.mem "--list" args then
     List.iter (fun (name, desc, _) -> Printf.printf "%-22s %s\n" name desc) sections
   else begin
@@ -86,8 +148,33 @@ let () =
        Trigonakis, SOSP'13.\nAll cross-platform numbers come from the \
        calibrated simulator; see EXPERIMENTS.md.\n%!";
     let t0 = Unix.gettimeofday () in
+    let perfs = ref [] in
     List.iter
-      (fun (name, _, f) -> if List.mem name wanted then f ~quick)
+      (fun (name, _, f) ->
+        if List.mem name wanted then begin
+          let w0 = Unix.gettimeofday () in
+          let p0 = Ssync_engine.Sim.cumulative_perf () in
+          f ~quick;
+          let w1 = Unix.gettimeofday () in
+          let p1 = Ssync_engine.Sim.cumulative_perf () in
+          perfs :=
+            {
+              sp_name = name;
+              sp_wall_s = w1 -. w0;
+              sp_events = p1.Ssync_engine.Sim.events - p0.Ssync_engine.Sim.events;
+              sp_parks = p1.Ssync_engine.Sim.parks - p0.Ssync_engine.Sim.parks;
+              sp_wakeups =
+                p1.Ssync_engine.Sim.wakeups - p0.Ssync_engine.Sim.wakeups;
+              sp_elided =
+                p1.Ssync_engine.Sim.elided_probes
+                - p0.Ssync_engine.Sim.elided_probes;
+              sp_sim_cycles =
+                p1.Ssync_engine.Sim.sim_cycles - p0.Ssync_engine.Sim.sim_cycles;
+            }
+            :: !perfs
+        end)
       sections;
-    Printf.printf "\n(total wall time: %.1fs)\n" (Unix.gettimeofday () -. t0)
+    let total_wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "\n(total wall time: %.1fs)\n" total_wall;
+    if json then write_perf_json ~quick ~total_wall (List.rev !perfs)
   end

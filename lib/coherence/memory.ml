@@ -8,7 +8,18 @@
    modeled by line occupancy: an exclusive transaction keeps the line
    (its directory entry / home-tile slot) busy for its duration, so
    concurrent writers serialize and latencies grow under contention,
-   exactly the mechanism behind the paper's Figures 4 and 5. *)
+   exactly the mechanism behind the paper's Figures 4 and 5.
+
+   Lines additionally carry a wait list of parked spinners (see
+   [try_park]): a thread whose spin loop has reached a steady state —
+   every probe a local cache hit that changes nothing — is suspended
+   here instead of burning one simulation event per probe.  Any real
+   access to the line revalidates the parked waiters: probes that the
+   poll loop would have issued before the access are bulk-accounted,
+   and waiters whose next probe would no longer be inert are woken to
+   replay it for real, on the exact virtual-time grid the poll loop
+   would have used.  The mechanism is therefore invisible in simulated
+   time; it only collapses O(poll iterations) events into O(1). *)
 
 open Ssync_platform
 
@@ -17,10 +28,30 @@ type addr = int
 type line = {
   mutable state : Arch.cstate;
   mutable owner : int option;   (* core holding Modified/Owned/Exclusive *)
-  mutable sharers : int list;   (* cores holding Shared copies *)
+  sharers : Coreset.t;          (* cores holding Shared copies *)
   home : int;                   (* home node (directory / home tile / memory) *)
   mutable value : int;
   mutable busy_until : int;     (* virtual time the line is occupied until *)
+  mutable waiters : waiter list; (* parked spinners, FIFO *)
+}
+
+(* A parked spinner: the spin loop [probe; while result = w_while:
+   pause w_poll; probe] whose probes are currently inert.  [w_next] is
+   the virtual time its next probe would issue; successive probes sit
+   on the grid [w_next + i * w_step] (probe latency + poll pause).
+   [w_replay] hands the wake time back to the engine, which re-issues
+   the probe for real. *)
+and waiter = {
+  w_core : int;
+  w_op : Arch.memop;
+  w_operand : int;
+  w_operand2 : int;
+  w_while : int;
+  w_poll : int;
+  w_hit : int;                  (* service latency of one inert probe *)
+  w_step : int;                 (* w_hit + w_poll *)
+  mutable w_next : int;
+  w_replay : int -> unit;
 }
 
 type t = {
@@ -28,13 +59,23 @@ type t = {
   mutable lines : line array;
   mutable n_lines : int;
   stats : Stats.t;
+  scratch : Cost_model.view;    (* reused for every op_latency call *)
 }
 
 let dummy_line =
-  { state = Arch.Invalid; owner = None; sharers = []; home = 0; value = 0; busy_until = 0 }
+  { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home = 0;
+    value = 0; busy_until = 0; waiters = [] }
 
 let create platform =
-  { platform; lines = Array.make 1024 dummy_line; n_lines = 0; stats = Stats.create () }
+  {
+    platform;
+    lines = Array.make 1024 dummy_line;
+    n_lines = 0;
+    stats = Stats.create ();
+    scratch =
+      { Cost_model.state = Arch.Invalid; owner = None;
+        sharers = Coreset.create (); home = 0 };
+  }
 
 let platform t = t.platform
 let stats t = t.stats
@@ -50,7 +91,8 @@ let alloc ?(home_core = 0) ?(value = 0) t : addr =
   end;
   let a = t.n_lines in
   t.lines.(a) <-
-    { state = Arch.Invalid; owner = None; sharers = []; home; value; busy_until = 0 };
+    { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home;
+      value; busy_until = 0; waiters = [] };
   t.n_lines <- a + 1;
   a
 
@@ -71,10 +113,17 @@ let line t a =
 let peek t a = (line t a).value
 let poke t a v = (line t a).value <- v
 
-let view_of_line (l : line) : Cost_model.view =
-  { state = l.state; owner = l.owner; sharers = l.sharers; home = l.home }
+(* Refill the scratch view from [l]; [sharers] aliases the line's set,
+   which the cost model only reads. *)
+let view_of_line t (l : line) : Cost_model.view =
+  let v = t.scratch in
+  v.Cost_model.state <- l.state;
+  v.Cost_model.owner <- l.owner;
+  v.Cost_model.sharers <- l.sharers;
+  v.Cost_model.home <- l.home;
+  v
 
-let holds l core = l.owner = Some core || List.mem core l.sharers
+let holds l core = l.owner = Some core || Coreset.mem l.sharers core
 
 (* Is this access served entirely from the requester's own cache (no
    global transaction, no serialization)? *)
@@ -83,6 +132,15 @@ let is_local_hit (l : line) core (op : Arch.memop) =
   | Arch.Load -> holds l core
   | Arch.Store -> l.owner = Some core
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> l.owner = Some core
+
+(* A fetch-and-add of 0 is an exclusive-prefetch probe (prefetchw +
+   load, section 5.3): it costs a store-intent transfer, not a locked
+   read-modify-write; [operand2 = 1] marks a store-class single-writer
+   update. *)
+let cost_op_of (op : Arch.memop) ~operand ~operand2 =
+  match op with
+  | Arch.Fai when operand = 0 || operand2 = 1 -> Arch.Store
+  | _ -> op
 
 (* Protocol state transition after [core] performs [op].  MOESI
    (Opteron) keeps a dirty line in the previous owner's cache in Owned
@@ -105,34 +163,36 @@ let transition t (l : line) core (op : Arch.memop) =
             (* owner keeps its dirty copy in Owned state *)
             l.state <- Arch.Owned;
             l.owner <- Some o;
-            l.sharers <- core :: l.sharers
+            Coreset.add l.sharers core
         | ((Arch.Modified | Arch.Exclusive), Some o) ->
             l.state <- Arch.Shared;
             l.owner <- None;
-            l.sharers <- core :: o :: l.sharers
-        | (Arch.Owned, Some _) -> l.sharers <- core :: l.sharers
-        | ((Arch.Shared | Arch.Forward), _) -> l.sharers <- core :: l.sharers
+            Coreset.add l.sharers core;
+            Coreset.add l.sharers o
+        | (Arch.Owned, Some _) -> Coreset.add l.sharers core
+        | ((Arch.Shared | Arch.Forward), _) -> Coreset.add l.sharers core
         | (Arch.Invalid, _) ->
             l.state <- Arch.Exclusive;
             l.owner <- Some core;
-            l.sharers <- []
+            Coreset.clear l.sharers
         | ((Arch.Modified | Arch.Exclusive), None)
         | (Arch.Owned, None) ->
             (* inconsistent: repair as a fresh exclusive fill *)
             l.state <- Arch.Exclusive;
             l.owner <- Some core;
-            l.sharers <- [])
+            Coreset.clear l.sharers)
         ;
         0
       end
   | Arch.Store | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap ->
       let killed =
-        List.length (List.filter (fun c -> c <> core) l.sharers)
+        Coreset.cardinal l.sharers
+        - (if Coreset.mem l.sharers core then 1 else 0)
         + (match l.owner with Some o when o <> core -> 1 | _ -> 0)
       in
       l.state <- Arch.Modified;
       l.owner <- Some core;
-      l.sharers <- [];
+      Coreset.clear l.sharers;
       killed
 
 (* Apply the operation's data semantics; returns the result value
@@ -165,6 +225,97 @@ let apply_data (l : line) (op : Arch.memop) ~operand ~operand2 =
       l.value <- operand;
       old
 
+(* ---------------------------- parking ---------------------------- *)
+
+(* Would a probe of [op] by [core] observing this line be *inert* —
+   a local cache hit whose transition and data update change nothing
+   and whose result keeps the spin loop going?  Such a probe affects
+   nothing but the prober's own schedule, so it can be elided and
+   bulk-accounted later. *)
+let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2:_
+    ~while_ =
+  (match op with
+  | Arch.Load -> l.value = while_
+  | Arch.Tas -> while_ = 1 && l.value = 1
+  | Arch.Cas -> while_ = 0 && l.value <> operand
+  | Arch.Fai -> operand = 0 && l.value = while_
+  | Arch.Swap -> l.value = operand && l.value = while_
+  | Arch.Store -> false)
+  &&
+  match op with
+  | Arch.Load -> holds l core
+  | Arch.Store -> false
+  | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap ->
+      (* the transition must also be a no-op: already Modified at the
+         prober with no sharer left to invalidate *)
+      l.state = Arch.Modified && l.owner = Some core
+      && Coreset.is_empty l.sharers
+
+(* Park a spinner whose next probe (issuing at [now + poll]) would be
+   inert.  Returns [false] — and parks nothing — when the probe must
+   run for real.  [replay] receives the issue time of the first
+   non-elided probe once a real access disturbs the line. *)
+let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
+    ~while_ ~poll ~replay : bool =
+  let l = line t a in
+  if not (probe_inert l ~core op ~operand ~operand2 ~while_) then false
+  else begin
+    let cost_op = cost_op_of op ~operand ~operand2 in
+    let hit =
+      t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
+    in
+    let w =
+      {
+        w_core = core;
+        w_op = op;
+        w_operand = operand;
+        w_operand2 = operand2;
+        w_while = while_;
+        w_poll = poll;
+        w_hit = hit;
+        w_step = hit + poll;
+        w_next = now + poll;
+        w_replay = replay;
+      }
+    in
+    l.waiters <- l.waiters @ [ w ];
+    true
+  end
+
+let waiter_count t a = List.length (line t a).waiters
+
+(* Phase 1, before the access mutates the line: account every elided
+   probe that would have issued strictly before [now] under the state
+   the line held since the last real access. *)
+let settle_elided t (l : line) ~now =
+  List.iter
+    (fun w ->
+      if w.w_next < now then begin
+        let k = 1 + ((now - 1 - w.w_next) / w.w_step) in
+        Stats.record_elided t.stats w.w_op ~count:k ~latency:w.w_hit;
+        w.w_next <- w.w_next + (k * w.w_step)
+      end)
+    l.waiters
+
+(* Phase 2, after the mutation: wake every waiter whose next probe is
+   no longer inert.  [w_next] is now the first grid point >= [now]; a
+   probe landing exactly on the access time observes the post-access
+   state (the access wins the tie).  Wake order is park order, so
+   same-time replays are deterministic. *)
+let wake_disturbed (l : line) =
+  match l.waiters with
+  | [] -> ()
+  | ws ->
+      let still, woken =
+        List.partition
+          (fun w ->
+            probe_inert l ~core:w.w_core w.w_op ~operand:w.w_operand
+              ~operand2:w.w_operand2 ~while_:w.w_while)
+          ws
+      in
+      l.waiters <- still;
+      List.iter (fun w -> w.w_replay w.w_next) woken
+
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
    (completion latency in cycles, result value).  For [Cas], [operand]
    is the expected value and [operand2] the desired one; for [Store] and
@@ -173,19 +324,13 @@ let access ?(operand = 0) ?(operand2 = 0) t ~core ~now (op : Arch.memop) (a : ad
     : int * int =
   Topology.check t.platform.Platform.topo core;
   let l = line t a in
-  (* A fetch-and-add of 0 is an exclusive-prefetch probe (prefetchw +
-     load, section 5.3): it costs a store-intent transfer, not a locked
-     read-modify-write. *)
-  let cost_op =
-    match op with
-    | Arch.Fai when operand = 0 || operand2 = 1 -> Arch.Store
-    | _ -> op
-  in
+  if l.waiters <> [] then settle_elided t l ~now;
+  let cost_op = cost_op_of op ~operand ~operand2 in
   let local = is_local_hit l core op in
   let start = if local then now else max now l.busy_until in
   let queued = start - now in
   let service =
-    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line l)
+    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
   in
   let pre_state = l.state in
   if not local then
@@ -196,13 +341,14 @@ let access ?(operand = 0) ?(operand2 = 0) t ~core ~now (op : Arch.memop) (a : ad
   let result = apply_data l op ~operand ~operand2 in
   let latency = queued + service in
   Stats.record t.stats op ~latency ~queued ~local ~invalidated;
+  if l.waiters <> [] then wake_disturbed l;
   (latency, result)
 
 (* Expected latency of [op] issued by [core] right now, without doing
    it — used by ccbench to report best-case protocol latencies. *)
 let probe_latency t ~core (op : Arch.memop) (a : addr) : int =
   let l = line t a in
-  t.platform.Platform.op_latency op ~requester:core (view_of_line l)
+  t.platform.Platform.op_latency op ~requester:core (view_of_line t l)
 
 (* Test/bench helper: drive a line into a wanted state via real protocol
    transitions, like the real ccbench does ("brings the cache line in
@@ -213,7 +359,7 @@ let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
   (* wipe: back to invalid *)
   l.state <- Arch.Invalid;
   l.owner <- None;
-  l.sharers <- [];
+  Coreset.clear l.sharers;
   l.busy_until <- 0;
   let second =
     if second >= 0 then second

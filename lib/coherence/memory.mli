@@ -7,7 +7,13 @@
     occupancy: an exclusive transaction keeps the line's directory
     entry / home-tile slot busy for its duration, so concurrent
     requests serialize — the mechanism behind the paper's contention
-    results. *)
+    results.
+
+    Lines also carry a wait list of parked spinners ({!try_park}):
+    threads whose spin probes have become inert local hits are
+    suspended on the line and woken — on the exact poll grid — by the
+    next real access, collapsing O(poll iterations) simulation events
+    into O(1) without changing any simulated timestamp. *)
 
 open Ssync_platform
 
@@ -16,10 +22,28 @@ type addr = int
 type line = {
   mutable state : Arch.cstate;
   mutable owner : int option;  (** core holding Modified/Owned/Exclusive *)
-  mutable sharers : int list;  (** cores holding Shared copies *)
+  sharers : Coreset.t;  (** cores holding Shared copies *)
   home : int;  (** home node (directory / home tile / memory) *)
   mutable value : int;
   mutable busy_until : int;  (** virtual time the line is occupied until *)
+  mutable waiters : waiter list;  (** parked spinners, FIFO *)
+}
+
+(** A parked spinner of the loop [probe; while result = w_while: pause
+    w_poll; probe]: elided probes sit on the virtual-time grid
+    [w_next + i * w_step]; [w_replay] receives the issue time of the
+    first probe that must run for real. *)
+and waiter = {
+  w_core : int;
+  w_op : Arch.memop;
+  w_operand : int;
+  w_operand2 : int;
+  w_while : int;
+  w_poll : int;
+  w_hit : int;  (** service latency of one inert probe *)
+  w_step : int;  (** [w_hit + w_poll] *)
+  mutable w_next : int;
+  w_replay : int -> unit;
 }
 
 type t
@@ -44,7 +68,22 @@ val access :
     [operand] is the value written; for [Fai], [operand] is the
     increment — 0 makes it an exclusive-prefetch probe and
     [operand2 = 1] marks a store-class single-writer update (both
-    costed as stores). *)
+    costed as stores).  A real access additionally settles and
+    revalidates the line's parked waiters. *)
+
+val try_park :
+  t -> core:int -> now:int -> Arch.memop -> addr ->
+  operand:int -> operand2:int -> while_:int -> poll:int ->
+  replay:(int -> unit) -> bool
+(** Park the calling spinner on the line iff its next probe (issuing
+    at [now + poll]) would be inert: a local hit that changes neither
+    the protocol state nor the value, returning [while_].  When it
+    returns [false] the probe must be performed with {!access}.
+    [replay] is called with the first non-elided probe's issue time
+    once a real access disturbs the line. *)
+
+val waiter_count : t -> addr -> int
+(** Number of spinners currently parked on the line (tests/metrics). *)
 
 val probe_latency : t -> core:int -> Arch.memop -> addr -> int
 (** Expected service latency of [op] right now, without performing it. *)

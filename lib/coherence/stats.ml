@@ -12,6 +12,7 @@ type t = {
   mutable local_hits : int;
   mutable invalidations : int; (* copies killed by exclusive requests *)
   mutable queued_cycles : int; (* cycles spent waiting on busy lines *)
+  mutable elided_probes : int; (* inert spin probes accounted in bulk *)
 }
 
 let create () =
@@ -22,6 +23,7 @@ let create () =
     local_hits = 0;
     invalidations = 0;
     queued_cycles = 0;
+    elided_probes = 0;
   }
 
 let counter_for t (op : Ssync_platform.Arch.memop) =
@@ -37,6 +39,16 @@ let record t op ~latency ~queued ~local ~invalidated =
   if local then t.local_hits <- t.local_hits + 1;
   t.invalidations <- t.invalidations + invalidated;
   t.queued_cycles <- t.queued_cycles + queued
+
+(* Bulk accounting for [count] elided spin probes, each a local hit of
+   [latency] cycles — exactly what [count] calls of [record] with
+   [~queued:0 ~local:true ~invalidated:0] would have recorded. *)
+let record_elided t op ~count ~latency =
+  let c = counter_for t op in
+  c.count <- c.count + count;
+  c.cycles <- c.cycles + (count * latency);
+  t.local_hits <- t.local_hits + count;
+  t.elided_probes <- t.elided_probes + count
 
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count
 let total_cycles t = t.loads.cycles + t.stores.cycles + t.atomics.cycles

@@ -1,30 +1,60 @@
 (* A binary min-heap of timed events.  Ties are broken by insertion
-   order so simulation runs are deterministic and FIFO-fair. *)
+   order so simulation runs are deterministic and FIFO-fair.
 
-type event = { time : int; seq : int; run : unit -> unit }
+   The heap is laid out as parallel arrays (struct-of-arrays) and
+   popped through a caller-owned [popped] cell, so the simulator's main
+   loop moves millions of events without allocating: no event records,
+   no [Some] wrappers. *)
 
 type t = {
-  mutable heap : event array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable runs : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = 0; run = (fun () -> ()) }
-let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
+(* Allocating view of a popped event, kept for tests and casual
+   callers; the simulator uses [pop_into]. *)
+type event = { time : int; seq : int; run : unit -> unit }
+
+(* Caller-owned cell refilled by [pop_into]. *)
+type popped = { mutable p_time : int; mutable p_run : unit -> unit }
+
+let no_run () = ()
+let make_popped () = { p_time = 0; p_run = no_run }
+
+let create () =
+  {
+    times = Array.make 256 0;
+    seqs = Array.make 256 0;
+    runs = Array.make 256 no_run;
+    size = 0;
+    next_seq = 0;
+  }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let rn = t.runs.(i) in
+  t.runs.(i) <- t.runs.(j);
+  t.runs.(j) <- rn
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -33,35 +63,61 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && before t l !smallest then smallest := l;
+  if r < t.size && before t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0
+  and seqs = Array.make (2 * cap) 0
+  and runs = Array.make (2 * cap) no_run in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.runs 0 runs 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.runs <- runs
+
 let push t ~time run =
   if time < 0 then invalid_arg "Event_queue.push: negative time";
-  if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
+  if t.size = Array.length t.times then grow t;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  t.heap.(t.size) <- { time; seq; run };
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- seq;
+  t.runs.(t.size) <- run;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+
+(* Remove the root, assuming size > 0. *)
+let remove_root t =
+  t.size <- t.size - 1;
+  t.times.(0) <- t.times.(t.size);
+  t.seqs.(0) <- t.seqs.(t.size);
+  t.runs.(0) <- t.runs.(t.size);
+  t.runs.(t.size) <- no_run;
+  (* release the closure *)
+  if t.size > 0 then sift_down t 0
+
+let pop_into t (p : popped) =
+  if t.size = 0 then false
+  else begin
+    p.p_time <- t.times.(0);
+    p.p_run <- t.runs.(0);
+    remove_root t;
+    true
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    Some top
+    let e = { time = t.times.(0); seq = t.seqs.(0); run = t.runs.(0) } in
+    remove_root t;
+    Some e
   end
 
-let min_time t = if t.size = 0 then None else Some t.heap.(0).time
+let min_time t = if t.size = 0 then None else Some t.times.(0)

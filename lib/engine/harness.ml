@@ -23,6 +23,7 @@ type result = {
   total_ops : int;
   mops : float;          (* total throughput in Mops/s (paper's unit) *)
   health : Sim.health;   (* engine verdict + fault counters *)
+  perf : Sim.perf;       (* engine counters: events, parks, wall-clock *)
 }
 
 let total_of ops = Array.fold_left ( + ) 0 ops
@@ -35,15 +36,15 @@ let completed_all r = Array.for_all (fun c -> c) r.completed
    default to the first participating thread's memory node, as in the
    paper (section 6).  [faults] (default: none) injects deterministic
    preemption/jitter/crash faults into the run. *)
-let run ?(faults = Fault.none) (platform : Platform.t) ~threads ~duration
-    ~(setup : Memory.t -> 'a)
+let run ?(faults = Fault.none) ?parking (platform : Platform.t) ~threads
+    ~duration ~(setup : Memory.t -> 'a)
     ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int) : result =
   if threads <= 0 then invalid_arg "Harness.run: threads must be positive";
   if threads > Platform.n_cores platform then
     invalid_arg
       (Printf.sprintf "Harness.run: %d threads > %d cores on %s" threads
          (Platform.n_cores platform) platform.Platform.name);
-  let sim = Sim.create ~faults platform in
+  let sim = Sim.create ~faults ?parking platform in
   let mem = Sim.memory sim in
   let shared = setup mem in
   let ops = Array.make threads 0 in
@@ -68,17 +69,18 @@ let run ?(faults = Fault.none) (platform : Platform.t) ~threads ~duration
     total_ops;
     mops = Platform.mops platform ~ops:total_ops ~cycles:duration;
     health;
+    perf = Sim.perf sim;
   }
 
 (* Latency-style harness: like [run] but the body accumulates cycles of
    interest (e.g. acquire+release latency) into its return value
    together with the op count; returns mean cycles per op. *)
-let run_latency ?faults platform ~threads ~duration ~setup
+let run_latency ?faults ?parking platform ~threads ~duration ~setup
     ~(body : 'a -> Memory.t -> tid:int -> deadline:int -> int * int) :
     result * float =
   let cycles_acc = Array.make threads 0 in
   let r =
-    run ?faults platform ~threads ~duration ~setup
+    run ?faults ?parking platform ~threads ~duration ~setup
       ~body:(fun shared mem ~tid ~deadline ->
         let n, cy = body shared mem ~tid ~deadline in
         cycles_acc.(tid) <- cy;

@@ -7,6 +7,18 @@
    completes.  This lets the lock/message-passing algorithms be written
    in direct style, exactly as their native counterparts.
 
+   Spin loops go through a dedicated effect ([E_spin], surfaced as
+   {!spin_load} and friends): semantically the loop "probe; while the
+   result equals [while_]: pause [poll]; probe", but executed
+   event-driven — once the probes reach a steady state (inert local
+   hits), the thread parks on the line's wait list inside the memory
+   model and is woken, on the exact virtual-time grid the poll loop
+   would have used, by the next real access to the line.  Simulated
+   timestamps are preserved; only the O(poll-iterations) event churn
+   collapses to O(1).  Under fault injection the same effect falls back
+   to literal pause/probe stepping so every scheduling point draws from
+   the per-thread fault streams in the original order.
+
    Two robustness layers sit on top of the pure engine:
 
    - Fault injection ([Fault.spec], strictly opt-in): every scheduling
@@ -45,10 +57,16 @@ type t = {
   mutable spawned : int;
   faults : Fault.spec;
   faults_active : bool;
+  parking : bool; (* event-driven waiter wakeup enabled? *)
   tstates : (int, thread_state) Hashtbl.t;
   mutable preempt_count : int;
   mutable jitter_count : int;
   mutable crashed_tids : int list; (* reversed *)
+  (* engine performance counters *)
+  mutable events_run : int;
+  mutable parks : int;
+  mutable wakeups : int;
+  mutable wall_ns : int;
 }
 
 type barrier = {
@@ -57,15 +75,47 @@ type barrier = {
   mutable waiters : (thread_state * (unit, unit) Effect.Deep.continuation) list;
 }
 
+(* A single-waiter parking spot for non-memory waiting (e.g. the
+   Tilera's hardware message queues): the waiter parks with its poll
+   period; [unpark] wakes it at the first poll-grid point after the
+   state change, exactly where the poll loop would have noticed. *)
+type parker = {
+  mutable seat :
+    (thread_state * (unit, unit) Effect.Deep.continuation) option;
+  mutable seat_at : int;
+  mutable seat_poll : int;
+}
+
 type _ Effect.t +=
   | E_mem : Arch.memop * Memory.addr * int * int -> int Effect.t
+  | E_spin : Arch.memop * Memory.addr * int * int * int * int -> int Effect.t
   | E_pause : int -> unit Effect.t
   | E_now : int Effect.t
   | E_self : (int * int) Effect.t (* (core, tid) *)
   | E_barrier : barrier -> unit Effect.t
+  | E_park : parker * int -> unit Effect.t
+  | E_unpark : parker -> unit Effect.t
+  | E_evd : bool Effect.t (* is event-driven waiting active? *)
 
-let create ?(faults = Fault.none) platform =
+(* Default for [create]'s [?parking] — lets tests A/B the event-driven
+   path against literal polling without threading a flag through every
+   harness layer. *)
+let parking_default = ref true
+
+(* Cumulative engine counters across every simulation of the process,
+   for the benchmark harness's perf report. *)
+let cum_events = ref 0
+let cum_parks = ref 0
+let cum_wakeups = ref 0
+let cum_elided = ref 0
+let cum_sim_cycles = ref 0
+let cum_wall_ns = ref 0
+
+let create ?(faults = Fault.none) ?parking platform =
   let faults = Fault.validate faults in
+  let parking =
+    match parking with Some p -> p | None -> !parking_default
+  in
   {
     platform;
     mem = Memory.create platform;
@@ -75,15 +125,25 @@ let create ?(faults = Fault.none) platform =
     spawned = 0;
     faults;
     faults_active = not (Fault.is_none faults);
+    parking;
     tstates = Hashtbl.create 64;
     preempt_count = 0;
     jitter_count = 0;
     crashed_tids = [];
+    events_run = 0;
+    parks = 0;
+    wakeups = 0;
+    wall_ns = 0;
   }
 
 let memory t = t.mem
 let platform t = t.platform
 let now_of t = t.now
+
+(* Event-driven waiting applies only without faults: the fallback poll
+   stepping keeps the per-thread fault-draw order identical to the
+   hand-written loops it replaced. *)
+let event_driven t = t.parking && not t.faults_active
 
 let schedule t ~at run =
   Event_queue.push t.events ~time:(max at t.now) run
@@ -122,8 +182,53 @@ let now () = Effect.perform E_now
 let self_core () = fst (Effect.perform E_self)
 let self_tid () = snd (Effect.perform E_self)
 
+(* {2 Spin primitives}
+
+   Each is exactly the loop [let x = probe in if x = while_ then
+   (pause poll; retry) else x] of the hand-written spinlocks, executed
+   event-driven (see the header comment).  The first probe runs
+   immediately, pauses sit between probes, and the call returns the
+   first probe result that differs from [while_]. *)
+
+let spin_check poll =
+  if poll < 0 then invalid_arg "Sim.spin: negative poll interval"
+
+let spin_load a ~while_ ~poll =
+  spin_check poll;
+  Effect.perform (E_spin (Arch.Load, a, 0, 0, while_, poll))
+
+(* Spin until the test-and-set wins (previous value 0); continues while
+   the probe returns 1. *)
+let spin_tas a ~poll =
+  spin_check poll;
+  ignore (Effect.perform (E_spin (Arch.Tas, a, 0, 0, 1, poll)))
+
+(* Spin until the CAS succeeds; continues while the probe fails. *)
+let spin_cas a ~expected ~desired ~poll =
+  spin_check poll;
+  ignore (Effect.perform (E_spin (Arch.Cas, a, expected, desired, 0, poll)))
+
+let spin_swap a v ~while_ ~poll =
+  spin_check poll;
+  Effect.perform (E_spin (Arch.Swap, a, v, 0, while_, poll))
+
+(* Spin probing with an exclusive atomic read (prefetchw-style
+   [faa a 0]). *)
+let spin_faa0 a ~while_ ~poll =
+  spin_check poll;
+  Effect.perform (E_spin (Arch.Fai, a, 0, 0, while_, poll))
+
 let make_barrier n : barrier = { expected = n; arrived = 0; waiters = [] }
 let await b = Effect.perform (E_barrier b)
+
+let make_parker () : parker = { seat = None; seat_at = 0; seat_poll = 1 }
+
+let park pk ~poll =
+  if poll <= 0 then invalid_arg "Sim.park: poll must be positive";
+  Effect.perform (E_park (pk, poll))
+
+let unpark pk = Effect.perform (E_unpark pk)
+let event_driven_waits () = Effect.perform E_evd
 
 (* ------------------------------------------------------------------ *)
 (* Fault hooks. *)
@@ -152,16 +257,14 @@ let fault_extra t st ~mem_op =
     !extra
   end
 
-(* Resume [k] at [at] — unless the thread's crash time falls first, in
-   which case the continuation is dropped and the crash is booked at the
-   crash time itself (so it is recorded even when the never-to-happen
-   resume would fall past the [until] backstop).  A crash-stopped thread
-   is simply never resumed: no unwinding, no cleanup — whatever it holds
-   stays held, which is what crash-stop means. *)
-let resume : type a.
-    t -> thread_state -> (a, unit) Effect.Deep.continuation -> at:int -> a -> unit
-    =
- fun t st k ~at v ->
+(* Schedule [f] at [at] on [st]'s behalf — unless the thread's crash
+   time falls first, in which case [f] is dropped and the crash is
+   booked at the crash time itself (so it is recorded even when the
+   never-to-happen step would fall past the [until] backstop).  A
+   crash-stopped thread is simply never resumed: no unwinding, no
+   cleanup — whatever it holds stays held, which is what crash-stop
+   means. *)
+let crash_sched t st ~at f =
   if st.crash_at >= 0 && (not st.crashed) && at >= st.crash_at then
     schedule t ~at:(max t.now st.crash_at) (fun () ->
         if not st.crashed then begin
@@ -172,7 +275,51 @@ let resume : type a.
   else
     schedule t ~at (fun () ->
         st.last_progress <- t.now;
-        Effect.Deep.continue k v)
+        f ())
+
+let resume : type a.
+    t -> thread_state -> (a, unit) Effect.Deep.continuation -> at:int -> a -> unit
+    =
+ fun t st k ~at v -> crash_sched t st ~at (fun () -> Effect.Deep.continue k v)
+
+(* The [E_spin] state machine.  Invoked with the thread suspended right
+   after observing [while_]; the first probe issues at [now + poll],
+   exactly like the poll loop's [pause poll; probe].  Whenever the next
+   probe would be inert, the thread parks on the line and the memory
+   model wakes it — via [replay], on the original probe grid — when a
+   real access disturbs the line. *)
+let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
+    ~operand2 ~while_ ~poll =
+  let core = st.core in
+  let rec probe () =
+    (* [t.now] is the probe's issue time *)
+    let latency, x =
+      Memory.access t.mem ~core ~now:t.now op a ~operand ~operand2
+    in
+    let latency = latency + fault_extra t st ~mem_op:true in
+    if x <> while_ then resume t st k ~at:(t.now + latency) x
+    else crash_sched t st ~at:(t.now + latency) continue_spin
+  and continue_spin () =
+    (* [t.now] is the completion time of a probe that returned
+       [while_]; emulate [pause poll; probe] — or park. *)
+    if
+      event_driven t
+      && Memory.try_park t.mem ~core ~now:t.now op a ~operand ~operand2
+           ~while_ ~poll ~replay:(fun at ->
+             t.wakeups <- t.wakeups + 1;
+             incr cum_wakeups;
+             crash_sched t st ~at probe)
+    then begin
+      t.parks <- t.parks + 1;
+      incr cum_parks
+    end
+    else if poll = 0 then probe ()
+    else begin
+      let cy = max 1 poll + fault_extra t st ~mem_op:false in
+      crash_sched t st ~at:(t.now + cy) probe
+    end
+  in
+  continue_spin ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -214,6 +361,11 @@ let spawn t ~core body =
                   in
                   let latency = latency + fault_extra t st ~mem_op:true in
                   resume t st k ~at:(t.now + latency) v)
+          | E_spin (op, a, op1, op2, while_, poll) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  spin_loop t st k op a ~operand:op1 ~operand2:op2 ~while_
+                    ~poll)
           | E_pause cycles ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -238,6 +390,46 @@ let spawn t ~core body =
                     resume t st k ~at:t.now ()
                   end
                   else b.waiters <- (st, k) :: b.waiters)
+          | E_park (pk, poll) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if event_driven t then begin
+                    if pk.seat <> None then
+                      invalid_arg "Sim.park: parker already occupied";
+                    pk.seat <- Some (st, k);
+                    pk.seat_at <- t.now;
+                    pk.seat_poll <- poll;
+                    t.parks <- t.parks + 1;
+                    incr cum_parks
+                  end
+                  else begin
+                    (* literal polling: one pause quantum, the caller's
+                       loop re-checks *)
+                    let cy = max 1 poll + fault_extra t st ~mem_op:false in
+                    resume t st k ~at:(t.now + cy) ()
+                  end)
+          | E_unpark pk ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (match pk.seat with
+                  | Some (wst, wk) ->
+                      pk.seat <- None;
+                      (* first poll-grid point after the state change *)
+                      let dt = t.now - pk.seat_at in
+                      let steps =
+                        max 1 ((dt + pk.seat_poll - 1) / pk.seat_poll)
+                      in
+                      t.wakeups <- t.wakeups + 1;
+                      incr cum_wakeups;
+                      resume t wst wk
+                        ~at:(pk.seat_at + (steps * pk.seat_poll))
+                        ()
+                  | None -> ());
+                  continue k ())
+          | E_evd ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  continue k (event_driven t))
           | _ -> None);
     }
   in
@@ -311,27 +503,41 @@ let most_stalled t =
    [Stalled] when live threads remained — either because the [until]
    backstop dropped their pending events or because the queue drained
    with threads still blocked (a deadlock, e.g. a barrier that never
-   fills or a lock whose holder crash-stopped). *)
+   fills, a lock whose holder crash-stopped, or a parked waiter no
+   access will ever wake). *)
 let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
+  let wall_start = Unix.gettimeofday () in
+  let start_now = t.now in
+  let start_elided = (Memory.stats t.mem).Stats.elided_probes in
   let executed = ref 0 in
   let dropped = ref 0 in
   let continue_run = ref true in
+  let p = Event_queue.make_popped () in
   while !continue_run do
-    match Event_queue.pop t.events with
-    | None -> continue_run := false
-    | Some ev ->
-        if ev.Event_queue.time > until then begin
-          (* the popped event plus everything still queued is discarded *)
-          dropped := 1 + Event_queue.length t.events;
-          continue_run := false
-        end
-        else begin
-          incr executed;
-          if !executed > max_events then raise (Simulation_runaway !executed);
-          t.now <- ev.Event_queue.time;
-          ev.Event_queue.run ()
-        end
+    if not (Event_queue.pop_into t.events p) then continue_run := false
+    else if p.Event_queue.p_time > until then begin
+      (* the popped event plus everything still queued is discarded *)
+      dropped := 1 + Event_queue.length t.events;
+      continue_run := false
+    end
+    else begin
+      incr executed;
+      if !executed > max_events then raise (Simulation_runaway !executed);
+      t.now <- p.Event_queue.p_time;
+      p.Event_queue.p_run ()
+    end
   done;
+  t.events_run <- t.events_run + !executed;
+  cum_events := !cum_events + !executed;
+  cum_sim_cycles := !cum_sim_cycles + (t.now - start_now);
+  cum_elided :=
+    !cum_elided
+    + ((Memory.stats t.mem).Stats.elided_probes - start_elided);
+  let wall_ns =
+    int_of_float ((Unix.gettimeofday () -. wall_start) *. 1e9)
+  in
+  t.wall_ns <- t.wall_ns + wall_ns;
+  cum_wall_ns := !cum_wall_ns + wall_ns;
   let verdict =
     if t.live_threads <= 0 then Completed
     else
@@ -351,3 +557,37 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
     } )
 
 let run ?until ?max_events t = fst (run_health ?until ?max_events t)
+
+(* ------------------------------------------------------------------ *)
+(* Engine performance counters. *)
+
+type perf = {
+  events : int; (* events executed by the run loop *)
+  parks : int; (* threads parked event-driven *)
+  wakeups : int; (* parked threads woken by a real access *)
+  elided_probes : int; (* inert spin probes accounted without an event *)
+  sim_cycles : int; (* virtual time advanced *)
+  wall_ns : int; (* wall-clock spent in the run loop *)
+}
+
+let perf t =
+  {
+    events = t.events_run;
+    parks = t.parks;
+    wakeups = t.wakeups;
+    elided_probes = (Memory.stats t.mem).Stats.elided_probes;
+    sim_cycles = t.now;
+    wall_ns = t.wall_ns;
+  }
+
+(* Totals across every simulation of the process (the benchmark
+   harness samples deltas around each section). *)
+let cumulative_perf () =
+  {
+    events = !cum_events;
+    parks = !cum_parks;
+    wakeups = !cum_wakeups;
+    elided_probes = !cum_elided;
+    sim_cycles = !cum_sim_cycles;
+    wall_ns = !cum_wall_ns;
+  }

@@ -7,22 +7,41 @@
     completion time.  Lock and message-passing algorithms are written
     in direct style, exactly like their native counterparts.
 
+    Spin-wait loops use the dedicated primitives ({!spin_load} and
+    friends): semantically identical to the hand-written
+    probe/pause/retry loops — same probes, same virtual timestamps —
+    but executed event-driven.  Once a spinner's probes become inert
+    local hits the thread parks on the line inside the memory model and
+    is woken, on its original poll grid, by the next real access;
+    O(poll iterations) of simulation events collapse to O(1).
+
     The engine optionally injects deterministic faults ({!Fault.spec}:
     preemption, latency jitter, crash-stop threads) and always tracks
     per-thread progress, so {!run_health} reports a structured verdict
     — finished versus stalled/deadlocked — instead of silently
-    dropping the tail of a pathological schedule. *)
+    dropping the tail of a pathological schedule.  Under fault
+    injection the spin primitives fall back to literal pause/probe
+    stepping so every scheduling point draws from the per-thread fault
+    streams in the original order. *)
 
 type t
 
 exception Simulation_runaway of int
 
-val create : ?faults:Fault.spec -> Ssync_platform.Platform.t -> t
-(** [create ?faults p] builds a simulation on platform [p].  [faults]
-    defaults to {!Fault.none}, which injects nothing and consumes no
-    random draws — fault-free runs are bit-identical to the engine
-    without the fault layer.  Raises [Invalid_argument] on a malformed
-    spec. *)
+val parking_default : bool ref
+(** Default for [create]'s [?parking] (initially [true]); lets tests
+    and benchmarks A/B event-driven waiting against literal polling
+    without threading a flag through every harness layer. *)
+
+val create :
+  ?faults:Fault.spec -> ?parking:bool -> Ssync_platform.Platform.t -> t
+(** [create ?faults ?parking p] builds a simulation on platform [p].
+    [faults] defaults to {!Fault.none}, which injects nothing and
+    consumes no random draws — fault-free runs are bit-identical to the
+    engine without the fault layer.  [parking] (default
+    [!parking_default]) enables event-driven waiter wakeup; it is
+    automatically disabled while faults are active.  Raises
+    [Invalid_argument] on a malformed spec. *)
 
 val memory : t -> Ssync_coherence.Memory.t
 val platform : t -> Ssync_platform.Platform.t
@@ -60,11 +79,35 @@ val run_health : ?until:int -> ?max_events:int -> t -> int * health
 (** Run until no events remain; returns the final virtual time and the
     health record.  [until] stops the run at that virtual time (a
     backstop against threads that spin forever); [max_events] bounds
-    the total event count and raises [Simulation_runaway] beyond it. *)
+    the total event count and raises [Simulation_runaway] beyond it.
+    With event-driven waiting, a deadlocked run (e.g. parked spinners
+    whose wakeup will never come) drains the queue and reports
+    [Stalled] with [dropped_events = 0] rather than polling until the
+    backstop. *)
 
 val run : ?until:int -> ?max_events:int -> t -> int
 (** [run t] is [fst (run_health t)] — the original interface, for
     callers that do not inspect health. *)
+
+(** {1 Engine performance counters} *)
+
+type perf = {
+  events : int;  (** events executed by the run loop *)
+  parks : int;  (** threads parked event-driven *)
+  wakeups : int;  (** parked threads woken by a real access *)
+  elided_probes : int;
+      (** inert spin probes accounted in bulk, without an event each *)
+  sim_cycles : int;  (** virtual time advanced *)
+  wall_ns : int;  (** wall-clock nanoseconds spent in the run loop *)
+}
+
+val perf : t -> perf
+(** Counters for this simulation (cumulative over its [run_health]
+    calls). *)
+
+val cumulative_perf : unit -> perf
+(** Process-wide totals across every simulation; the benchmark harness
+    samples deltas around each section. *)
 
 (** {1 Operations available inside a simulated thread}
 
@@ -98,6 +141,33 @@ val now : unit -> int
 val self_core : unit -> int
 val self_tid : unit -> int
 
+(** {1 Spin primitives}
+
+    Each is exactly the loop
+    [let x = probe in if x = while_ then (pause poll; retry) else x]:
+    the first probe issues immediately, pauses of [poll] cycles sit
+    between probes, and the call returns the first probe result that
+    differs from [while_].  [poll = 0] probes back-to-back.  Raise
+    [Invalid_argument] on a negative [poll]. *)
+
+val spin_load : Ssync_coherence.Memory.addr -> while_:int -> poll:int -> int
+(** Spin on plain loads while they return [while_]. *)
+
+val spin_tas : Ssync_coherence.Memory.addr -> poll:int -> unit
+(** Spin on test-and-set until it wins (previous value 0). *)
+
+val spin_cas :
+  Ssync_coherence.Memory.addr -> expected:int -> desired:int -> poll:int -> unit
+(** Spin on compare-and-swap until it succeeds. *)
+
+val spin_swap :
+  Ssync_coherence.Memory.addr -> int -> while_:int -> poll:int -> int
+(** Spin on [swap a v] while it returns [while_]. *)
+
+val spin_faa0 : Ssync_coherence.Memory.addr -> while_:int -> poll:int -> int
+(** Spin on the exclusive atomic read [faa a 0] (prefetchw-style probe)
+    while it returns [while_]. *)
+
 (** {1 Barriers} *)
 
 type barrier
@@ -106,3 +176,31 @@ val make_barrier : int -> barrier
 (** A reusable barrier for [n] simulated threads (no memory traffic). *)
 
 val await : barrier -> unit
+
+(** {1 Parkers}
+
+    A single-waiter parking spot for waits on state the memory model
+    cannot see (e.g. the Tilera's hardware message queues).  The waiter
+    declares its poll period; {!unpark} wakes it at the first poll-grid
+    point after the state change — exactly when the literal poll loop
+    would have noticed.  Under faults (or with parking disabled),
+    {!park} degrades to one [pause poll] quantum and the caller's loop
+    re-checks. *)
+
+type parker
+
+val make_parker : unit -> parker
+
+val park : parker -> poll:int -> unit
+(** Park until {!unpark}, or pause one poll quantum in fallback mode;
+    callers must re-check their condition in a loop.  [poll] must be
+    positive.  Raises [Invalid_argument] if the parker is occupied. *)
+
+val unpark : parker -> unit
+(** Wake the parked waiter, if any, on its poll grid; costless for the
+    caller. *)
+
+val event_driven_waits : unit -> bool
+(** Whether event-driven waiting is active in the enclosing simulation
+    (parking enabled and faults off) — lets wait loops choose between
+    grid-arithmetic shortcuts and literal polling. *)

@@ -7,17 +7,20 @@ type 'a t = { slot : 'a option Atomic.t }
 
 let create () = { slot = Atomic.make None }
 
+(* Spin-retry loops live at top level so the hot paths allocate
+   nothing beyond the message itself — a per-call [let rec] closure
+   would box its environment on every send/recv. *)
+let rec wait_empty slot =
+  if Atomic.get slot <> None then begin
+    Domain.cpu_relax ();
+    wait_empty slot
+  end
+
 (* Blocking send; spins while the previous message is unconsumed.  Only
    one producer may use a channel. *)
 let send t v =
   let m = Some v in
-  let rec wait () =
-    if Atomic.get t.slot <> None then begin
-      Domain.cpu_relax ();
-      wait ()
-    end
-  in
-  wait ();
+  wait_empty t.slot;
   Atomic.set t.slot m
 
 (* Non-blocking receive.  Only one consumer may use a channel. *)
@@ -29,12 +32,9 @@ let try_recv t =
       (match m with Some v -> Some v | None -> assert false)
 
 (* Blocking receive. *)
-let recv t =
-  let rec loop () =
-    match try_recv t with
-    | Some v -> v
-    | None ->
-        Domain.cpu_relax ();
-        loop ()
-  in
-  loop ()
+let rec recv t =
+  match try_recv t with
+  | Some v -> v
+  | None ->
+      Domain.cpu_relax ();
+      recv t

@@ -32,15 +32,12 @@ let try_recv_any t =
   in
   scan 0
 
-let recv_any t =
-  let rec loop () =
-    match try_recv_any t with
-    | Some r -> r
-    | None ->
-        Domain.cpu_relax ();
-        loop ()
-  in
-  loop ()
+let rec recv_any t =
+  match try_recv_any t with
+  | Some r -> r
+  | None ->
+      Domain.cpu_relax ();
+      recv_any t
 
 let respond t i v = Channel.send t.to_client.(i) v
 let send_request t ~client v = Channel.send t.to_server.(client) v

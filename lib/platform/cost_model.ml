@@ -12,17 +12,19 @@
 (* What the memory model knows about a cache line when an operation is
    issued.  [owner] holds the line in Modified/Owned/Exclusive; [sharers]
    are cores with Shared/Forward copies (never including [owner]);
-   [home] is the node of the line's directory / home tile / memory. *)
+   [home] is the node of the line's directory / home tile / memory.
+   Fields are mutable so the memory model can refill one scratch view
+   per access instead of allocating a record on every operation. *)
 type view = {
-  state : Arch.cstate;
-  owner : int option;
-  sharers : int list;
-  home : int;
+  mutable state : Arch.cstate;
+  mutable owner : int option;
+  mutable sharers : Coreset.t;
+  mutable home : int;
 }
 
-let uncached v = v.owner = None && v.sharers = []
-let n_holders v = List.length v.sharers + if v.owner = None then 0 else 1
-let holds v core = v.owner = Some core || List.mem core v.sharers
+let uncached v = v.owner = None && Coreset.is_empty v.sharers
+let n_holders v = Coreset.cardinal v.sharers + if v.owner = None then 0 else 1
+let holds v core = v.owner = Some core || Coreset.mem v.sharers core
 
 (* Distance class between two *nodes* of a topology. *)
 let node_class (t : Topology.t) n1 n2 : Arch.distance =
@@ -56,18 +58,23 @@ let rank_of_class : Arch.distance -> int = function
 let source_core (t : Topology.t) ~requester v =
   match v.owner with
   | Some o -> Some o
-  | None -> (
-      match v.sharers with
-      | [] -> None
-      | s :: rest ->
-          let better a b =
-            let ca = node_class t (t.node_of_core requester) (t.node_of_core a)
-            and cb =
-              node_class t (t.node_of_core requester) (t.node_of_core b)
-            in
-            if rank_of_class ca <= rank_of_class cb then a else b
-          in
-          Some (List.fold_left better s rest))
+  | None ->
+      if Coreset.is_empty v.sharers then None
+      else begin
+        (* closest sharer by distance class; ties keep the lowest id —
+           any same-class representative yields the same latency *)
+        let rnode = t.node_of_core requester in
+        let best = ref (-1) and best_rank = ref max_int in
+        Coreset.iter
+          (fun s ->
+            let r = rank_of_class (node_class t rnode (t.node_of_core s)) in
+            if r < !best_rank then begin
+              best_rank := r;
+              best := s
+            end)
+          v.sharers;
+        Some !best
+      end
 
 let class_to_core t ~requester core =
   node_class t (t.node_of_core requester) (t.node_of_core core)
@@ -101,14 +108,14 @@ let opteron_directory_penalty (t : Topology.t) ~requester v =
   if uncached v then 0 (* the home node itself supplies the data *)
   else
   let rnode = t.node_of_core requester in
-  let involved =
-    rnode
-    ::
-    (match v.owner with
-    | Some o -> [ t.node_of_core o ]
-    | None -> List.map t.node_of_core v.sharers)
+  let home_involved =
+    v.home = rnode
+    ||
+    match v.owner with
+    | Some o -> t.node_of_core o = v.home
+    | None -> Coreset.exists (fun s -> t.node_of_core s = v.home) v.sharers
   in
-  if List.mem v.home involved then 0 else 30 * max 1 (t.node_hops rnode v.home)
+  if home_involved then 0 else 30 * max 1 (t.node_hops rnode v.home)
 
 let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let dir_pen = opteron_directory_penalty t ~requester v in
@@ -179,7 +186,7 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let row = xeon_row3 class_of_source in
   let invalidation_growth =
     (* storing on a line shared by all 80 cores costs 445 *)
-    List.length v.sharers / 5
+    Coreset.cardinal v.sharers / 5
   in
   match op with
   | Arch.Load -> (
@@ -264,7 +271,7 @@ let tilera_scale ~at1 ~at10 h =
 
 let tilera_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let h = tilera_home_hops t ~requester v in
-  let inval_growth = 3 * max 0 (List.length v.sharers - 1) in
+  let inval_growth = 3 * max 0 (Coreset.cardinal v.sharers - 1) in
   match op with
   | Arch.Load ->
       if holds v requester then 2 (* local L1 *)
@@ -312,17 +319,15 @@ let scaled_small big_latency (t : Topology.t) ratio op ~requester v =
      this yields the intra-socket cost, which the measured cross/intra
      ratio then scales when the transaction crosses the socket link. *)
   let remap c = if c = requester then 0 else 1 in
+  let fake_owner = Option.map remap v.owner in
+  let fake_sharers = Coreset.create () in
+  Coreset.iter
+    (fun s ->
+      let m = remap s in
+      if Some m <> fake_owner then Coreset.add fake_sharers m)
+    v.sharers;
   let fake =
-    {
-      state = v.state;
-      owner = Option.map remap v.owner;
-      sharers =
-        List.sort_uniq compare
-          (List.filter
-             (fun s -> Some s <> Option.map remap v.owner)
-             (List.map remap v.sharers));
-      home = 0;
-    }
+    { state = v.state; owner = fake_owner; sharers = fake_sharers; home = 0 }
   in
   let intra = big_latency op ~requester:0 fake in
   let rnode = t.node_of_core requester in

@@ -5,23 +5,24 @@
 type t = {
   min_delay : int;
   max_delay : int;
+  rng0 : int; (* initial LCG state, for [reset] *)
   mutable delay : int;
   mutable rng : int;
 }
 
 let create ?(min_delay = 64) ?(max_delay = 8192) ~seed () =
-  {
-    min_delay;
-    max_delay;
-    delay = min_delay;
-    rng = (seed * 2654435761) land 0x3FFFFFFF;
-  }
+  let rng0 = (seed * 2654435761) land 0x3FFFFFFF in
+  { min_delay; max_delay; rng0; delay = min_delay; rng = rng0 }
 
 let next_rand t =
   t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
   t.rng
 
-let reset t = t.delay <- t.min_delay
+(* Restore the freshly-created state (delay *and* jitter stream), so a
+   reused per-thread backoff behaves exactly like a new one. *)
+let reset t =
+  t.delay <- t.min_delay;
+  t.rng <- t.rng0
 
 (* Next delay: current bound, jittered to [bound/2, bound), then the
    bound doubles up to [max_delay]. *)

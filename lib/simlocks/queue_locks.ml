@@ -24,9 +24,8 @@ let mcs mem ~home_core ~n_threads ~place : Lock_type.t =
         if prev <> 0 then begin
           Sim.store locked.(tid) 1;
           Sim.store next.(prev - 1) (tid + 1);
-          while Sim.load locked.(tid) = 1 do
-            Sim.pause 6
-          done
+          if Sim.load locked.(tid) = 1 then
+            ignore (Sim.spin_load locked.(tid) ~while_:1 ~poll:6)
         end);
     release =
       (fun ~tid ->
@@ -34,15 +33,11 @@ let mcs mem ~home_core ~n_threads ~place : Lock_type.t =
         if successor = 0 then begin
           if not (Sim.cas tail ~expected:(tid + 1) ~desired:0) then begin
             (* someone is in the middle of enqueuing: wait for the link *)
-            let rec wait () =
-              let s = Sim.load next.(tid) in
-              if s = 0 then begin
-                Sim.pause 6;
-                wait ()
-              end
+            let rec wait s =
+              if s = 0 then wait (Sim.spin_load next.(tid) ~while_:0 ~poll:6)
               else Sim.store locked.(s - 1) 0
             in
-            wait ()
+            wait (Sim.load next.(tid))
           end
         end
         else Sim.store locked.(successor - 1) 0);
@@ -84,9 +79,8 @@ let clh_ext mem ~home_core ~n_threads ~place : Lock_type.t * (tid:int -> bool)
           Sim.store st.mine 1;
           let prev = Sim.swap tail (st.mine + 1) - 1 in
           st.pred <- prev;
-          while Sim.load prev = 1 do
-            Sim.pause 6
-          done);
+          if Sim.load prev = 1 then
+            ignore (Sim.spin_load prev ~while_:1 ~poll:6));
       release =
         (fun ~tid ->
           let st = states.(tid) in

@@ -12,11 +12,7 @@ let tas mem ~home_core : Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
   {
     name = "TAS";
-    acquire =
-      (fun ~tid:_ ->
-        while not (Sim.tas lock) do
-          ()
-        done);
+    acquire = (fun ~tid:_ -> Sim.spin_tas lock ~poll:0);
     release = (fun ~tid:_ -> Sim.store lock 0);
     try_acquire = (fun ~tid:_ -> Sim.tas lock);
   }
@@ -27,24 +23,36 @@ let tas mem ~home_core : Lock_type.t =
    back off exponentially after a lost race. *)
 let ttas mem ~home_core : Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
+  (* one backoff per thread, reset at each acquire — state identical to
+     a fresh one, without allocating on the lock's hot path *)
+  let backoffs = Hashtbl.create 16 in
+  let backoff_for tid =
+    match Hashtbl.find_opt backoffs tid with
+    | Some b ->
+        Backoff.reset b;
+        b
+    | None ->
+        let b = Backoff.create ~seed:tid () in
+        Hashtbl.add backoffs tid b;
+        b
+  in
   {
     name = "TTAS";
     acquire =
       (fun ~tid ->
-        let b = Backoff.create ~seed:tid () in
-        let rec loop () =
-          if Sim.load lock = 0 then begin
+        let b = backoff_for tid in
+        let rec loop v =
+          if v = 0 then begin
             if not (Sim.tas lock) then begin
               Sim.pause (Backoff.once b);
-              loop ()
+              loop (Sim.load lock)
             end
           end
-          else begin
-            Sim.pause 4; (* re-read soon; local while cached *)
-            loop ()
-          end
+          else
+            (* re-read every 4 cycles; local while cached *)
+            loop (Sim.spin_load lock ~while_:v ~poll:4)
         in
-        loop ());
+        loop (Sim.load lock));
     release = (fun ~tid:_ -> Sim.store lock 0);
     (* probe first so a failed try costs one local load, not a TAS miss *)
     try_acquire = (fun ~tid:_ -> Sim.load lock = 0 && Sim.tas lock);
@@ -81,25 +89,34 @@ let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
     ~home_core : Lock_type.t * (unit -> bool) =
   let line = Memory.alloc ~home_core mem in
   let wait_turn my =
-    let current () =
+    let probe () =
       match variant with
-      | Ticket_spin | Ticket_backoff -> Sim.load line land ticket_mask
+      | Ticket_spin | Ticket_backoff -> Sim.load line
       | Ticket_prefetchw ->
           (* exclusive-prefetch probe: atomic read leaving the line
              Modified here *)
-          Sim.faa line 0 land ticket_mask
+          Sim.faa line 0
     in
-    let rec loop () =
-      let cur = current () in
+    let spin v ~poll =
+      match variant with
+      | Ticket_spin | Ticket_backoff -> Sim.spin_load line ~while_:v ~poll
+      | Ticket_prefetchw -> Sim.spin_faa0 line ~while_:v ~poll
+    in
+    (* spin while the whole line is unchanged; any change (a new ticket
+       drawn, a release) re-derives the position and its backoff *)
+    let rec loop v =
+      let cur = v land ticket_mask in
       if cur <> my then begin
-        (match variant with
-        | Ticket_spin -> ()
-        | Ticket_backoff | Ticket_prefetchw ->
-            Sim.pause (max 1 ((my - cur) * backoff_base)));
-        loop ()
+        let poll =
+          match variant with
+          | Ticket_spin -> 0
+          | Ticket_backoff | Ticket_prefetchw ->
+              max 1 ((my - cur) * backoff_base)
+        in
+        loop (spin v ~poll)
       end
     in
-    loop ()
+    loop (probe ())
   in
   let lock : Lock_type.t =
     {
@@ -146,9 +163,8 @@ let array_lock mem ~home_core ~n_slots : Lock_type.t =
       (fun ~tid ->
         let idx = Sim.fai tail mod n_slots in
         my_slot.(tid) <- idx;
-        while Sim.load slots.(idx) = 0 do
-          Sim.pause 6
-        done);
+        if Sim.load slots.(idx) = 0 then
+          ignore (Sim.spin_load slots.(idx) ~while_:0 ~poll:6));
     release =
       (fun ~tid ->
         let idx = my_slot.(tid) in
@@ -182,13 +198,15 @@ let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
       (fun ~tid:_ ->
         Sim.pause 20; (* library call overhead *)
         if not (Sim.cas lock ~expected:0 ~desired:1) then begin
-          let rec slow () =
-            if Sim.swap lock 2 <> 0 then begin
-              Sim.pause (syscall_cycles + sleep_cycles);
-              slow ()
-            end
+          (* sleep between retries; wake up (and re-swap) whenever the
+             lock word changes *)
+          let rec slow v =
+            if v <> 0 then
+              slow
+                (Sim.spin_swap lock 2 ~while_:v
+                   ~poll:(syscall_cycles + sleep_cycles))
           in
-          slow ()
+          slow (Sim.swap lock 2)
         end);
     release =
       (fun ~tid:_ ->

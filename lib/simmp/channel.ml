@@ -26,6 +26,8 @@ type impl =
   | Hardware of {
       queue : (int * int) Queue.t; (* (deliver_at, payload) *)
       one_way : int; (* wire latency across the mesh *)
+      recv_parker : Sim.parker; (* receiver waiting on an empty queue *)
+      send_parker : Sim.parker; (* sender waiting on a full queue *)
     }
 
 type t = {
@@ -54,7 +56,12 @@ let create ?(prefetchw = false) ?(use_hw = true) mem (platform : Platform.t)
     match platform.Platform.hw_mp_latency with
     | Some lat when use_hw ->
         Hardware
-          { queue = Queue.create (); one_way = lat sender_core receiver_core }
+          {
+            queue = Queue.create ();
+            one_way = lat sender_core receiver_core;
+            recv_parker = Sim.make_parker ();
+            send_parker = Sim.make_parker ();
+          }
     | Some _ | None ->
         (* the buffer lives on the receiver's node *)
         Coherence { buf = Memory.alloc ~home_core:receiver_core mem; prefetchw }
@@ -71,24 +78,32 @@ let send t payload =
   match t.impl with
   | Hardware h ->
       (* the NIC queue is small: block while the receiver lags *)
-      while Queue.length h.queue >= 4 do
-        Sim.pause 20
-      done;
+      let rec wait_space () =
+        if Queue.length h.queue >= 4 then begin
+          Sim.park h.send_parker ~poll:20;
+          wait_space ()
+        end
+      in
+      wait_space ();
       Sim.pause 20; (* feed the message into the mesh NIC *)
-      Queue.push (Sim.now () + h.one_way, payload) h.queue
+      Queue.push (Sim.now () + h.one_way, payload) h.queue;
+      Sim.unpark h.recv_parker
   | Coherence { buf; prefetchw } ->
       Sim.pause t.sw_pause;
       if prefetchw then begin
         (* single atomic: probe and write in one exclusive transaction,
-           so the buffer line is transferred exactly once per message *)
-        while not (Sim.cas buf ~expected:0 ~desired:(payload + 1)) do
-          Sim.pause 60
-        done
+           so the buffer line is transferred exactly once per message;
+           retries are back-to-back, like libssmp's tight CAS loop *)
+        if not (Sim.cas buf ~expected:0 ~desired:(payload + 1)) then
+          Sim.spin_cas buf ~expected:0 ~desired:(payload + 1) ~poll:0
       end
       else begin
-        while Sim.load buf <> 0 do
-          Sim.pause 60
-        done;
+        (* tight-spin until the receiver drains the previous message;
+           the re-reads are local hits while we stay a sharer *)
+        let rec wait_empty v =
+          if v <> 0 then wait_empty (Sim.spin_load buf ~while_:v ~poll:0)
+        in
+        wait_empty (Sim.load buf);
         Sim.store buf (payload + 1)
       end
 
@@ -102,6 +117,7 @@ let try_recv t =
         if deliver_at <= Sim.now () then begin
           ignore (Queue.pop h.queue);
           Sim.pause 20; (* drain the message from the NIC *)
+          Sim.unpark h.send_parker; (* the NIC queue has space again *)
           Some payload
         end
         else None
@@ -127,12 +143,44 @@ let try_recv t =
 
 (* Blocking receive. *)
 let recv t =
-  let poll_pause = match t.impl with Hardware _ -> 10 | Coherence _ -> 30 in
-  let rec loop () =
-    match try_recv t with
-    | Some v -> v
-    | None ->
-        Sim.pause poll_pause;
-        loop ()
-  in
-  loop ()
+  match t.impl with
+  | Hardware h ->
+      (* poll the NIC every 10 cycles; event-driven, the empty-queue
+         wait parks (the sender's push unparks us on the same 10-cycle
+         grid) and the in-flight wait jumps straight to the grid point
+         at/after delivery *)
+      let rec loop () =
+        match try_recv t with
+        | Some v -> v
+        | None ->
+            if Queue.is_empty h.queue then Sim.park h.recv_parker ~poll:10
+            else if Sim.event_driven_waits () then begin
+              let deliver_at, _ = Queue.peek h.queue in
+              let gap = deliver_at - Sim.now () in
+              Sim.pause (10 * ((gap + 9) / 10))
+            end
+            else Sim.pause 10;
+            loop ()
+      in
+      loop ()
+  | Coherence { buf; prefetchw } ->
+      (* tight-spin on the buffer, like libssmp: re-reads are local hits
+         while the line stays cached, and the first probe after the
+         sender's store pays the line transfer *)
+      let v =
+        if prefetchw then begin
+          (* single atomic: consume and clear in one transaction *)
+          let v0 = Sim.swap buf 0 in
+          if v0 <> 0 then v0 else Sim.spin_swap buf 0 ~while_:0 ~poll:0
+        end
+        else begin
+          let v0 = Sim.load buf in
+          let v =
+            if v0 <> 0 then v0 else Sim.spin_load buf ~while_:0 ~poll:0
+          in
+          Sim.store buf 0;
+          v
+        end
+      in
+      Sim.pause t.sw_pause;
+      v - 1

@@ -31,7 +31,7 @@ let test_moesi_owned_on_opteron () =
   Alcotest.(check string) "owned after remote load" "Owned" (state_name m a);
   check_bool "owner kept" true ((Memory.line m a).Memory.owner = Some 0);
   check_bool "reader became sharer" true
-    (List.mem 6 (Memory.line m a).Memory.sharers)
+    (Coreset.mem (Memory.line m a).Memory.sharers 6)
 
 let test_mesi_shared_on_xeon () =
   let m = mem_on Arch.Xeon in
@@ -40,7 +40,7 @@ let test_mesi_shared_on_xeon () =
   ignore (Memory.access m ~core:1 ~now:0 Arch.Load a);
   Alcotest.(check string) "shared after remote load" "Shared" (state_name m a);
   check_bool "no owner" true ((Memory.line m a).Memory.owner = None);
-  check_int "two sharers" 2 (List.length (Memory.line m a).Memory.sharers)
+  check_int "two sharers" 2 (Coreset.cardinal (Memory.line m a).Memory.sharers)
 
 let test_store_invalidates_sharers () =
   let m = mem_on Arch.Xeon in
@@ -52,7 +52,7 @@ let test_store_invalidates_sharers () =
   let l = Memory.line m a in
   Alcotest.(check string) "modified" "Modified" (state_name m a);
   check_bool "owner is 3" true (l.Memory.owner = Some 3);
-  check_int "no sharers" 0 (List.length l.Memory.sharers);
+  check_int "no sharers" 0 (Coreset.cardinal l.Memory.sharers);
   check_int "value stored" 9 (Memory.peek m a)
 
 (* ------------------------- data semantics ------------------------ *)
@@ -198,15 +198,15 @@ let qcheck_protocol_invariants =
           let swmr =
             match l.Memory.state with
             | Arch.Modified | Arch.Exclusive ->
-                l.Memory.owner <> None && l.Memory.sharers = []
+                l.Memory.owner <> None && Coreset.is_empty l.Memory.sharers
             | Arch.Owned -> l.Memory.owner <> None
             | Arch.Shared | Arch.Forward ->
-                l.Memory.owner = None && l.Memory.sharers <> []
-            | Arch.Invalid -> l.Memory.owner = None && l.Memory.sharers = []
+                l.Memory.owner = None && not (Coreset.is_empty l.Memory.sharers)
+            | Arch.Invalid -> l.Memory.owner = None && Coreset.is_empty l.Memory.sharers
           in
           let owner_not_sharer =
             match l.Memory.owner with
-            | Some o -> not (List.mem o l.Memory.sharers)
+            | Some o -> not (Coreset.mem l.Memory.sharers o)
             | None -> true
           in
           ok_value && swmr && owner_not_sharer)

@@ -4,6 +4,7 @@ let () =
       ("platform", Test_platform.suite);
       ("coherence", Test_coherence.suite);
       ("engine", Test_engine.suite);
+      ("parking", Test_parking.suite);
       ("simlocks", Test_simlocks.suite);
       ("simmp", Test_simmp.suite);
       ("ccbench", Test_ccbench.suite);

@@ -100,22 +100,24 @@ let view_for topo ~holder ?(second = None) (st : Arch.cstate) :
   let home = topo.Topology.mem_node_of_core holder in
   match st with
   | Arch.Modified | Arch.Exclusive ->
-      { state = st; owner = Some holder; sharers = []; home }
+      { state = st; owner = Some holder; sharers = Coreset.of_list []; home }
   | Arch.Owned ->
       {
         state = st;
         owner = Some holder;
-        sharers = (match second with Some s -> [ s ] | None -> []);
+        sharers = Coreset.of_list (match second with Some s -> [ s ] | None -> []);
         home;
       }
   | Arch.Shared | Arch.Forward ->
       {
         state = Arch.Shared;
         owner = None;
-        sharers = (holder :: (match second with Some s -> [ s ] | None -> []));
+        sharers =
+          Coreset.of_list
+            (holder :: (match second with Some s -> [ s ] | None -> []));
         home;
       }
-  | Arch.Invalid -> { state = st; owner = None; sharers = []; home }
+  | Arch.Invalid -> { state = st; owner = None; sharers = Coreset.of_list []; home }
 
 let tolerance_ok ~expected ~actual =
   let e = float_of_int expected and a = float_of_int actual in
@@ -171,7 +173,7 @@ let test_local_hits_cheap () =
         {
           state = Arch.Modified;
           owner = Some 0;
-          sharers = [];
+          sharers = Coreset.of_list [];
           home = topo.Topology.mem_node_of_core 0;
         }
       in
@@ -187,10 +189,10 @@ let test_opteron_store_shared_broadcast () =
   let topo = Topology.opteron in
   let home = 0 in
   let shared : Cost_model.view =
-    { state = Arch.Shared; owner = None; sharers = [ 1; 2 ]; home }
+    { state = Arch.Shared; owner = None; sharers = Coreset.of_list [ 1; 2 ]; home }
   in
   let excl : Cost_model.view =
-    { state = Arch.Exclusive; owner = Some 1; sharers = []; home }
+    { state = Arch.Exclusive; owner = Some 1; sharers = Coreset.of_list []; home }
   in
   let s_lat = Cost_model.op_latency topo Arch.Store ~requester:0 shared in
   let e_lat = Cost_model.op_latency topo Arch.Store ~requester:0 excl in
@@ -205,7 +207,7 @@ let test_xeon_intra_socket_locality () =
     {
       state = Arch.Shared;
       owner = None;
-      sharers = [ holder ];
+      sharers = Coreset.of_list [ holder ];
       home = topo.Topology.mem_node_of_core holder;
     }
   in
@@ -220,10 +222,10 @@ let test_opteron_directory_penalty () =
      2-hop transfer grows from 252 toward ~312 cycles. *)
   let topo = Topology.opteron in
   let best : Cost_model.view =
-    { state = Arch.Modified; owner = Some 18; sharers = []; home = 3 }
+    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 3 }
   in
   let worst : Cost_model.view =
-    { state = Arch.Modified; owner = Some 18; sharers = []; home = 5 }
+    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 5 }
   in
   (* requester 0 is die 0; owner 18 is die 3; die 5 is 2 hops from die 0 *)
   let b = Cost_model.op_latency topo Arch.Load ~requester:0 best in
@@ -237,7 +239,7 @@ let test_niagara_uniformity () =
   List.iter
     (fun sharers ->
       let v : Cost_model.view =
-        { state = Arch.Shared; owner = None; sharers; home = 0 }
+        { state = Arch.Shared; owner = None; sharers = Coreset.of_list sharers; home = 0 }
       in
       check_int "niagara store" 24
         (Cost_model.op_latency topo Arch.Store ~requester:3 v))
@@ -246,7 +248,7 @@ let test_niagara_uniformity () =
 let test_tilera_distance_sensitivity () =
   let topo = Topology.tilera in
   let mk home : Cost_model.view =
-    { state = Arch.Modified; owner = Some home; sharers = []; home }
+    { state = Arch.Modified; owner = Some home; sharers = Coreset.of_list []; home }
   in
   let near = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
   let far = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 35) in
@@ -264,7 +266,7 @@ let test_small_platform_ratios () =
         {
           state = Arch.Modified;
           owner = Some holder;
-          sharers = [];
+          sharers = Coreset.of_list [];
           home = topo.Topology.mem_node_of_core holder;
         }
       in
