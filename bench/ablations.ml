@@ -185,11 +185,12 @@ let occupancy_note () =
     "Opteron non-optimized ticket: 1 thread %.0f cycles/acquire; 24 \
      threads %.0f cycles (%.0fx).\n\
      The multiplier is queueing at the line's directory: every waiter's \
-     reload of the Owned lock line occupies it for a full transaction \
-     (Cost_model.occupancy), so the releaser's update waits behind the \
-     whole reload storm — remove that (cap the occupancy) and the \
-     collapse disappears, which is exactly the difference between the \
-     paper's Figure 3 curves.\n"
+     reload of the Owned lock line occupies it for the serialized phase \
+     of a cache-to-cache transfer — ~4/5 of its latency \
+     (Cost_model.occupancy) — so the releaser's update waits behind the \
+     whole reload storm; cap the occupancy and the collapse disappears, \
+     which is exactly the difference between the paper's Figure 3 \
+     curves.\n"
     base contended (contended /. Float.max 1. base)
 
 let run ?(quick = false) () =

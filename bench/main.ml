@@ -10,7 +10,12 @@
      bench/main.exe --list     list section names
      bench/main.exe --json     also write per-section engine counters
                                (wall time, events, parked waiters,
-                               simulated cycles/s) to BENCH_PERF.json *)
+                               simulated cycles/s) to BENCH_PERF.json
+     bench/main.exe --compare-perf BASELINE FRESH
+                               perf guardrail: exit 1 if FRESH shows the
+                               simulator regressing vs BASELINE (>25%
+                               drop in simulated cycles per wall second,
+                               or >25% growth in events executed) *)
 
 let sections : (string * string * (quick:bool -> unit)) list =
   [
@@ -119,8 +124,120 @@ let write_perf_json ~quick ~total_wall sps =
   close_out oc;
   Printf.printf "(engine counters written to BENCH_PERF.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Perf guardrail: compare two BENCH_PERF.json files and fail loudly if
+   the fresh run shows the simulator regressing against the committed
+   baseline.  The files are the harness's own line-per-section output,
+   so a tiny hand parser suffices — no JSON library needed (or
+   available) in this environment. *)
+
+let find_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and n = String.length line in
+  let rec scan i =
+    if i + plen > n then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else scan (i + 1)
+  in
+  scan 0
+
+let field_num line key =
+  match find_field line key with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      let k = ref j in
+      while
+        !k < n
+        && (match line.[!k] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub line j (!k - j))
+
+let field_str line key =
+  match find_field line key with
+  | None -> None
+  | Some j when j < String.length line && line.[j] = '"' -> (
+      match String.index_from_opt line (j + 1) '"' with
+      | Some e -> Some (String.sub line (j + 1) (e - j - 1))
+      | None -> None)
+  | Some _ -> None
+
+(* (mode, total events, total simulated Mcycles per wall second) *)
+let perf_summary path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Printf.eprintf "--compare-perf: cannot open %s: %s\n" path e;
+      exit 2
+  in
+  let rec lines acc =
+    match input_line ic with
+    | l -> lines (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  let lines = lines [] in
+  let mode = List.find_map (fun l -> field_str l "mode") lines in
+  let total =
+    List.find_opt (fun l -> field_str l "section" = Some "total") lines
+  in
+  match (mode, total) with
+  | Some m, Some t -> (
+      match (field_num t "events", field_num t "sim_mcycles_per_s") with
+      | Some ev, Some mcps -> (m, ev, mcps)
+      | _ ->
+          Printf.eprintf "--compare-perf: %s: malformed total line\n" path;
+          exit 2)
+  | _ ->
+      Printf.eprintf "--compare-perf: %s: missing mode or total entry\n" path;
+      exit 2
+
+let compare_perf baseline_path fresh_path =
+  let b_mode, b_events, b_mcps = perf_summary baseline_path in
+  let f_mode, f_events, f_mcps = perf_summary fresh_path in
+  if b_mode <> f_mode then begin
+    Printf.eprintf
+      "--compare-perf: mode mismatch (baseline %s, fresh %s) — comparing \
+       different workloads proves nothing\n"
+      b_mode f_mode;
+    exit 2
+  end;
+  Printf.printf
+    "perf guardrail (%s mode):\n\
+    \  events       %12.0f -> %12.0f  (%+.1f%%, limit +25%%)\n\
+    \  sim Mcy/s    %12.1f -> %12.1f  (%+.1f%%, limit -25%%)\n"
+    b_mode b_events f_events
+    (100. *. ((f_events /. b_events) -. 1.))
+    b_mcps f_mcps
+    (100. *. ((f_mcps /. b_mcps) -. 1.));
+  let events_ok = f_events <= 1.25 *. b_events in
+  let mcps_ok = f_mcps >= 0.75 *. b_mcps in
+  if not events_ok then
+    Printf.printf
+      "FAIL: the simulator now executes >25%% more events for the same \
+       workload (lost elision/parking coverage?)\n";
+  if not mcps_ok then
+    Printf.printf
+      "FAIL: simulated cycles per wall second dropped >25%% (hot-path \
+       slowdown?)\n";
+  if events_ok && mcps_ok then Printf.printf "OK: within budget\n"
+  else exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (match args with
+  | "--compare-perf" :: rest -> (
+      match rest with
+      | [ baseline; fresh ] ->
+          compare_perf baseline fresh;
+          exit 0
+      | _ ->
+          Printf.eprintf "usage: --compare-perf BASELINE.json FRESH.json\n";
+          exit 2)
+  | _ -> ());
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
   let args =

@@ -44,11 +44,15 @@ let perform kind a =
   | Op_swap -> ignore (Sim.swap a 1)
   | Op_fai -> ignore (Sim.fai a)
   | Op_cas_fai ->
-      let rec retry () =
-        let c = Sim.load a in
-        if not (Sim.cas a ~expected:c ~desired:(c + 1)) then retry ()
+      (* the CAS returns the observed value, so a failed attempt seeds
+         the next expected value from its own coherence transaction —
+         re-loading would observe the line at the load's probe time and
+         pay (and serialize on) a second transfer per retry *)
+      let rec retry old =
+        let seen = Sim.cas_fetch a ~expected:old ~desired:(old + 1) in
+        if seen <> old then retry seen
       in
-      retry ()
+      retry (Sim.load a)
 
 (* Throughput of [kind] with [threads] threads on one location. *)
 let throughput pid kind ~threads ~duration : Harness.result =

@@ -32,6 +32,11 @@ type line = {
   home : int;                   (* home node (directory / home tile / memory) *)
   mutable value : int;
   mutable busy_until : int;     (* virtual time the line is occupied until *)
+  mutable pfw_owner : int option;
+      (* core holding an exclusive-prefetch reservation (section 5.3):
+         set by a prefetchw probe, cleared by any other real access.
+         While a foreign reservation holds, other prefetchw probes
+         degrade to directed read snoops that steal nothing. *)
   mutable waiters : waiter list; (* parked spinners, FIFO *)
 }
 
@@ -49,6 +54,8 @@ and waiter = {
   w_while : int;
   w_poll : int;
   w_hit : int;                  (* service latency of one inert probe *)
+  w_local : bool;               (* inert probes are local hits (false for
+                                   foreign-reservation directed reads) *)
   w_step : int;                 (* w_hit + w_poll *)
   mutable w_next : int;
   w_replay : int -> unit;
@@ -64,7 +71,7 @@ type t = {
 
 let dummy_line =
   { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home = 0;
-    value = 0; busy_until = 0; waiters = [] }
+    value = 0; busy_until = 0; pfw_owner = None; waiters = [] }
 
 let create platform =
   {
@@ -92,7 +99,7 @@ let alloc ?(home_core = 0) ?(value = 0) t : addr =
   let a = t.n_lines in
   t.lines.(a) <-
     { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home;
-      value; busy_until = 0; waiters = [] };
+      value; busy_until = 0; pfw_owner = None; waiters = [] };
   t.n_lines <- a + 1;
   a
 
@@ -141,6 +148,35 @@ let cost_op_of (op : Arch.memop) ~operand ~operand2 =
   match op with
   | Arch.Fai when operand = 0 || operand2 = 1 -> Arch.Store
   | _ -> op
+
+let is_pfw_probe (op : Arch.memop) ~operand ~operand2 =
+  op = Arch.Fai && operand = 0 && operand2 = 0
+
+(* Does another core hold the line's exclusive-prefetch reservation
+   against this probe? *)
+let foreign_reservation (l : line) ~core op ~operand ~operand2 =
+  is_pfw_probe op ~operand ~operand2
+  && (match l.pfw_owner with Some o -> o <> core | None -> false)
+
+(* Cycles a [Store] retires in when it drains through the store buffer
+   instead of stalling the thread (the transfer itself still runs in
+   the background: transition, invalidations, occupancy). *)
+let store_buffer_retire = 12
+
+(* What the next probe of this spin would cost, and whether it is a
+   foreign-reservation directed read.  Shared between [access],
+   [try_park] (the parked poll grid must charge the same per-probe cost
+   the literal loop would) and [wake_disturbed] (a parked waiter whose
+   probe cost changed must replay for real to stay on the polled
+   schedule). *)
+let probe_cost t (l : line) ~core (op : Arch.memop) ~operand ~operand2 =
+  let foreign = foreign_reservation l ~core op ~operand ~operand2 in
+  let cost_op =
+    if foreign then Arch.Load else cost_op_of op ~operand ~operand2
+  in
+  ( foreign,
+    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
+  )
 
 (* Protocol state transition after [core] performs [op].  MOESI
    (Opteron) keeps a dirty line in the previous owner's cache in Owned
@@ -232,7 +268,7 @@ let apply_data (l : line) (op : Arch.memop) ~operand ~operand2 =
    and whose result keeps the spin loop going?  Such a probe affects
    nothing but the prober's own schedule, so it can be elided and
    bulk-accounted later. *)
-let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2:_
+let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2
     ~while_ =
   (match op with
   | Arch.Load -> l.value = while_
@@ -247,9 +283,12 @@ let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2:_
   | Arch.Store -> false
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap ->
       (* the transition must also be a no-op: already Modified at the
-         prober with no sharer left to invalidate *)
-      l.state = Arch.Modified && l.owner = Some core
-      && Coreset.is_empty l.sharers
+         prober with no sharer left to invalidate — or a prefetchw
+         probe under another waiter's reservation, which degrades to a
+         directed read that changes neither state nor value *)
+      (l.state = Arch.Modified && l.owner = Some core
+       && Coreset.is_empty l.sharers)
+      || foreign_reservation l ~core op ~operand ~operand2
 
 (* Park a spinner whose next probe (issuing at [now + poll]) would be
    inert.  Returns [false] — and parks nothing — when the probe must
@@ -260,10 +299,7 @@ let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
   let l = line t a in
   if not (probe_inert l ~core op ~operand ~operand2 ~while_) then false
   else begin
-    let cost_op = cost_op_of op ~operand ~operand2 in
-    let hit =
-      t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
-    in
+    let foreign, hit = probe_cost t l ~core op ~operand ~operand2 in
     let w =
       {
         w_core = core;
@@ -273,6 +309,7 @@ let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
         w_while = while_;
         w_poll = poll;
         w_hit = hit;
+        w_local = not foreign;
         w_step = hit + poll;
         w_next = now + poll;
         w_replay = replay;
@@ -292,17 +329,21 @@ let settle_elided t (l : line) ~now =
     (fun w ->
       if w.w_next < now then begin
         let k = 1 + ((now - 1 - w.w_next) / w.w_step) in
-        Stats.record_elided t.stats w.w_op ~count:k ~latency:w.w_hit;
+        Stats.record_elided t.stats w.w_op ~count:k ~latency:w.w_hit
+          ~local:w.w_local;
         w.w_next <- w.w_next + (k * w.w_step)
       end)
     l.waiters
 
 (* Phase 2, after the mutation: wake every waiter whose next probe is
-   no longer inert.  [w_next] is now the first grid point >= [now]; a
-   probe landing exactly on the access time observes the post-access
-   state (the access wins the tie).  Wake order is park order, so
-   same-time replays are deterministic. *)
-let wake_disturbed (l : line) =
+   no longer inert — or whose probe cost changed (e.g. a parked
+   reservation holder that lost the line and is now a foreign-reader:
+   its poll grid must switch to the directed-read latency, so it
+   replays one probe for real and re-parks).  [w_next] is now the first
+   grid point >= [now]; a probe landing exactly on the access time
+   observes the post-access state (the access wins the tie).  Wake
+   order is park order, so same-time replays are deterministic. *)
+let wake_disturbed t (l : line) =
   match l.waiters with
   | [] -> ()
   | ws ->
@@ -310,7 +351,11 @@ let wake_disturbed (l : line) =
         List.partition
           (fun w ->
             probe_inert l ~core:w.w_core w.w_op ~operand:w.w_operand
-              ~operand2:w.w_operand2 ~while_:w.w_while)
+              ~operand2:w.w_operand2 ~while_:w.w_while
+            && snd
+                 (probe_cost t l ~core:w.w_core w.w_op ~operand:w.w_operand
+                    ~operand2:w.w_operand2)
+               = w.w_hit)
           ws
       in
       l.waiters <- still;
@@ -318,31 +363,67 @@ let wake_disturbed (l : line) =
 
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
    (completion latency in cycles, result value).  For [Cas], [operand]
-   is the expected value and [operand2] the desired one; for [Store] and
-   [Swap], [operand] is the value written. *)
-let access ?(operand = 0) ?(operand2 = 0) t ~core ~now (op : Arch.memop) (a : addr)
-    : int * int =
+   is the expected value and [operand2] the desired one ([fetch]
+   changes its result from the 1/0 success flag to the observed
+   pre-operation value); for [Store] and [Swap], [operand] is the value
+   written ([operand2 = 1] posts the store through the store buffer:
+   the thread pays only the retire cost while the transfer completes in
+   the background).  A prefetchw probe ([Fai], operand 0) either takes
+   the line exclusively and reserves it, or — under another core's
+   reservation — degrades to a directed read snoop. *)
+let access ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
+    (op : Arch.memop) (a : addr) : int * int =
   Topology.check t.platform.Platform.topo core;
   let l = line t a in
-  if l.waiters <> [] then settle_elided t l ~now;
-  let cost_op = cost_op_of op ~operand ~operand2 in
-  let local = is_local_hit l core op in
-  let start = if local then now else max now l.busy_until in
-  let queued = start - now in
-  let service =
-    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
-  in
-  let pre_state = l.state in
-  if not local then
-    l.busy_until <-
-      start
-      + t.platform.Platform.occupancy cost_op ~state:pre_state ~latency:service;
-  let invalidated = transition t l core op in
-  let result = apply_data l op ~operand ~operand2 in
-  let latency = queued + service in
-  Stats.record t.stats op ~latency ~queued ~local ~invalidated;
-  if l.waiters <> [] then wake_disturbed l;
-  (latency, result)
+  if foreign_reservation l ~core op ~operand ~operand2 then begin
+    (* Directed read under another waiter's exclusive-prefetch
+       reservation: a non-binding snoop of the current copy that rides
+       the line's data-return path — no transition, no occupancy, no
+       queueing — so concurrent prefetchw pollers neither steal the
+       reservation nor serialize on the line (section 5.3's directed
+       handoff).  Nothing mutates, so parked waiters are untouched. *)
+    let service =
+      t.platform.Platform.op_latency Arch.Load ~requester:core
+        (view_of_line t l)
+    in
+    Stats.record t.stats op ~latency:service ~queued:0 ~local:false
+      ~invalidated:0;
+    (service, l.value)
+  end
+  else begin
+    if l.waiters <> [] then settle_elided t l ~now;
+    let is_pfw = is_pfw_probe op ~operand ~operand2 in
+    let posted = op = Arch.Store && operand2 = 1 in
+    let cost_op = cost_op_of op ~operand ~operand2 in
+    let local = is_local_hit l core op in
+    (* an exclusive-prefetch probe rides the in-flight transfer's data
+       return instead of queueing behind its serialized phase *)
+    let start = if local || is_pfw then now else max now l.busy_until in
+    let queued = start - now in
+    let service =
+      t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
+    in
+    let pre_state = l.state in
+    if not local then
+      l.busy_until <-
+        max l.busy_until
+          (start
+          + t.platform.Platform.occupancy cost_op ~state:pre_state
+              ~latency:service);
+    let invalidated = transition t l core op in
+    let observed = l.value in
+    let result = apply_data l op ~operand ~operand2 in
+    let result = if fetch && op = Arch.Cas then observed else result in
+    l.pfw_owner <- (if is_pfw then Some core else None);
+    let latency =
+      if posted then min service store_buffer_retire else queued + service
+    in
+    Stats.record t.stats op ~latency
+      ~queued:(if posted then 0 else queued)
+      ~local ~invalidated;
+    if l.waiters <> [] then wake_disturbed t l;
+    (latency, result)
+  end
 
 (* Expected latency of [op] issued by [core] right now, without doing
    it — used by ccbench to report best-case protocol latencies. *)
@@ -361,6 +442,7 @@ let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
   l.owner <- None;
   Coreset.clear l.sharers;
   l.busy_until <- 0;
+  l.pfw_owner <- None;
   let second =
     if second >= 0 then second
     else (holder + 1) mod t.platform.Platform.topo.Topology.n_cores

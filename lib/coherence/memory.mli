@@ -26,6 +26,10 @@ type line = {
   home : int;  (** home node (directory / home tile / memory) *)
   mutable value : int;
   mutable busy_until : int;  (** virtual time the line is occupied until *)
+  mutable pfw_owner : int option;
+      (** core holding the exclusive-prefetch reservation: set by a
+          prefetchw probe, cleared by any other real access; foreign
+          prefetchw probes degrade to directed read snoops meanwhile *)
   mutable waiters : waiter list;  (** parked spinners, FIFO *)
 }
 
@@ -41,6 +45,9 @@ and waiter = {
   w_while : int;
   w_poll : int;
   w_hit : int;  (** service latency of one inert probe *)
+  w_local : bool;
+      (** inert probes are local hits (false for foreign-reservation
+          directed reads) *)
   w_step : int;  (** [w_hit + w_poll] *)
   mutable w_next : int;
   w_replay : int -> unit;
@@ -60,15 +67,20 @@ val alloc_n : ?home_core:int -> ?value:int -> t -> int -> addr
 (** Allocate [n] consecutive lines; returns the first address. *)
 
 val access :
-  ?operand:int -> ?operand2:int -> t -> core:int -> now:int ->
+  ?operand:int -> ?operand2:int -> ?fetch:bool -> t -> core:int -> now:int ->
   Arch.memop -> addr -> int * int
 (** [access t ~core ~now op a] performs [op] at virtual time [now];
     returns [(latency, result)].  For [Cas], [operand]/[operand2] are
-    expected/desired (result 1 on success); for [Store]/[Swap],
-    [operand] is the value written; for [Fai], [operand] is the
-    increment — 0 makes it an exclusive-prefetch probe and
-    [operand2 = 1] marks a store-class single-writer update (both
-    costed as stores).  A real access additionally settles and
+    expected/desired (result 1 on success; [fetch] makes the result the
+    observed pre-operation value instead); for [Store]/[Swap],
+    [operand] is the value written — [Store] with [operand2 = 1] posts
+    through the store buffer: the thread pays only the retire cost
+    while the transfer (transition, invalidations, occupancy) completes
+    in the background; for [Fai], [operand] is the increment — 0 makes
+    it an exclusive-prefetch probe that reserves the line
+    ({!line.pfw_owner}) or, under a foreign reservation, degrades to a
+    directed read snoop; [Fai] with [operand2 = 1] marks a store-class
+    single-writer update.  A real access additionally settles and
     revalidates the line's parked waiters. *)
 
 val try_park :

@@ -40,14 +40,15 @@ let record t op ~latency ~queued ~local ~invalidated =
   t.invalidations <- t.invalidations + invalidated;
   t.queued_cycles <- t.queued_cycles + queued
 
-(* Bulk accounting for [count] elided spin probes, each a local hit of
-   [latency] cycles — exactly what [count] calls of [record] with
-   [~queued:0 ~local:true ~invalidated:0] would have recorded. *)
-let record_elided t op ~count ~latency =
+(* Bulk accounting for [count] elided spin probes of [latency] cycles
+   each — exactly what [count] calls of [record] with [~queued:0
+   ~invalidated:0] would have recorded.  [local] is false only for
+   foreign-reservation directed reads. *)
+let record_elided t op ~count ~latency ~local =
   let c = counter_for t op in
   c.count <- c.count + count;
   c.cycles <- c.cycles + (count * latency);
-  t.local_hits <- t.local_hits + count;
+  if local then t.local_hits <- t.local_hits + count;
   t.elided_probes <- t.elided_probes + count
 
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count

@@ -50,14 +50,31 @@ let run ?(faults = Fault.none) ?parking (platform : Platform.t) ~threads
   let ops = Array.make threads 0 in
   let completed = Array.make threads false in
   let barrier = Sim.make_barrier threads in
-  for tid = 0 to threads - 1 do
-    let core = Platform.place platform tid in
-    Sim.spawn sim ~core (fun () ->
-        Sim.await barrier;
-        let deadline = Sim.now () + duration in
-        ops.(tid) <- body shared mem ~tid ~deadline;
-        completed.(tid) <- true)
-  done;
+  (* Real threads leave the start barrier in arbitrary order; a
+     noise-free start in tid order would freeze the tid-sorted
+     (= socket-sorted) arrival order into every queue lock's wait
+     list, silently giving the flat queue locks an almost perfectly
+     hierarchical (same-die) handoff pattern no real machine exhibits.
+     Spawning in a hashed order freezes a pseudorandom arrival order
+     instead: same-time events execute in spawn order, so this permutes
+     who wins the initial races without moving a single virtual
+     timestamp (which would perturb park/poll tie-breaking). *)
+  let spawn_order = Array.init threads (fun tid -> tid) in
+  Array.sort
+    (fun a b ->
+      compare
+        ((a * 2654435761) lsr 7 land 1023, a)
+        ((b * 2654435761) lsr 7 land 1023, b))
+    spawn_order;
+  Array.iter
+    (fun tid ->
+      let core = Platform.place platform tid in
+      Sim.spawn sim ~core (fun () ->
+          Sim.await barrier;
+          let deadline = Sim.now () + duration in
+          ops.(tid) <- body shared mem ~tid ~deadline;
+          completed.(tid) <- true))
+    spawn_order;
   let _, health = Sim.run_health sim ~until:(duration * 4) in
   let total_ops = total_of ops in
   {

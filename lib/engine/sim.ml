@@ -88,6 +88,8 @@ type parker = {
 
 type _ Effect.t +=
   | E_mem : Arch.memop * Memory.addr * int * int -> int Effect.t
+  | E_casf : Memory.addr * int * int -> int Effect.t
+    (* CAS returning the observed value instead of the success flag *)
   | E_spin : Arch.memop * Memory.addr * int * int * int * int -> int Effect.t
   | E_pause : int -> unit Effect.t
   | E_now : int Effect.t
@@ -155,8 +157,20 @@ let schedule t ~at run =
 let load a = Effect.perform (E_mem (Arch.Load, a, 0, 0))
 let store a v = ignore (Effect.perform (E_mem (Arch.Store, a, v, 0)))
 
+(* Store posted through the store buffer: the thread pays only the
+   retire cost while the transfer (value, invalidations, occupancy)
+   completes in the background — [operand2 = 1] marks it for the
+   memory model. *)
+let store_posted a v = ignore (Effect.perform (E_mem (Arch.Store, a, v, 1)))
+
 let cas a ~expected ~desired =
   Effect.perform (E_mem (Arch.Cas, a, expected, desired)) = 1
+
+(* CAS that returns the value it observed (success iff it equals
+   [expected]): a retry loop built on it sees the line's value at its
+   own probe time instead of re-reading a stale snapshot. *)
+let cas_fetch a ~expected ~desired =
+  Effect.perform (E_casf (a, expected, desired))
 
 let fai a = Effect.perform (E_mem (Arch.Fai, a, 1, 0))
 
@@ -358,6 +372,15 @@ let spawn t ~core body =
                   let latency, v =
                     Memory.access t.mem ~core ~now:t.now op a ~operand:op1
                       ~operand2:op2
+                  in
+                  let latency = latency + fault_extra t st ~mem_op:true in
+                  resume t st k ~at:(t.now + latency) v)
+          | E_casf (a, expected, desired) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let latency, v =
+                    Memory.access t.mem ~core ~now:t.now Arch.Cas a
+                      ~operand:expected ~operand2:desired ~fetch:true
                   in
                   let latency = latency + fault_extra t st ~mem_op:true in
                   resume t st k ~at:(t.now + latency) v)

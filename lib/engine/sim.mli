@@ -115,7 +115,22 @@ val cumulative_perf : unit -> perf
 
 val load : Ssync_coherence.Memory.addr -> int
 val store : Ssync_coherence.Memory.addr -> int -> unit
+
+val store_posted : Ssync_coherence.Memory.addr -> int -> unit
+(** Store posted through the store buffer: the thread pays only the
+    retire cost while the coherence transfer (ownership change,
+    invalidations, line occupancy) completes in the background — the
+    overlapped-transfer model of an ordinary x86 store with no fence
+    before the next dependent access. *)
+
 val cas : Ssync_coherence.Memory.addr -> expected:int -> desired:int -> bool
+
+val cas_fetch : Ssync_coherence.Memory.addr -> expected:int -> desired:int -> int
+(** Compare-and-swap returning the observed pre-operation value (the
+    hardware CAS interface): succeeded iff the result equals
+    [expected].  A failed [cas_fetch] hands the retry loop its next
+    expected value from the same coherence transaction, where
+    [cas]+re-[load] would pay — and serialize on — a second transfer. *)
 
 val fai : Ssync_coherence.Memory.addr -> int
 (** Atomic fetch-and-increment; returns the previous value. *)

@@ -82,6 +82,26 @@ let class_to_core t ~requester core =
 let class_to_home t ~requester v =
   node_class t (t.node_of_core requester) v.home
 
+(* An exclusive request on a multi-copy line completes only when the
+   farthest remote copy has acknowledged its invalidation, so the
+   transaction's distance class is the worst over the data source and
+   every other holder (the requester's own copy costs nothing to kill).
+   This is what makes a queue lock's cross-socket handoff pay the
+   remote row even when the releaser itself shares the line. *)
+let invalidation_class (t : Topology.t) ~requester v (base : Arch.distance) :
+    Arch.distance =
+  let rnode = t.node_of_core requester in
+  let worst = ref base in
+  let consider c =
+    if c <> requester then begin
+      let d = node_class t rnode (t.node_of_core c) in
+      if rank_of_class d > rank_of_class !worst then worst := d
+    end
+  in
+  (match v.owner with Some o -> consider o | None -> ());
+  Coreset.iter consider v.sharers;
+  !worst
+
 (* -------------------------------------------------------------- *)
 (* Opteron: MOESI, broadcast protocol assisted by an *incomplete*
    directory (the HyperTransport-assist probe filter lives in the LLC of
@@ -125,6 +145,9 @@ let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
     | None -> class_to_home t ~requester v
   in
   let row = opteron_row4 class_of_source in
+  let inval_row a =
+    opteron_row4 (invalidation_class t ~requester v class_of_source) a
+  in
   let load_cached st =
     match st with
     | Arch.Modified -> row [| 81; 161; 172; 252 |]
@@ -138,8 +161,8 @@ let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
        (storing on a line shared by all 48 cores costs 296). *)
     let base =
       match st with
-      | Arch.Owned -> row [| 244; 255; 286; 291 |]
-      | _ -> row [| 246; 255; 286; 296 |]
+      | Arch.Owned -> inval_row [| 244; 255; 286; 291 |]
+      | _ -> inval_row [| 246; 255; 286; 296 |]
     in
     base + (n_holders v / 12 * 10)
   in
@@ -160,7 +183,7 @@ let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
           if v.owner = Some requester then 20
           else row [| 110; 197; 216; 296 |] + dir_pen
       | Arch.Owned | Arch.Shared | Arch.Forward ->
-          row [| 272; 283; 312; 332 |]
+          inval_row [| 272; 283; 312; 332 |]
           + (n_holders v / 12 * 10)
           + dir_pen
       | Arch.Invalid -> row [| 136; 237; 247; 327 |] + 30 + dir_pen)
@@ -184,6 +207,9 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
     | None -> class_to_home t ~requester v
   in
   let row = xeon_row3 class_of_source in
+  let inval_row a =
+    xeon_row3 (invalidation_class t ~requester v class_of_source) a
+  in
   let invalidation_growth =
     (* storing on a line shared by all 80 cores costs 445 *)
     Coreset.cardinal v.sharers / 5
@@ -204,14 +230,14 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
       | Arch.Exclusive ->
           if v.owner = Some requester then 5 else row [| 115; 315; 425 |]
       | Arch.Shared | Arch.Forward | Arch.Owned ->
-          row [| 116; 318; 428 |] + invalidation_growth
+          inval_row [| 116; 318; 428 |] + invalidation_growth
       | Arch.Invalid -> row [| 355; 492; 601 |] + 10)
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
       match v.state with
       | Arch.Modified | Arch.Exclusive ->
           if v.owner = Some requester then 20 else row [| 120; 324; 430 |]
       | Arch.Shared | Arch.Forward | Arch.Owned ->
-          row [| 113; 312; 423 |] + invalidation_growth
+          inval_row [| 113; 312; 423 |] + invalidation_growth
       | Arch.Invalid -> row [| 355; 492; 601 |] + 25)
 
 (* -------------------------------------------------------------- *)
@@ -362,24 +388,42 @@ let op_latency (t : Topology.t) (op : Arch.memop) ~requester (v : view) : int =
   | Arch.Xeon2 -> xeon2_latency t op ~requester v
 
 (* How long the line (or its directory entry / home-tile slot) stays
-   busy serving this operation.  This is the serialization that makes
-   contended lines collapse on the multi-sockets: an exclusive
-   transaction occupies the line for its full duration, whereas loads
-   are served concurrently up to directory occupancy.  The uniform
-   banked LLCs of the single-sockets have small service times. *)
+   busy serving this operation.  A transfer has two phases: a
+   serialized phase (home/directory lookup plus the ownership change,
+   which must finish before the next request is accepted) and a
+   data-return phase that pipelines with the next requester's own
+   invalidate or fetch.  Only the serialized phase reserves the line;
+   [op_latency] (what the requesting thread experiences, and what the
+   Table 2/3 calibration checks read) is untouched.  Per class:
+   - x86 loads that probe a dirty remote copy keep most of the
+     transaction serialized — the directory forwards one owner probe
+     at a time — which is the reload-storm starvation behind Figure 3's
+     non-optimized ticket lock;
+   - x86 stores hold the line only for the ownership change; the
+     invalidation acks collect while the next reader's fetch is
+     already in flight (charging the full store latency here is what
+     used to double-count one-way message transfers, EXPERIMENTS.md
+     gap 3);
+   - atomics are locked read-modify-writes: the line is genuinely held
+     for the whole transaction, which caps single-line atomic
+     throughput at ~1/latency exactly as in Figure 4.
+   The uniform banked LLCs of the single-sockets have small service
+   times. *)
 let occupancy (t : Topology.t) (op : Arch.memop) ~(state : Arch.cstate)
     ~latency : int =
   match (t.id, op) with
   | ((Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2), Arch.Load) -> (
       match state with
       | Arch.Modified | Arch.Owned | Arch.Exclusive ->
-          (* a miss that probes a remote owner occupies the directory for
-             the whole transaction; reload storms therefore starve a
-             releaser's store (Figure 3's non-optimized ticket lock) *)
-          latency
+          (* serialized owner probe; only the tail of the data return
+             overlaps with the next request *)
+          max 1 (latency * 4 / 5)
       | Arch.Shared | Arch.Forward | Arch.Invalid ->
           (* served by LLC/memory; readers overlap *)
           min latency 30)
+  | ((Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2), Arch.Store) ->
+      (* ownership change only; the invalidation broadcast overlaps *)
+      min latency (max 20 (latency * 3 / 10))
   | ((Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2), _) -> latency
   | (Arch.Niagara, Arch.Load) -> min latency 8
   | (Arch.Niagara, Arch.Store) -> 12

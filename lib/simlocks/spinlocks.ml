@@ -110,8 +110,14 @@ let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
         let poll =
           match variant with
           | Ticket_spin -> 0
-          | Ticket_backoff | Ticket_prefetchw ->
-              max 1 ((my - cur) * backoff_base)
+          | Ticket_backoff -> max 1 ((my - cur) * backoff_base)
+          | Ticket_prefetchw ->
+              (* the reservation makes over-eager probes harmless (a
+                 foreign probe degrades to a directed read that does not
+                 occupy the line), so poll twice as tightly: the next
+                 holder notices its turn sooner without slowing the
+                 releaser down *)
+              max 1 ((my - cur) * backoff_base / 2)
         in
         loop (spin v ~poll)
       end
@@ -184,35 +190,75 @@ let array_lock mem ~home_core ~n_slots : Lock_type.t =
   }
 
 (* ----------------------------- MUTEX ----------------------------- *)
-(* A Pthread-Mutex model: fast path is a CAS; the slow path sleeps in
-   the kernel (a futex wait, modeled as a long pause plus syscall
-   overhead) and retries on wake-up.  Releasing a contended mutex pays
-   the wake syscall. *)
+(* A Pthread-Mutex model: fast path is a CAS; the slow path queues in
+   the kernel (a futex wait: syscall overhead plus a sleep the releaser
+   ends).  The kernel's wait queue is FIFO, so a contended release
+   hands the mutex directly to the longest-sleeping waiter — the holder
+   cannot barge back in past threads already asleep, which is what
+   keeps pthread throughput flat (not collapsing) at high contention.
+
+   The wait queue and queue membership are kernel state, invisible to
+   the coherence protocol, so they live in plain OCaml; each sleeper
+   has its own grant-flag line, stored by the releaser, which is how
+   the wake-up travels through the memory model.  Lock word: 0 free,
+   1 held, 2 held with (possible) waiters. *)
 let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
     Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
-  (* values: 0 free, 1 held, 2 held-with-waiters *)
+  let sleepers : int list ref = ref [] in
+  let flags : (int, Memory.addr) Hashtbl.t = Hashtbl.create 16 in
+  let flag_for tid =
+    match Hashtbl.find_opt flags tid with
+    | Some a -> a
+    | None ->
+        let a = Memory.alloc ~home_core mem in
+        Hashtbl.add flags tid a;
+        a
+  in
+  let wait_flag flag =
+    if Sim.load flag = 0 then
+      ignore (Sim.spin_load flag ~while_:0 ~poll:(syscall_cycles + sleep_cycles))
+  in
+  let rec slow tid flag =
+    if Sim.swap lock 2 <> 0 then begin
+      Sim.store flag 0;
+      sleepers := !sleepers @ [ tid ];
+      Sim.pause syscall_cycles; (* futex_wait entry *)
+      wait_granted tid flag
+    end
+  and wait_granted tid flag =
+    if not (List.mem tid !sleepers) then
+      (* a releaser dequeued us: the mutex is ours once the grant flag
+         lands (direct handoff; the lock word never went through 0) *)
+      wait_flag flag
+    else if Sim.load lock = 0 then begin
+      (* a release raced past our enqueue and saw an empty queue *)
+      if List.mem tid !sleepers then begin
+        sleepers := List.filter (fun t -> t <> tid) !sleepers;
+        slow tid flag
+      end
+      else wait_granted tid flag
+    end
+    else wait_flag flag
+  in
   {
     name = "MUTEX";
     acquire =
-      (fun ~tid:_ ->
+      (fun ~tid ->
         Sim.pause 20; (* library call overhead *)
-        if not (Sim.cas lock ~expected:0 ~desired:1) then begin
-          (* sleep between retries; wake up (and re-swap) whenever the
-             lock word changes *)
-          let rec slow v =
-            if v <> 0 then
-              slow
-                (Sim.spin_swap lock 2 ~while_:v
-                   ~poll:(syscall_cycles + sleep_cycles))
-          in
-          slow (Sim.swap lock 2)
-        end);
+        if not (Sim.cas lock ~expected:0 ~desired:1) then
+          slow tid (flag_for tid));
     release =
       (fun ~tid:_ ->
-        if Sim.swap lock 0 = 2 then
-          (* wake one sleeper: futex_wake syscall *)
-          Sim.pause syscall_cycles);
+        match !sleepers with
+        | [] -> ignore (Sim.swap lock 0)
+        | t :: rest ->
+            (* direct handoff to the longest sleeper: dequeue, pay the
+               futex_wake syscall, store its grant flag; the lock word
+               stays 2 so nobody barges in between *)
+            sleepers := rest;
+            Sim.pause syscall_cycles;
+            Sim.store (flag_for t) 1);
     try_acquire =
       (fun ~tid:_ ->
         Sim.pause 20; (* library call overhead *)

@@ -44,7 +44,7 @@ type t = {
    line transfer costs ~24). *)
 let platform_sw_pause (p : Platform.t) =
   match p.Platform.id with
-  | Arch.Niagara -> 65
+  | Arch.Niagara -> 85
   | Arch.Tilera -> 20
   | Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2 -> 0
 
@@ -104,7 +104,10 @@ let send t payload =
           if v <> 0 then wait_empty (Sim.spin_load buf ~while_:v ~poll:0)
         in
         wait_empty (Sim.load buf);
-        Sim.store buf (payload + 1)
+        (* the flag store retires into the store buffer; the line
+           transfer to the receiver overlaps with the sender's next
+           message preparation (no fence before it) *)
+        Sim.store_posted buf (payload + 1)
       end
 
 (* Non-blocking receive. *)
@@ -125,15 +128,22 @@ let try_recv t =
   | Coherence { buf; prefetchw } ->
       let consumed =
         if prefetchw then begin
-          (* single atomic: consume and clear in one transaction *)
-          let v = Sim.swap buf 0 in
-          if v = 0 then None else Some (v - 1)
+          (* exclusive-prefetch probe: reads the flag and keeps the
+             line reserved Modified here, so the sender's store pays a
+             directed transfer; the clear retires through the store
+             buffer *)
+          let v = Sim.faa buf 0 in
+          if v = 0 then None
+          else begin
+            Sim.store_posted buf 0;
+            Some (v - 1)
+          end
         end
         else begin
           let v = Sim.load buf in
           if v = 0 then None
           else begin
-            Sim.store buf 0;
+            Sim.store_posted buf 0;
             Some (v - 1)
           end
         end
@@ -169,16 +179,23 @@ let recv t =
          sender's store pays the line transfer *)
       let v =
         if prefetchw then begin
-          (* single atomic: consume and clear in one transaction *)
-          let v0 = Sim.swap buf 0 in
-          if v0 <> 0 then v0 else Sim.spin_swap buf 0 ~while_:0 ~poll:0
+          (* exclusive-prefetch probes: each reserves the line Modified
+             here, so the sender's CAS pays a single directed transfer
+             instead of a broadcast (section 5.3); the clear retires
+             through the store buffer, overlapped with the next probe *)
+          let v0 = Sim.faa buf 0 in
+          let v =
+            if v0 <> 0 then v0 else Sim.spin_faa0 buf ~while_:0 ~poll:0
+          in
+          Sim.store_posted buf 0;
+          v
         end
         else begin
           let v0 = Sim.load buf in
           let v =
             if v0 <> 0 then v0 else Sim.spin_load buf ~while_:0 ~poll:0
           in
-          Sim.store buf 0;
+          Sim.store_posted buf 0;
           v
         end
       in

@@ -199,6 +199,43 @@ let test_ticket_backoff_helps_on_opteron () =
     true
     (spin > 2. *. backoff)
 
+(* Figure 3 at full contention: at 48 threads the prefetchw variant's
+   directed handoff (the releaser's store finds the line reserved by
+   the next holder's exclusive probe and pays a directed transfer, not
+   the broadcast) must beat plain proportional backoff by a clear
+   margin, as on the real Opteron (section 5.3). *)
+let test_ticket_prefetchw_wins_at_scale () =
+  let backoff =
+    Ssync_ccbench.Lock_bench.figure3_latency Simlock.Ticket ~threads:48
+  in
+  let pfw =
+    Ssync_ccbench.Lock_bench.figure3_latency Simlock.Ticket_prefetchw
+      ~threads:48
+  in
+  check_bool
+    (Printf.sprintf "backoff (%.0f cy) >= 1.5x prefetchw (%.0f cy)" backoff pfw)
+    true
+    (backoff >= 1.5 *. pfw)
+
+(* Figure 5 on the Xeon: with a single contended lock spanning all
+   eight sockets, the hierarchical locks must not lose to flat CLH —
+   cross-socket handoffs dominate a flat FIFO queue there, which is the
+   whole argument for cohort locks on this machine. *)
+let test_hierarchical_beats_clh_on_xeon () =
+  let tp algo =
+    (Ssync_ccbench.Lock_bench.throughput Arch.Xeon algo ~threads:40 ~n_locks:1)
+      .Harness.mops
+  in
+  let clh = tp Simlock.Clh in
+  let hclh = tp Simlock.Hclh in
+  let hticket = tp Simlock.Hticket in
+  check_bool
+    (Printf.sprintf "hclh (%.2f) >= clh (%.2f) on 4 sockets" hclh clh)
+    true (hclh >= clh);
+  check_bool
+    (Printf.sprintf "hticket (%.2f) >= clh (%.2f) on 4 sockets" hticket clh)
+    true (hticket >= clh)
+
 (* ------------------------------------------------------------------ *)
 (* Timed acquisition. *)
 
@@ -386,6 +423,10 @@ let suite =
       test_queue_locks_resilient;
     Alcotest.test_case "ticket backoff helps (Figure 3)" `Quick
       test_ticket_backoff_helps_on_opteron;
+    Alcotest.test_case "prefetchw ticket wins at 48 threads (Figure 3)" `Quick
+      test_ticket_prefetchw_wins_at_scale;
+    Alcotest.test_case "hierarchical locks hold up on Xeon (Figure 5)" `Quick
+      test_hierarchical_beats_clh_on_xeon;
     Alcotest.test_case "try_acquire semantics: 9 algos x 4 platforms" `Quick
       test_try_acquire_semantics;
     Alcotest.test_case "timed acquisition excludes" `Quick

@@ -126,6 +126,34 @@ let test_mp_distance_sensitivity () =
     (Printf.sprintf "one-way grows with distance (%.0f -> %.0f)" near far)
     true (far > near)
 
+(* Figure 9 endpoints: the one-way latency at the nearest and farthest
+   distances of each coherence-based platform must land within 30% of
+   the paper's measurement.  These pin the overlapped-transfer channel
+   model (posted stores, exclusive-probe receives) to absolute numbers,
+   not just orderings. *)
+let test_figure9_endpoints () =
+  let cases =
+    [
+      ("Opteron same-die", Arch.Opteron, Arch.Same_die, 262.);
+      ("Opteron two-hops", Arch.Opteron, Arch.Two_hops, 660.);
+      ("Xeon same-die", Arch.Xeon, Arch.Same_die, 214.);
+      ("Xeon two-hops", Arch.Xeon, Arch.Two_hops, 1167.);
+      ("Niagara same-core", Arch.Niagara, Arch.Same_core, 181.);
+      ("Niagara same-die", Arch.Niagara, Arch.Same_die, 249.);
+    ]
+  in
+  List.iter
+    (fun (label, pid, distance, paper) ->
+      match Ssync_ccbench.Mp_bench.one_to_one pid distance with
+      | None -> Alcotest.fail (label ^ ": no core pair at that distance")
+      | Some r ->
+          let err = abs_float (r.one_way -. paper) /. paper in
+          check_bool
+            (Printf.sprintf "%s one-way %.0f within 30%% of paper %.0f" label
+               r.one_way paper)
+            true (err <= 0.30))
+    cases
+
 let test_prefetchw_speedup () =
   let plain, pfw = Ssync_ccbench.Mp_bench.opteron_prefetchw_speedup () in
   check_bool
@@ -163,6 +191,8 @@ let suite =
       test_one_to_one_costs;
     Alcotest.test_case "MP latency grows with distance" `Quick
       test_mp_distance_sensitivity;
+    Alcotest.test_case "Figure 9 endpoints within 30%" `Quick
+      test_figure9_endpoints;
     Alcotest.test_case "Opteron prefetchw speedup (section 5.3)" `Quick
       test_prefetchw_speedup;
     QCheck_alcotest.to_alcotest qcheck_channel_fifo;
