@@ -61,35 +61,50 @@ let cell ?duration pid algo ~threads ~rate =
 
 let run ?(quick = false) () =
   let duration = if quick then 60_000 else 200_000 in
-  hr
-    "Preemption sensitivity: single-lock throughput (Mops/s) vs \
-     per-scheduling-point preemption rate";
-  Printf.printf
-    "(quantum %d-%d cycles; seed 42; '*' = run ended with a stalled thread \
-     past the measurement window)\n"
-    (fst preempt_cycles) (snd preempt_cycles);
-  List.iter
-    (fun pid ->
-      let p = Platform.get pid in
-      let threads = threads_for pid in
-      Printf.printf "\n-- %s, %d threads, 1 lock --\n%!" p.Platform.name
-        threads;
-      let t =
-        Table.create
-          ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) rates)
-          ("lock"
-          :: List.map (fun r -> Printf.sprintf "p=%g" r) rates)
-      in
+  (* one job per (platform, lock algo): a row of rate cells *)
+  let combos =
+    List.concat_map
+      (fun pid ->
+        List.map
+          (fun algo -> (pid, algo))
+          (Simlock.algos_for (Platform.get pid)))
+      Arch.paper_platform_ids
+  in
+  let jobs, got =
+    Section.sweep combos (fun (pid, algo) ->
+        let threads = threads_for pid in
+        List.map (fun rate -> cell ~duration pid algo ~threads ~rate) rates)
+  in
+  Section.make ~jobs (fun () ->
+      hr
+        "Preemption sensitivity: single-lock throughput (Mops/s) vs \
+         per-scheduling-point preemption rate";
+      Printf.printf
+        "(quantum %d-%d cycles; seed 42; '*' = run ended with a stalled \
+         thread past the measurement window)\n"
+        (fst preempt_cycles) (snd preempt_cycles);
+      let next = Section.cursor got in
       List.iter
-        (fun algo ->
-          let cells =
-            List.map
-              (fun rate ->
-                let mops, stalled = cell ~duration pid algo ~threads ~rate in
-                Printf.sprintf "%.2f%s" mops (if stalled then "*" else ""))
-              rates
+        (fun pid ->
+          let p = Platform.get pid in
+          let threads = threads_for pid in
+          Printf.printf "\n-- %s, %d threads, 1 lock --\n%!" p.Platform.name
+            threads;
+          let t =
+            Table.create
+              ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) rates)
+              ("lock"
+              :: List.map (fun r -> Printf.sprintf "p=%g" r) rates)
           in
-          Table.add_row t (Simlock.name algo :: cells))
-        (Simlock.algos_for p);
-      Table.print t)
-    Arch.paper_platform_ids
+          List.iter
+            (fun algo ->
+              let cells =
+                List.map
+                  (fun (mops, stalled) ->
+                    Printf.sprintf "%.2f%s" mops (if stalled then "*" else ""))
+                  (next ())
+              in
+              Table.add_row t (Simlock.name algo :: cells))
+            (Simlock.algos_for p);
+          Table.print t)
+        Arch.paper_platform_ids)

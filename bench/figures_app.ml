@@ -1,6 +1,8 @@
 (* Application-level experiments: the hash table (Figure 11), Memcached
    (Figure 12), and the extra results the paper reports in prose
-   (prefetchw message passing, small-scale multi-sockets, STM). *)
+   (prefetchw message passing, small-scale multi-sockets, STM).  Like
+   Figures, each section describes its simulations as independent pure
+   jobs and prints from the results afterwards. *)
 
 open Ssync_platform
 open Ssync_engine
@@ -36,7 +38,8 @@ let ssht_lock_throughput pid algo ~threads ~n_buckets ~capacity ~duration :
           let k = Rng.int rng key_space in
           Sim.pause local_work; (* key handling, hashing *)
           (match Op_mix.sample Op_mix.paper rng with
-          | Op_mix.Get -> ignore (Ssync_ssht.Ssht_sim.get t ~tid k)
+          | Op_mix.Get ->
+              ignore (Ssync_ssht.Ssht_sim.get_or t ~tid k ~default:0)
           | Op_mix.Put -> ignore (Ssync_ssht.Ssht_sim.put t ~tid k (k * 2))
           | Op_mix.Remove -> ignore (Ssync_ssht.Ssht_sim.remove t ~tid k));
           incr n
@@ -102,151 +105,212 @@ let ssht_mp_throughput pid ~threads ~n_buckets ~capacity ~duration : float =
   end
 
 let fig11 ?(duration = 150_000) () =
-  hr
-    "Figure 11: ssht throughput (Mops/s); \"X : Y\" = scalability : best \
-     lock; mp = message-passing version";
   let thread_samples pid =
     match pid with
     | Arch.Opteron -> [ 1; 6; 18; 36 ]
     | Arch.Xeon -> [ 1; 10; 18; 36 ]
     | _ -> [ 1; 8; 18; 36 ]
   in
-  List.iter
-    (fun (n_buckets, capacity) ->
-      Printf.printf "\n-- %d buckets, %d entries/bucket --\n" n_buckets
-        capacity;
-      let t =
-        Table.create
-          ~aligns:
-            [ Table.Left; Table.Right; Table.Right; Table.Left; Table.Right ]
-          [ "platform"; "threads"; "best-lock Mops"; "X : lock"; "mp Mops" ]
-      in
+  let configs = [ (512, 12); (512, 48); (12, 12); (12, 48) ] in
+  (* One job per (config, platform, lock algo, thread count) plus one
+     per (config, platform, thread count) for the message-passing
+     variant.  The serial code also ran each 1-thread point a second
+     time to find the single-thread best; the runs are deterministic,
+     so the planned version reuses the 1-thread slots instead. *)
+  let lock_combos =
+    List.concat_map
+      (fun cfg ->
+        List.concat_map
+          (fun pid ->
+            let algos =
+              Ssync_simlocks.Simlock.algos_for (Platform.get pid)
+            in
+            List.concat_map
+              (fun algo ->
+                List.map (fun n -> (cfg, pid, algo, n)) (thread_samples pid))
+              algos)
+          Arch.paper_platform_ids)
+      configs
+  in
+  let mp_combos =
+    List.concat_map
+      (fun cfg ->
+        List.concat_map
+          (fun pid -> List.map (fun n -> (cfg, pid, n)) (thread_samples pid))
+          Arch.paper_platform_ids)
+      configs
+  in
+  let lock_jobs, got_lock =
+    Section.sweep lock_combos (fun ((n_buckets, capacity), pid, algo, n) ->
+        ssht_lock_throughput pid algo ~threads:n ~n_buckets ~capacity ~duration)
+  in
+  let mp_jobs, got_mp =
+    Section.sweep mp_combos (fun ((n_buckets, capacity), pid, n) ->
+        ssht_mp_throughput pid ~threads:n ~n_buckets ~capacity ~duration)
+  in
+  let lock_index = Hashtbl.create 512 and mp_index = Hashtbl.create 128 in
+  List.iteri (fun i c -> Hashtbl.replace lock_index c i) lock_combos;
+  List.iteri (fun i c -> Hashtbl.replace mp_index c i) mp_combos;
+  let lock_at cfg pid algo n =
+    got_lock (Hashtbl.find lock_index (cfg, pid, algo, n))
+  in
+  let mp_at cfg pid n = got_mp (Hashtbl.find mp_index (cfg, pid, n)) in
+  Section.make ~jobs:(Array.append lock_jobs mp_jobs) (fun () ->
+      hr
+        "Figure 11: ssht throughput (Mops/s); \"X : Y\" = scalability : best \
+         lock; mp = message-passing version";
       List.iter
-        (fun pid ->
-          let p = Platform.get pid in
-          let algos = Ssync_simlocks.Simlock.algos_for p in
-          let single =
-            List.fold_left
-              (fun acc a ->
-                Float.max acc
-                  (ssht_lock_throughput pid a ~threads:1 ~n_buckets ~capacity
-                     ~duration))
-              0. algos
+        (fun ((n_buckets, capacity) as cfg) ->
+          Printf.printf "\n-- %d buckets, %d entries/bucket --\n" n_buckets
+            capacity;
+          let t =
+            Table.create
+              ~aligns:
+                [ Table.Left; Table.Right; Table.Right; Table.Left; Table.Right ]
+              [ "platform"; "threads"; "best-lock Mops"; "X : lock"; "mp Mops" ]
           in
           List.iter
-            (fun threads ->
-              let best_algo, best =
+            (fun pid ->
+              let p = Platform.get pid in
+              let algos = Ssync_simlocks.Simlock.algos_for p in
+              let single =
                 List.fold_left
-                  (fun (ba, bm) a ->
-                    let m =
-                      ssht_lock_throughput pid a ~threads ~n_buckets ~capacity
-                        ~duration
-                    in
-                    if m > bm then (a, m) else (ba, bm))
-                  (List.hd algos, -1.) algos
+                  (fun acc a -> Float.max acc (lock_at cfg pid a 1))
+                  0. algos
               in
-              let mp =
-                ssht_mp_throughput pid ~threads ~n_buckets ~capacity ~duration
-              in
-              Table.add_row t
-                [
-                  Arch.platform_name pid;
-                  string_of_int threads;
-                  Printf.sprintf "%.1f" best;
-                  Printf.sprintf "%.1fx : %s"
-                    (if single > 0. then best /. single else 0.)
-                    (Ssync_simlocks.Simlock.name best_algo);
-                  Printf.sprintf "%.1f" mp;
-                ])
-            (thread_samples pid))
-        Arch.paper_platform_ids;
-      Table.print t)
-    [ (512, 12); (512, 48); (12, 12); (12, 48) ]
+              List.iter
+                (fun threads ->
+                  let best_algo, best =
+                    List.fold_left
+                      (fun (ba, bm) a ->
+                        let m = lock_at cfg pid a threads in
+                        if m > bm then (a, m) else (ba, bm))
+                      (List.hd algos, -1.) algos
+                  in
+                  let mp = mp_at cfg pid threads in
+                  Table.add_row t
+                    [
+                      Arch.platform_name pid;
+                      string_of_int threads;
+                      Printf.sprintf "%.1f" best;
+                      Printf.sprintf "%.1fx : %s"
+                        (if single > 0. then best /. single else 0.)
+                        (Ssync_simlocks.Simlock.name best_algo);
+                      Printf.sprintf "%.1f" mp;
+                    ])
+                (thread_samples pid))
+            Arch.paper_platform_ids;
+          Table.print t)
+        configs)
 
 (* ------------------------- Figure 12 ------------------------------ *)
 
 let fig12 ?(duration = 2_000_000) () =
-  hr
-    "Figure 12: Memcached-model set-only throughput (Kops/s) by lock \
-     algorithm (paper: TAS/TICKET/MCS beat MUTEX by 29-50%)";
-  let t =
-    Table.create
-      ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right ]
-      [ "platform"; "threads"; "MUTEX"; "TAS"; "TICKET"; "MCS" ]
+  let samples pid =
+    match pid with Arch.Xeon -> [ 1; 10; 18 ] | _ -> [ 1; 6; 18 ]
   in
-  let speedups = ref [] in
-  List.iter
-    (fun pid ->
-      let samples =
-        match pid with Arch.Xeon -> [ 1; 10; 18 ] | _ -> [ 1; 6; 18 ]
-      in
-      let best_overall = ref 0. and single_best = ref 0. in
-      List.iter
-        (fun threads ->
-          let row =
+  let combos =
+    List.concat_map
+      (fun pid ->
+        List.concat_map
+          (fun threads ->
             List.map
-              (fun algo ->
-                Ssync_kvs.Kvs_sim.set_throughput ~duration pid algo ~threads)
-              Ssync_kvs.Kvs_sim.figure12_locks
-          in
+              (fun algo -> (pid, threads, algo))
+              Ssync_kvs.Kvs_sim.figure12_locks)
+          (samples pid))
+      Arch.paper_platform_ids
+  in
+  let jobs, got =
+    Section.sweep combos (fun (pid, threads, algo) ->
+        Ssync_kvs.Kvs_sim.set_throughput ~duration pid algo ~threads)
+  in
+  Section.make ~jobs (fun () ->
+      hr
+        "Figure 12: Memcached-model set-only throughput (Kops/s) by lock \
+         algorithm (paper: TAS/TICKET/MCS beat MUTEX by 29-50%)";
+      let t =
+        Table.create
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+              Table.Right ]
+          [ "platform"; "threads"; "MUTEX"; "TAS"; "TICKET"; "MCS" ]
+      in
+      let next = Section.cursor got in
+      let speedups = ref [] in
+      List.iter
+        (fun pid ->
+          let best_overall = ref 0. and single_best = ref 0. in
           List.iter
-            (fun v ->
-              if threads = 1 then single_best := Float.max !single_best v;
-              best_overall := Float.max !best_overall v)
-            row;
-          Table.add_row t
-            (Arch.platform_name pid :: string_of_int threads
-            :: List.map (fun v -> Printf.sprintf "%.0f" v) row))
-        samples;
-      if !single_best > 0. then
-        speedups :=
-          (Arch.platform_name pid, !best_overall /. !single_best) :: !speedups)
-    Arch.paper_platform_ids;
-  Table.print t;
-  Printf.printf "\nmax speed-up vs single thread (paper: 3.9x / 6x / 6.03x / 5.9x):\n";
-  List.iter
-    (fun (name, x) -> Printf.printf "  %s: %.1fx\n" name x)
-    (List.rev !speedups)
+            (fun threads ->
+              let row =
+                List.map (fun _ -> next ()) Ssync_kvs.Kvs_sim.figure12_locks
+              in
+              List.iter
+                (fun v ->
+                  if threads = 1 then single_best := Float.max !single_best v;
+                  best_overall := Float.max !best_overall v)
+                row;
+              Table.add_row t
+                (Arch.platform_name pid :: string_of_int threads
+                :: List.map (fun v -> Printf.sprintf "%.0f" v) row))
+            (samples pid);
+          if !single_best > 0. then
+            speedups :=
+              (Arch.platform_name pid, !best_overall /. !single_best)
+              :: !speedups)
+        Arch.paper_platform_ids;
+      Table.print t;
+      Printf.printf
+        "\nmax speed-up vs single thread (paper: 3.9x / 6x / 6.03x / 5.9x):\n";
+      List.iter
+        (fun (name, x) -> Printf.printf "  %s: %.1fx\n" name x)
+        (List.rev !speedups))
 
 (* ----------------------- extra experiments ------------------------ *)
 
 let extra_prefetchw_mp () =
-  hr
-    "Extra (section 5.3): Opteron message passing with/without prefetchw \
-     (paper: up to 2.5x faster)";
-  let plain, pfw = Ssync_ccbench.Mp_bench.opteron_prefetchw_speedup () in
-  Printf.printf
-    "round-trip, two hops: plain %.0f cycles, prefetchw %.0f cycles -> %.2fx\n"
-    plain pfw (plain /. pfw)
+  let jobs, got =
+    Section.sweep [ () ] (fun () ->
+        Ssync_ccbench.Mp_bench.opteron_prefetchw_speedup ())
+  in
+  Section.make ~jobs (fun () ->
+      hr
+        "Extra (section 5.3): Opteron message passing with/without prefetchw \
+         (paper: up to 2.5x faster)";
+      let plain, pfw = got 0 in
+      Printf.printf
+        "round-trip, two hops: plain %.0f cycles, prefetchw %.0f cycles -> \
+         %.2fx\n"
+        plain pfw (plain /. pfw))
 
 let extra_small_platforms () =
-  hr
-    "Extra (section 8): small-scale multi-sockets; cross/intra-socket load \
-     latency ratios (paper: ~1.6x Opteron2, ~2.7x Xeon2)";
-  List.iter
-    (fun (pid, paper_ratio) ->
-      let p = Platform.get pid in
-      let topo = p.Platform.topo in
-      let mk holder : Ssync_platform.Cost_model.view =
-        {
-          state = Arch.Modified;
-          owner = Some holder;
-          sharers = Ssync_platform.Coreset.of_list [];
-          home = topo.Topology.mem_node_of_core holder;
-        }
-      in
-      let intra = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
-      let cross =
-        Cost_model.op_latency topo Arch.Load ~requester:0
-          (mk (Platform.n_cores p - 1))
-      in
-      Printf.printf "%s: intra %d, cross %d -> %.2fx (paper ~%.1fx)\n"
-        (Arch.platform_name pid) intra cross
-        (float_of_int cross /. float_of_int intra)
-        paper_ratio)
-    [ (Arch.Opteron2, 1.6); (Arch.Xeon2, 2.7) ]
+  (* pure cost-model arithmetic; no simulations to fan out *)
+  Section.serial (fun () ->
+      hr
+        "Extra (section 8): small-scale multi-sockets; cross/intra-socket \
+         load latency ratios (paper: ~1.6x Opteron2, ~2.7x Xeon2)";
+      List.iter
+        (fun (pid, paper_ratio) ->
+          let p = Platform.get pid in
+          let topo = p.Platform.topo in
+          let mk holder : Ssync_platform.Cost_model.view =
+            {
+              state = Arch.Modified;
+              owner = Some holder;
+              sharers = Ssync_platform.Coreset.of_list [];
+              home = topo.Topology.mem_node_of_core holder;
+            }
+          in
+          let intra = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
+          let cross =
+            Cost_model.op_latency topo Arch.Load ~requester:0
+              (mk (Platform.n_cores p - 1))
+          in
+          Printf.printf "%s: intra %d, cross %d -> %.2fx (paper ~%.1fx)\n"
+            (Arch.platform_name pid) intra cross
+            (float_of_int cross /. float_of_int intra)
+            paper_ratio)
+        [ (Arch.Opteron2, 1.6); (Arch.Xeon2, 2.7) ])
 
 (* STM bank benchmark: lock-based vs message-passing TM2C backends. *)
 let stm_throughput pid backend ~threads ~accounts ~duration : float =
@@ -321,34 +385,52 @@ let stm_throughput pid backend ~threads ~accounts ~duration : float =
   Platform.mops p ~ops:(Array.fold_left ( + ) 0 txns) ~cycles:duration
 
 let extra_stm ?(duration = 150_000) () =
-  hr
-    "Extra (section 8): TM2C bank-transfer throughput (Mtxn/s), lock-based \
-     vs message-passing (paper: results mirror the hash table)";
-  let t =
-    Table.create
-      ~aligns:
-        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
-      [ "platform"; "contention"; "threads"; "lock"; "mp" ]
+  let contentions = [ ("low (512 accts)", 512); ("high (8 accts)", 8) ] in
+  let combos =
+    List.concat_map
+      (fun pid ->
+        List.concat_map
+          (fun (label, accounts) ->
+            List.concat_map
+              (fun threads ->
+                [ (pid, label, accounts, threads, `Lock);
+                  (pid, label, accounts, threads, `Mp) ])
+              [ 1; 6; 18; 36 ])
+          contentions)
+      [ Arch.Opteron; Arch.Tilera ]
   in
-  List.iter
-    (fun pid ->
+  let jobs, got =
+    Section.sweep combos (fun (pid, _, accounts, threads, backend) ->
+        stm_throughput pid backend ~threads ~accounts ~duration)
+  in
+  Section.make ~jobs (fun () ->
+      hr
+        "Extra (section 8): TM2C bank-transfer throughput (Mtxn/s), \
+         lock-based vs message-passing (paper: results mirror the hash table)";
+      let t =
+        Table.create
+          ~aligns:
+            [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+          [ "platform"; "contention"; "threads"; "lock"; "mp" ]
+      in
+      let next = Section.cursor got in
       List.iter
-        (fun (label, accounts) ->
+        (fun pid ->
           List.iter
-            (fun threads ->
-              let lk =
-                stm_throughput pid `Lock ~threads ~accounts ~duration
-              in
-              let mp = stm_throughput pid `Mp ~threads ~accounts ~duration in
-              Table.add_row t
-                [
-                  Arch.platform_name pid;
-                  label;
-                  string_of_int threads;
-                  Printf.sprintf "%.2f" lk;
-                  Printf.sprintf "%.2f" mp;
-                ])
-            [ 1; 6; 18; 36 ])
-        [ ("low (512 accts)", 512); ("high (8 accts)", 8) ])
-    [ Arch.Opteron; Arch.Tilera ];
-  Table.print t
+            (fun (label, _) ->
+              List.iter
+                (fun threads ->
+                  let lk = next () in
+                  let mp = next () in
+                  Table.add_row t
+                    [
+                      Arch.platform_name pid;
+                      label;
+                      string_of_int threads;
+                      Printf.sprintf "%.2f" lk;
+                      Printf.sprintf "%.2f" mp;
+                    ])
+                [ 1; 6; 18; 36 ])
+            contentions)
+        [ Arch.Opteron; Arch.Tilera ];
+      Table.print t)

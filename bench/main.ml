@@ -3,21 +3,36 @@
    of sections 5.3 and 8, and runs Bechamel microbenchmarks of the
    native library.
 
+   Every section describes its simulations as independent pure jobs
+   (Section.t); the driver fans the jobs of all selected sections
+   across a domain pool and renders the tables afterwards, in section
+   declaration order.  Because each job builds its own simulation and
+   every simulation is seeded-deterministic, stdout is byte-identical
+   whatever --jobs says (the Bechamel section excepted: it measures
+   host wall-clock, which no amount of determinism machinery can pin).
+
    Usage:
      bench/main.exe            run everything
      bench/main.exe SECTIONS   run a subset, e.g. `main.exe fig5 fig11`
      bench/main.exe --quick    shorter simulated windows
+     bench/main.exe --jobs N   fan simulation jobs across N domains
+                               (default: the machine's recommended
+                               domain count; --jobs 1 is fully serial)
      bench/main.exe --list     list section names
      bench/main.exe --json     also write per-section engine counters
-                               (wall time, events, parked waiters,
+                               (cpu time, events, parked waiters,
                                simulated cycles/s) to BENCH_PERF.json
      bench/main.exe --compare-perf BASELINE FRESH
                                perf guardrail: exit 1 if FRESH shows the
                                simulator regressing vs BASELINE (>25%
-                               drop in simulated cycles per wall second,
-                               or >25% growth in events executed) *)
+                               drop in simulated cycles per cpu second,
+                               >25% growth in events executed, or a
+                               section's cpu time blowing up >1.75x and
+                               >0.5s) *)
 
-let sections : (string * string * (quick:bool -> unit)) list =
+open Ssync_bench
+
+let sections : (string * string * (quick:bool -> Section.t)) list =
   [
     ("table3", "Table 3: local cache/memory latencies",
      fun ~quick:_ -> Figures.table3 ());
@@ -68,59 +83,56 @@ let sections : (string * string * (quick:bool -> unit)) list =
      fun ~quick:_ -> Native_bench.run ());
   ]
 
-(* One machine-readable line per section: the engine-counter deltas
-   around its run.  [sim_mcps] is simulated cycles per wall second — the
-   simulator's own throughput. *)
+(* One machine-readable line per section: the engine-counter deltas of
+   its jobs (captured per job inside the executing domain and summed)
+   plus the time spent computing it.  [sp_cpu_s] is job cpu time plus
+   the serial render time, so it approximates the old serial wall_s and
+   stays comparable across --jobs counts; [sim_mcycles_per_s] is
+   simulated cycles per cpu second — the simulator's own throughput,
+   independent of how many domains ran the jobs. *)
 type section_perf = {
   sp_name : string;
-  sp_wall_s : float;
-  sp_events : int;
-  sp_parks : int;
-  sp_wakeups : int;
-  sp_elided : int;
-  sp_sim_cycles : int;
+  sp_cpu_s : float;
+  sp_perf : Ssync_engine.Sim.perf;
 }
 
-let perf_json_line sp =
-  let sim_mcps =
-    if sp.sp_wall_s <= 0. then 0.
-    else float_of_int sp.sp_sim_cycles /. sp.sp_wall_s /. 1e6
-  in
-  Printf.sprintf
-    "{\"section\":%S,\"wall_s\":%.3f,\"events\":%d,\"parks\":%d,\
-     \"wakeups\":%d,\"elided_probes\":%d,\"sim_cycles\":%d,\
-     \"sim_mcycles_per_s\":%.1f}"
-    sp.sp_name sp.sp_wall_s sp.sp_events sp.sp_parks sp.sp_wakeups
-    sp.sp_elided sp.sp_sim_cycles sim_mcps
+let sim_mcps ~cpu_s ~sim_cycles =
+  if cpu_s <= 0. then 0. else float_of_int sim_cycles /. cpu_s /. 1e6
 
-let write_perf_json ~quick ~total_wall sps =
+let perf_json_fields sp =
+  let p = sp.sp_perf in
+  Printf.sprintf
+    "\"cpu_s\":%.3f,\"events\":%d,\"parks\":%d,\"wakeups\":%d,\
+     \"elided_probes\":%d,\"sim_cycles\":%d,\"sim_mcycles_per_s\":%.1f"
+    sp.sp_cpu_s p.Ssync_engine.Sim.events p.Ssync_engine.Sim.parks
+    p.Ssync_engine.Sim.wakeups p.Ssync_engine.Sim.elided_probes
+    p.Ssync_engine.Sim.sim_cycles
+    (sim_mcps ~cpu_s:sp.sp_cpu_s ~sim_cycles:p.Ssync_engine.Sim.sim_cycles)
+
+let write_perf_json ~quick ~jobs ~total_wall sps =
   let oc = open_out "BENCH_PERF.json" in
   let total =
     List.fold_left
       (fun acc sp ->
         {
           acc with
-          sp_events = acc.sp_events + sp.sp_events;
-          sp_parks = acc.sp_parks + sp.sp_parks;
-          sp_wakeups = acc.sp_wakeups + sp.sp_wakeups;
-          sp_elided = acc.sp_elided + sp.sp_elided;
-          sp_sim_cycles = acc.sp_sim_cycles + sp.sp_sim_cycles;
+          sp_cpu_s = acc.sp_cpu_s +. sp.sp_cpu_s;
+          sp_perf = Ssync_engine.Sim.perf_add acc.sp_perf sp.sp_perf;
         })
-      {
-        sp_name = "total";
-        sp_wall_s = total_wall;
-        sp_events = 0;
-        sp_parks = 0;
-        sp_wakeups = 0;
-        sp_elided = 0;
-        sp_sim_cycles = 0;
-      }
+      { sp_name = "total"; sp_cpu_s = 0.; sp_perf = Ssync_engine.Sim.perf_zero }
       sps
   in
   output_string oc "[\n";
-  Printf.fprintf oc "{\"mode\":%S},\n" (if quick then "quick" else "full");
-  List.iter (fun sp -> Printf.fprintf oc "%s,\n" (perf_json_line sp)) sps;
-  Printf.fprintf oc "%s\n]\n" (perf_json_line total);
+  Printf.fprintf oc "{\"mode\":%S,\"jobs\":%d},\n"
+    (if quick then "quick" else "full")
+    jobs;
+  List.iter
+    (fun sp ->
+      Printf.fprintf oc "{\"section\":%S,%s},\n" sp.sp_name
+        (perf_json_fields sp))
+    sps;
+  Printf.fprintf oc "{\"section\":\"total\",\"wall_s\":%.3f,%s}\n]\n" total_wall
+    (perf_json_fields total);
   close_out oc;
   Printf.printf "(engine counters written to BENCH_PERF.json)\n"
 
@@ -164,7 +176,21 @@ let field_str line key =
       | None -> None)
   | Some _ -> None
 
-(* (mode, total events, total simulated Mcycles per wall second) *)
+(* Per-section cpu seconds: [cpu_s] in the current format, falling back
+   to [wall_s] for baselines written by the serial harness (where the
+   two were the same thing). *)
+let section_time line =
+  match field_num line "cpu_s" with
+  | Some t -> Some t
+  | None -> field_num line "wall_s"
+
+type file_perf = {
+  fp_mode : string;
+  fp_sections : (string * float) list; (* section -> cpu_s (or wall_s) *)
+  fp_events : float;
+  fp_mcps : float; (* simulated Mcycles per cpu second *)
+}
+
 let perf_summary path =
   let ic =
     try open_in path
@@ -184,10 +210,22 @@ let perf_summary path =
   let total =
     List.find_opt (fun l -> field_str l "section" = Some "total") lines
   in
+  let sections =
+    List.filter_map
+      (fun l ->
+        match field_str l "section" with
+        | Some name when name <> "total" -> (
+            match section_time l with
+            | Some t -> Some (name, t)
+            | None -> None)
+        | _ -> None)
+      lines
+  in
   match (mode, total) with
   | Some m, Some t -> (
       match (field_num t "events", field_num t "sim_mcycles_per_s") with
-      | Some ev, Some mcps -> (m, ev, mcps)
+      | Some ev, Some mcps ->
+          { fp_mode = m; fp_sections = sections; fp_events = ev; fp_mcps = mcps }
       | _ ->
           Printf.eprintf "--compare-perf: %s: malformed total line\n" path;
           exit 2)
@@ -196,34 +234,55 @@ let perf_summary path =
       exit 2
 
 let compare_perf baseline_path fresh_path =
-  let b_mode, b_events, b_mcps = perf_summary baseline_path in
-  let f_mode, f_events, f_mcps = perf_summary fresh_path in
-  if b_mode <> f_mode then begin
+  let b = perf_summary baseline_path in
+  let f = perf_summary fresh_path in
+  if b.fp_mode <> f.fp_mode then begin
     Printf.eprintf
       "--compare-perf: mode mismatch (baseline %s, fresh %s) — comparing \
        different workloads proves nothing\n"
-      b_mode f_mode;
+      b.fp_mode f.fp_mode;
     exit 2
   end;
   Printf.printf
     "perf guardrail (%s mode):\n\
     \  events       %12.0f -> %12.0f  (%+.1f%%, limit +25%%)\n\
     \  sim Mcy/s    %12.1f -> %12.1f  (%+.1f%%, limit -25%%)\n"
-    b_mode b_events f_events
-    (100. *. ((f_events /. b_events) -. 1.))
-    b_mcps f_mcps
-    (100. *. ((f_mcps /. b_mcps) -. 1.));
-  let events_ok = f_events <= 1.25 *. b_events in
-  let mcps_ok = f_mcps >= 0.75 *. b_mcps in
+    b.fp_mode b.fp_events f.fp_events
+    (100. *. ((f.fp_events /. b.fp_events) -. 1.))
+    b.fp_mcps f.fp_mcps
+    (100. *. ((f.fp_mcps /. b.fp_mcps) -. 1.));
+  (* Per-section cpu time, with a deliberately generous threshold: the
+     numbers are one-shot wall measurements on a possibly noisy host, so
+     only flag a section that both blew its budget by 75% and lost more
+     than half a second in absolute terms. *)
+  let slow_sections =
+    List.filter_map
+      (fun (name, ft) ->
+        match List.assoc_opt name b.fp_sections with
+        | Some bt when ft > 1.75 *. bt && ft -. bt > 0.5 -> Some (name, bt, ft)
+        | _ -> None)
+      f.fp_sections
+  in
+  List.iter
+    (fun (name, bt, ft) ->
+      Printf.printf "  section %-22s %8.2fs -> %8.2fs  (limit 1.75x and +0.5s)\n"
+        name bt ft)
+    slow_sections;
+  let events_ok = f.fp_events <= 1.25 *. b.fp_events in
+  let mcps_ok = f.fp_mcps >= 0.75 *. b.fp_mcps in
+  let sections_ok = slow_sections = [] in
   if not events_ok then
     Printf.printf
       "FAIL: the simulator now executes >25%% more events for the same \
        workload (lost elision/parking coverage?)\n";
   if not mcps_ok then
     Printf.printf
-      "FAIL: simulated cycles per wall second dropped >25%% (hot-path \
+      "FAIL: simulated cycles per cpu second dropped >25%% (hot-path \
        slowdown?)\n";
-  if events_ok && mcps_ok then Printf.printf "OK: within budget\n"
+  if not sections_ok then
+    Printf.printf
+      "FAIL: section cpu time blew up >1.75x (and >0.5s) vs the baseline\n";
+  if events_ok && mcps_ok && sections_ok then Printf.printf "OK: within budget\n"
   else exit 1
 
 let () =
@@ -240,6 +299,23 @@ let () =
   | _ -> ());
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
+  let jobs = ref (Ssync_engine.Pool.default_jobs ()) in
+  let rec strip_jobs = function
+    | [] -> []
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            strip_jobs rest
+        | _ ->
+            Printf.eprintf "--jobs: expected a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs: missing domain count\n";
+        exit 2
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--json") args
   in
@@ -265,33 +341,41 @@ let () =
        Trigonakis, SOSP'13.\nAll cross-platform numbers come from the \
        calibrated simulator; see EXPERIMENTS.md.\n%!";
     let t0 = Unix.gettimeofday () in
+    (* Plan every selected section, fan all their jobs across the pool,
+       then render in declaration order. *)
+    let planned =
+      List.filter_map
+        (fun (name, _, mk) ->
+          if List.mem name wanted then Some (name, mk ~quick) else None)
+        sections
+    in
+    let all_jobs =
+      Array.concat (List.map (fun (_, s) -> s.Section.jobs) planned)
+    in
+    let results = Ssync_engine.Pool.run ~jobs:!jobs all_jobs in
     let perfs = ref [] in
+    let start = ref 0 in
     List.iter
-      (fun (name, _, f) ->
-        if List.mem name wanted then begin
-          let w0 = Unix.gettimeofday () in
-          let p0 = Ssync_engine.Sim.cumulative_perf () in
-          f ~quick;
-          let w1 = Unix.gettimeofday () in
-          let p1 = Ssync_engine.Sim.cumulative_perf () in
-          perfs :=
-            {
-              sp_name = name;
-              sp_wall_s = w1 -. w0;
-              sp_events = p1.Ssync_engine.Sim.events - p0.Ssync_engine.Sim.events;
-              sp_parks = p1.Ssync_engine.Sim.parks - p0.Ssync_engine.Sim.parks;
-              sp_wakeups =
-                p1.Ssync_engine.Sim.wakeups - p0.Ssync_engine.Sim.wakeups;
-              sp_elided =
-                p1.Ssync_engine.Sim.elided_probes
-                - p0.Ssync_engine.Sim.elided_probes;
-              sp_sim_cycles =
-                p1.Ssync_engine.Sim.sim_cycles - p0.Ssync_engine.Sim.sim_cycles;
-            }
-            :: !perfs
-        end)
-      sections;
+      (fun (name, s) ->
+        let n = Array.length s.Section.jobs in
+        let r0 = Unix.gettimeofday () in
+        s.Section.render ();
+        let render_s = Unix.gettimeofday () -. r0 in
+        let stats =
+          Ssync_engine.Pool.total_stats (Array.sub results !start n)
+        in
+        start := !start + n;
+        perfs :=
+          {
+            sp_name = name;
+            sp_cpu_s =
+              (float_of_int stats.Ssync_engine.Pool.wall_ns /. 1e9) +. render_s;
+            sp_perf = stats.Ssync_engine.Pool.perf;
+          }
+          :: !perfs)
+      planned;
     let total_wall = Unix.gettimeofday () -. t0 in
-    Printf.printf "\n(total wall time: %.1fs)\n" total_wall;
-    if json then write_perf_json ~quick ~total_wall (List.rev !perfs)
+    (* stderr, so stdout stays byte-identical across runs and --jobs *)
+    Printf.eprintf "\n(total wall time: %.1fs, %d jobs)\n" total_wall !jobs;
+    if json then write_perf_json ~quick ~jobs:!jobs ~total_wall (List.rev !perfs)
   end

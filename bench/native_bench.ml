@@ -63,7 +63,12 @@ let benchmark () =
   in
   results
 
+(* Render-only section: Bechamel measures host wall-clock, which is
+   nondeterministic by nature, so this section runs serially on the
+   main domain and is excluded from the byte-identity guarantee the
+   simulator sections carry. *)
 let run () =
+  Section.serial @@ fun () ->
   Printf.printf
     "\n==== Native microbenchmarks (Bechamel, uncontended, host CPU) ====\n%!";
   let results = benchmark () in

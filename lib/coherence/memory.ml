@@ -67,6 +67,10 @@ type t = {
   mutable n_lines : int;
   stats : Stats.t;
   scratch : Cost_model.view;    (* reused for every op_latency call *)
+  mutable last_result : int;
+      (* result value of the most recent [access_lat] — an out-parameter
+         that spares the engine's hot path one tuple allocation per
+         memory operation *)
 }
 
 let dummy_line =
@@ -82,6 +86,7 @@ let create platform =
     scratch =
       { Cost_model.state = Arch.Invalid; owner = None;
         sharers = Coreset.create (); home = 0 };
+    last_result = 0;
   }
 
 let platform t = t.platform
@@ -371,8 +376,8 @@ let wake_disturbed t (l : line) =
    the background).  A prefetchw probe ([Fai], operand 0) either takes
    the line exclusively and reserves it, or — under another core's
    reservation — degrades to a directed read snoop. *)
-let access ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
-    (op : Arch.memop) (a : addr) : int * int =
+let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
+    (op : Arch.memop) (a : addr) : int =
   Topology.check t.platform.Platform.topo core;
   let l = line t a in
   if foreign_reservation l ~core op ~operand ~operand2 then begin
@@ -388,7 +393,8 @@ let access ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
     in
     Stats.record t.stats op ~latency:service ~queued:0 ~local:false
       ~invalidated:0;
-    (service, l.value)
+    t.last_result <- l.value;
+    service
   end
   else begin
     if l.waiters <> [] then settle_elided t l ~now;
@@ -422,8 +428,16 @@ let access ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
       ~queued:(if posted then 0 else queued)
       ~local ~invalidated;
     if l.waiters <> [] then wake_disturbed t l;
-    (latency, result)
+    t.last_result <- result;
+    latency
   end
+
+let last_result t = t.last_result
+
+let access ?operand ?operand2 ?fetch t ~core ~now (op : Arch.memop) (a : addr)
+    : int * int =
+  let latency = access_lat ?operand ?operand2 ?fetch t ~core ~now op a in
+  (latency, t.last_result)
 
 (* Expected latency of [op] issued by [core] right now, without doing
    it — used by ccbench to report best-case protocol latencies. *)

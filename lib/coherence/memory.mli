@@ -83,6 +83,17 @@ val access :
     single-writer update.  A real access additionally settles and
     revalidates the line's parked waiters. *)
 
+val access_lat :
+  ?operand:int -> ?operand2:int -> ?fetch:bool -> t -> core:int -> now:int ->
+  Arch.memop -> addr -> int
+(** Exactly {!access}, but returns only the latency and leaves the
+    result value in {!last_result} — the engine's per-operation hot
+    path, which would otherwise allocate one [(latency, result)] tuple
+    per simulated memory access. *)
+
+val last_result : t -> int
+(** Result value of the most recent {!access_lat} on this memory. *)
+
 val try_park :
   t -> core:int -> now:int -> Arch.memop -> addr ->
   operand:int -> operand2:int -> while_:int -> poll:int ->

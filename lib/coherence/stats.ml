@@ -51,6 +51,23 @@ let record_elided t op ~count ~latency ~local =
   if local then t.local_hits <- t.local_hits + count;
   t.elided_probes <- t.elided_probes + count
 
+(* Accumulate [src] into [dst] field-wise.  Used to aggregate the
+   per-simulation statistics of independent jobs (each owning its own
+   [Memory.t]) into one per-section total after a parallel fan-out —
+   merging values beats sharing a global that domains would race on. *)
+let add dst src =
+  let add_counter d s =
+    d.count <- d.count + s.count;
+    d.cycles <- d.cycles + s.cycles
+  in
+  add_counter dst.loads src.loads;
+  add_counter dst.stores src.stores;
+  add_counter dst.atomics src.atomics;
+  dst.local_hits <- dst.local_hits + src.local_hits;
+  dst.invalidations <- dst.invalidations + src.invalidations;
+  dst.queued_cycles <- dst.queued_cycles + src.queued_cycles;
+  dst.elided_probes <- dst.elided_probes + src.elided_probes
+
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count
 let total_cycles t = t.loads.cycles + t.stores.cycles + t.atomics.cycles
 

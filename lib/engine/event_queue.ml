@@ -121,3 +121,6 @@ let pop t =
   end
 
 let min_time t = if t.size = 0 then None else Some t.times.(0)
+
+(* Non-allocating variant for the simulator's hot path. *)
+let next_time t = if t.size = 0 then max_int else t.times.(0)

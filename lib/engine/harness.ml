@@ -9,7 +9,13 @@
    silently understated throughput number — [completed] records which
    threads returned, and [health] carries the engine's structured
    verdict ([Stalled {tid; core; last_progress}]) plus fault-injection
-   counters.  Callers that care must check [completed_all]. *)
+   counters.  Callers that care must check [completed_all].
+
+   [run] is a pure function of its arguments: every invocation builds
+   its own [Sim.t]/[Memory.t], draws from its own seeded RNG, and the
+   engine's perf counters are domain-local — so concurrent runs on
+   different domains (see [Pool]) compute exactly what serial runs
+   would, and [result] is a plain value safe to ship across domains. *)
 
 open Ssync_platform
 open Ssync_coherence

@@ -1,0 +1,30 @@
+(** A fixed-size domain pool with deterministic job-to-result ordering.
+
+    Submit independent simulation jobs as pure thunks; [run] fans them
+    across up to [jobs] domains (the calling domain included) and
+    returns results in submission order, so downstream rendering is
+    byte-identical whatever the parallelism.  Each result carries the
+    wall time and the engine-counter delta ({!Sim.perf}) measured
+    inside the domain that executed the job — the counters are
+    domain-local, so concurrent jobs never race on them. *)
+
+type stats = {
+  wall_ns : int;  (** wall-clock spent executing the job *)
+  perf : Sim.perf;  (** engine-counter delta attributable to the job *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> ('a * stats) array
+(** [run ~jobs thunks] executes every thunk and returns
+    [(value, stats)] per job, indexed like [thunks].  [jobs] defaults
+    to {!default_jobs}; [jobs = 1] (or a single job) executes inline on
+    the calling domain with no domains or atomics involved.  Domains
+    pull jobs off a shared counter, so long and short jobs balance
+    dynamically.  If any job raises, the exception of the
+    lowest-indexed failed job is re-raised after all jobs finish.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val total_stats : ('a * stats) array -> stats
+(** Sum of the per-job stats (field-wise). *)

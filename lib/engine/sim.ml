@@ -37,7 +37,13 @@ open Ssync_platform
 open Ssync_coherence
 module Rng = Ssync_workload.Rng
 
-(* Per-thread bookkeeping for faults and the watchdog. *)
+(* Per-thread bookkeeping for faults and the watchdog.  [pend_ik] /
+   [pend_uk] hold the thread's suspended continuation between the
+   scheduling of its resumption and the event firing; [run_ik] /
+   [run_uk] are closures allocated once per thread that continue it —
+   the hot path schedules them directly instead of allocating a fresh
+   closure per operation.  A coroutine has at most one pending
+   resumption, so one slot of each type suffices. *)
 type thread_state = {
   tid : int;
   core : int;
@@ -46,7 +52,39 @@ type thread_state = {
   mutable last_progress : int;
   mutable finished : bool;
   mutable crashed : bool;
+  mutable pend_ik : (int, unit) Effect.Deep.continuation option;
+  mutable pend_iv : int;
+  mutable pend_uk : (unit, unit) Effect.Deep.continuation option;
+  mutable run_ik : unit -> unit;
+  mutable run_uk : unit -> unit;
 }
+
+(* Cumulative engine counters for the benchmark harness's perf report.
+   Domain-local: each domain accumulates the simulations it ran itself,
+   so concurrent sims never race on the totals and a parallel harness
+   can attribute counters per job by snapshotting around it in the
+   executing domain. *)
+type counters = {
+  mutable c_events : int;
+  mutable c_parks : int;
+  mutable c_wakeups : int;
+  mutable c_elided : int;
+  mutable c_sim_cycles : int;
+  mutable c_wall_ns : int;
+}
+
+let counters_key : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        c_events = 0;
+        c_parks = 0;
+        c_wakeups = 0;
+        c_elided = 0;
+        c_sim_cycles = 0;
+        c_wall_ns = 0;
+      })
+
+let counters () = Domain.DLS.get counters_key
 
 type t = {
   platform : Platform.t;
@@ -67,6 +105,13 @@ type t = {
   mutable parks : int;
   mutable wakeups : int;
   mutable wall_ns : int;
+  cum : counters; (* the creating domain's cumulative totals *)
+  (* direct-run bookkeeping (see [resume_int]): the current run's
+     [until] backstop, and a bound on consecutively direct-run steps so
+     long event-free stretches cannot grow the native stack without
+     limit *)
+  mutable run_until : int;
+  mutable direct_fuel : int;
 }
 
 type barrier = {
@@ -104,14 +149,6 @@ type _ Effect.t +=
    harness layer. *)
 let parking_default = ref true
 
-(* Cumulative engine counters across every simulation of the process,
-   for the benchmark harness's perf report. *)
-let cum_events = ref 0
-let cum_parks = ref 0
-let cum_wakeups = ref 0
-let cum_elided = ref 0
-let cum_sim_cycles = ref 0
-let cum_wall_ns = ref 0
 
 let create ?(faults = Fault.none) ?parking platform =
   let faults = Fault.validate faults in
@@ -136,6 +173,9 @@ let create ?(faults = Fault.none) ?parking platform =
     parks = 0;
     wakeups = 0;
     wall_ns = 0;
+    cum = counters ();
+    run_until = max_int;
+    direct_fuel = 0;
   }
 
 let memory t = t.mem
@@ -296,6 +336,80 @@ let resume : type a.
     =
  fun t st k ~at v -> crash_sched t st ~at (fun () -> Effect.Deep.continue k v)
 
+(* Direct-run: a resumption may skip the event queue entirely and
+   continue the thread synchronously when nothing can observe the
+   difference — no faults active (fault draws key off event shapes), the
+   completion time does not cross the run's [until] backstop (the queue
+   would have dropped it), and it falls *strictly* before every queued
+   event (so no other event could interleave, and same-time FIFO order
+   is preserved).  Timestamps, access order and results are exactly
+   those of the queued schedule; only the per-operation queue round
+   trip — and its event count — disappears.  [direct_fuel], reset at
+   every real event pop, bounds consecutive synchronous continues so an
+   event-free stretch cannot grow the native stack without limit. *)
+let direct_fuel_max = 1000
+
+let can_direct t ~at =
+  (not t.faults_active)
+  && at <= t.run_until
+  && t.direct_fuel < direct_fuel_max
+  && at < Event_queue.next_time t.events
+
+(* Hot-path resumptions: when the thread cannot crash, either continue
+   it directly (see above) or park the continuation in its [pend_*]
+   slot and schedule the preallocated runner — zero closure allocations
+   per operation.  With a crash time set, fall back to [resume] so the
+   crash bookkeeping (and its exact event shapes) stays byte-identical.
+   Direct-run applies only to completions of the thread's own
+   operations (memory ops, pauses): those run from the top of the
+   engine loop, never from inside another thread's access processing,
+   so continuing synchronously cannot re-enter the memory model. *)
+let resume_int t st (k : (int, unit) Effect.Deep.continuation) ~at v =
+  if st.crash_at >= 0 then resume t st k ~at v
+  else if can_direct t ~at then begin
+    t.direct_fuel <- t.direct_fuel + 1;
+    t.now <- at;
+    st.last_progress <- at;
+    Effect.Deep.continue k v
+  end
+  else begin
+    st.pend_ik <- Some k;
+    st.pend_iv <- v;
+    schedule t ~at st.run_ik
+  end
+
+(* Unit-typed completion of the thread's own step (pause): direct-run
+   capable, like [resume_int]. *)
+let resume_unit_direct t st (k : (unit, unit) Effect.Deep.continuation) ~at =
+  if st.crash_at >= 0 then resume t st k ~at ()
+  else if can_direct t ~at then begin
+    t.direct_fuel <- t.direct_fuel + 1;
+    t.now <- at;
+    st.last_progress <- at;
+    Effect.Deep.continue k ()
+  end
+  else begin
+    st.pend_uk <- Some k;
+    schedule t ~at st.run_uk
+  end
+
+(* Wakeups issued on behalf of *other* threads (barriers, parkers):
+   always scheduled, because the issuing handler may wake several
+   threads at one captured timestamp — running one synchronously would
+   advance the clock under the others' feet. *)
+let resume_unit t st (k : (unit, unit) Effect.Deep.continuation) ~at =
+  if st.crash_at >= 0 then resume t st k ~at ()
+  else begin
+    st.pend_uk <- Some k;
+    schedule t ~at st.run_uk
+  end
+
+(* Schedule a preallocated engine-internal step ([f] updates
+   [last_progress] itself at entry) without wrapping it in a fresh
+   closure unless the crash path demands it. *)
+let sched_step t st ~at f =
+  if st.crash_at >= 0 then crash_sched t st ~at f else schedule t ~at f
+
 (* The [E_spin] state machine.  Invoked with the thread suspended right
    after observing [while_]; the first probe issues at [now + poll],
    exactly like the poll loop's [pause poll; probe].  Whenever the next
@@ -305,32 +419,38 @@ let resume : type a.
 let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
     ~operand2 ~while_ ~poll =
   let core = st.core in
+  (* [probe] and [continue_spin] are allocated once per spin episode and
+     update [last_progress] themselves, so the per-probe steps schedule
+     them directly ([sched_step]) with no wrapper closure. *)
   let rec probe () =
     (* [t.now] is the probe's issue time *)
-    let latency, x =
-      Memory.access t.mem ~core ~now:t.now op a ~operand ~operand2
+    st.last_progress <- t.now;
+    let latency =
+      Memory.access_lat t.mem ~core ~now:t.now op a ~operand ~operand2
     in
+    let x = Memory.last_result t.mem in
     let latency = latency + fault_extra t st ~mem_op:true in
-    if x <> while_ then resume t st k ~at:(t.now + latency) x
-    else crash_sched t st ~at:(t.now + latency) continue_spin
+    if x <> while_ then resume_int t st k ~at:(t.now + latency) x
+    else sched_step t st ~at:(t.now + latency) continue_spin
   and continue_spin () =
     (* [t.now] is the completion time of a probe that returned
        [while_]; emulate [pause poll; probe] — or park. *)
+    st.last_progress <- t.now;
     if
       event_driven t
       && Memory.try_park t.mem ~core ~now:t.now op a ~operand ~operand2
            ~while_ ~poll ~replay:(fun at ->
              t.wakeups <- t.wakeups + 1;
-             incr cum_wakeups;
-             crash_sched t st ~at probe)
+             t.cum.c_wakeups <- t.cum.c_wakeups + 1;
+             sched_step t st ~at probe)
     then begin
       t.parks <- t.parks + 1;
-      incr cum_parks
+      t.cum.c_parks <- t.cum.c_parks + 1
     end
     else if poll = 0 then probe ()
     else begin
       let cy = max 1 poll + fault_extra t st ~mem_op:false in
-      crash_sched t st ~at:(t.now + cy) probe
+      sched_step t st ~at:(t.now + cy) probe
     end
   in
   continue_spin ()
@@ -351,8 +471,29 @@ let spawn t ~core body =
       last_progress = t.now;
       finished = false;
       crashed = false;
+      pend_ik = None;
+      pend_iv = 0;
+      pend_uk = None;
+      run_ik = ignore;
+      run_uk = ignore;
     }
   in
+  st.run_ik <-
+    (fun () ->
+      st.last_progress <- t.now;
+      match st.pend_ik with
+      | Some k ->
+          st.pend_ik <- None;
+          Effect.Deep.continue k st.pend_iv
+      | None -> ());
+  st.run_uk <-
+    (fun () ->
+      st.last_progress <- t.now;
+      match st.pend_uk with
+      | Some k ->
+          st.pend_uk <- None;
+          Effect.Deep.continue k ()
+      | None -> ());
   Hashtbl.replace t.tstates tid st;
   let open Effect.Deep in
   let handler : (unit, unit) handler =
@@ -369,21 +510,23 @@ let spawn t ~core body =
           | E_mem (op, a, op1, op2) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  let latency, v =
-                    Memory.access t.mem ~core ~now:t.now op a ~operand:op1
+                  let latency =
+                    Memory.access_lat t.mem ~core ~now:t.now op a ~operand:op1
                       ~operand2:op2
                   in
+                  let v = Memory.last_result t.mem in
                   let latency = latency + fault_extra t st ~mem_op:true in
-                  resume t st k ~at:(t.now + latency) v)
+                  resume_int t st k ~at:(t.now + latency) v)
           | E_casf (a, expected, desired) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  let latency, v =
-                    Memory.access t.mem ~core ~now:t.now Arch.Cas a
+                  let latency =
+                    Memory.access_lat t.mem ~core ~now:t.now Arch.Cas a
                       ~operand:expected ~operand2:desired ~fetch:true
                   in
+                  let v = Memory.last_result t.mem in
                   let latency = latency + fault_extra t st ~mem_op:true in
-                  resume t st k ~at:(t.now + latency) v)
+                  resume_int t st k ~at:(t.now + latency) v)
           | E_spin (op, a, op1, op2, while_, poll) ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -393,7 +536,7 @@ let spawn t ~core body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   let cycles = max 1 cycles + fault_extra t st ~mem_op:false in
-                  resume t st k ~at:(t.now + cycles) ())
+                  resume_unit_direct t st k ~at:(t.now + cycles))
           | E_now ->
               Some (fun (k : (a, unit) continuation) -> continue k t.now)
           | E_self ->
@@ -408,9 +551,9 @@ let spawn t ~core body =
                     b.waiters <- [];
                     b.arrived <- 0;
                     List.iter
-                      (fun (wst, w) -> resume t wst w ~at:t.now ())
+                      (fun (wst, w) -> resume_unit t wst w ~at:t.now)
                       to_wake;
-                    resume t st k ~at:t.now ()
+                    resume_unit t st k ~at:t.now
                   end
                   else b.waiters <- (st, k) :: b.waiters)
           | E_park (pk, poll) ->
@@ -423,13 +566,13 @@ let spawn t ~core body =
                     pk.seat_at <- t.now;
                     pk.seat_poll <- poll;
                     t.parks <- t.parks + 1;
-                    incr cum_parks
+                    t.cum.c_parks <- t.cum.c_parks + 1
                   end
                   else begin
                     (* literal polling: one pause quantum, the caller's
                        loop re-checks *)
                     let cy = max 1 poll + fault_extra t st ~mem_op:false in
-                    resume t st k ~at:(t.now + cy) ()
+                    resume_unit t st k ~at:(t.now + cy)
                   end)
           | E_unpark pk ->
               Some
@@ -443,10 +586,9 @@ let spawn t ~core body =
                         max 1 ((dt + pk.seat_poll - 1) / pk.seat_poll)
                       in
                       t.wakeups <- t.wakeups + 1;
-                      incr cum_wakeups;
-                      resume t wst wk
+                      t.cum.c_wakeups <- t.cum.c_wakeups + 1;
+                      resume_unit t wst wk
                         ~at:(pk.seat_at + (steps * pk.seat_poll))
-                        ()
                   | None -> ());
                   continue k ())
           | E_evd ->
@@ -536,6 +678,7 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
   let dropped = ref 0 in
   let continue_run = ref true in
   let p = Event_queue.make_popped () in
+  t.run_until <- until;
   while !continue_run do
     if not (Event_queue.pop_into t.events p) then continue_run := false
     else if p.Event_queue.p_time > until then begin
@@ -546,21 +689,22 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
     else begin
       incr executed;
       if !executed > max_events then raise (Simulation_runaway !executed);
+      t.direct_fuel <- 0;
       t.now <- p.Event_queue.p_time;
       p.Event_queue.p_run ()
     end
   done;
   t.events_run <- t.events_run + !executed;
-  cum_events := !cum_events + !executed;
-  cum_sim_cycles := !cum_sim_cycles + (t.now - start_now);
-  cum_elided :=
-    !cum_elided
+  t.cum.c_events <- t.cum.c_events + !executed;
+  t.cum.c_sim_cycles <- t.cum.c_sim_cycles + (t.now - start_now);
+  t.cum.c_elided <-
+    t.cum.c_elided
     + ((Memory.stats t.mem).Stats.elided_probes - start_elided);
   let wall_ns =
     int_of_float ((Unix.gettimeofday () -. wall_start) *. 1e9)
   in
   t.wall_ns <- t.wall_ns + wall_ns;
-  cum_wall_ns := !cum_wall_ns + wall_ns;
+  t.cum.c_wall_ns <- t.cum.c_wall_ns + wall_ns;
   let verdict =
     if t.live_threads <= 0 then Completed
     else
@@ -603,14 +747,47 @@ let perf t =
     wall_ns = t.wall_ns;
   }
 
-(* Totals across every simulation of the process (the benchmark
-   harness samples deltas around each section). *)
+(* Totals across every simulation run by the *calling domain* (the
+   benchmark harness samples deltas around each job in the domain that
+   executes it, then sums per-job deltas). *)
 let cumulative_perf () =
+  let c = counters () in
   {
-    events = !cum_events;
-    parks = !cum_parks;
-    wakeups = !cum_wakeups;
-    elided_probes = !cum_elided;
-    sim_cycles = !cum_sim_cycles;
-    wall_ns = !cum_wall_ns;
+    events = c.c_events;
+    parks = c.c_parks;
+    wakeups = c.c_wakeups;
+    elided_probes = c.c_elided;
+    sim_cycles = c.c_sim_cycles;
+    wall_ns = c.c_wall_ns;
+  }
+
+(* Pure arithmetic on perf records, for aggregating per-job deltas. *)
+let perf_zero =
+  {
+    events = 0;
+    parks = 0;
+    wakeups = 0;
+    elided_probes = 0;
+    sim_cycles = 0;
+    wall_ns = 0;
+  }
+
+let perf_add a b =
+  {
+    events = a.events + b.events;
+    parks = a.parks + b.parks;
+    wakeups = a.wakeups + b.wakeups;
+    elided_probes = a.elided_probes + b.elided_probes;
+    sim_cycles = a.sim_cycles + b.sim_cycles;
+    wall_ns = a.wall_ns + b.wall_ns;
+  }
+
+let perf_diff a b =
+  {
+    events = a.events - b.events;
+    parks = a.parks - b.parks;
+    wakeups = a.wakeups - b.wakeups;
+    elided_probes = a.elided_probes - b.elided_probes;
+    sim_cycles = a.sim_cycles - b.sim_cycles;
+    wall_ns = a.wall_ns - b.wall_ns;
   }

@@ -106,8 +106,17 @@ val perf : t -> perf
     calls). *)
 
 val cumulative_perf : unit -> perf
-(** Process-wide totals across every simulation; the benchmark harness
-    samples deltas around each section. *)
+(** Totals across every simulation created and run by the calling
+    domain (the counters are domain-local, so concurrent simulations in
+    other domains never race on them).  The benchmark harness samples
+    deltas around each job inside the domain that executes it and sums
+    the per-job deltas into per-section totals. *)
+
+val perf_zero : perf
+val perf_add : perf -> perf -> perf
+val perf_diff : perf -> perf -> perf
+(** Pure arithmetic on perf records ([perf_diff a b] is [a - b]
+    field-wise), for aggregating per-job counter deltas. *)
 
 (** {1 Operations available inside a simulated thread}
 

@@ -137,6 +137,21 @@ let opteron_directory_penalty (t : Topology.t) ~requester v =
   in
   if home_involved then 0 else 30 * max 1 (t.node_hops rnode v.home)
 
+(* Latency rows hoisted to toplevel: building a [| ... |] literal (or a
+   [row] partial application) inside the function would allocate on
+   every access, and op_latency is the simulator's innermost hot
+   call. *)
+let o_load_modified = [| 81; 161; 172; 252 |]
+let o_load_owned = [| 83; 163; 175; 254 |]
+let o_load_exclusive = [| 83; 163; 175; 253 |]
+let o_load_shared = [| 83; 164; 176; 254 |]
+let o_fill = [| 136; 237; 247; 327 |]
+let o_store_me = [| 83; 172; 191; 273 |]
+let o_store_owned = [| 244; 255; 286; 291 |]
+let o_store_shared = [| 246; 255; 286; 296 |]
+let o_atomic_me = [| 110; 197; 216; 296 |]
+let o_atomic_shared = [| 272; 283; 312; 332 |]
+
 let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let dir_pen = opteron_directory_penalty t ~requester v in
   let class_of_source =
@@ -144,25 +159,21 @@ let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
     | Some c -> class_to_core t ~requester c
     | None -> class_to_home t ~requester v
   in
-  let row = opteron_row4 class_of_source in
-  let inval_row a =
-    opteron_row4 (invalidation_class t ~requester v class_of_source) a
-  in
   let load_cached st =
     match st with
-    | Arch.Modified -> row [| 81; 161; 172; 252 |]
-    | Arch.Owned -> row [| 83; 163; 175; 254 |]
-    | Arch.Exclusive -> row [| 83; 163; 175; 253 |]
-    | Arch.Shared | Arch.Forward -> row [| 83; 164; 176; 254 |]
-    | Arch.Invalid -> row [| 136; 237; 247; 327 |]
+    | Arch.Modified -> opteron_row4 class_of_source o_load_modified
+    | Arch.Owned -> opteron_row4 class_of_source o_load_owned
+    | Arch.Exclusive -> opteron_row4 class_of_source o_load_exclusive
+    | Arch.Shared | Arch.Forward -> opteron_row4 class_of_source o_load_shared
+    | Arch.Invalid -> opteron_row4 class_of_source o_fill
   in
   let broadcast_store st =
     (* Invalidation broadcast; grows slightly with the sharer count
        (storing on a line shared by all 48 cores costs 296). *)
     let base =
-      match st with
-      | Arch.Owned -> inval_row [| 244; 255; 286; 291 |]
-      | _ -> inval_row [| 246; 255; 286; 296 |]
+      opteron_row4
+        (invalidation_class t ~requester v class_of_source)
+        (match st with Arch.Owned -> o_store_owned | _ -> o_store_shared)
     in
     base + (n_holders v / 12 * 10)
   in
@@ -174,19 +185,21 @@ let opteron_latency (t : Topology.t) (op : Arch.memop) ~requester v =
       match v.state with
       | Arch.Modified | Arch.Exclusive ->
           if v.owner = Some requester then 3
-          else row [| 83; 172; 191; 273 |] + dir_pen
+          else opteron_row4 class_of_source o_store_me + dir_pen
       | Arch.Owned | Arch.Shared | Arch.Forward -> broadcast_store v.state + dir_pen
-      | Arch.Invalid -> row [| 136; 237; 247; 327 |] + 10 + dir_pen)
+      | Arch.Invalid -> opteron_row4 class_of_source o_fill + 10 + dir_pen)
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
       match v.state with
       | Arch.Modified | Arch.Exclusive ->
           if v.owner = Some requester then 20
-          else row [| 110; 197; 216; 296 |] + dir_pen
+          else opteron_row4 class_of_source o_atomic_me + dir_pen
       | Arch.Owned | Arch.Shared | Arch.Forward ->
-          inval_row [| 272; 283; 312; 332 |]
+          opteron_row4
+            (invalidation_class t ~requester v class_of_source)
+            o_atomic_shared
           + (n_holders v / 12 * 10)
           + dir_pen
-      | Arch.Invalid -> row [| 136; 237; 247; 327 |] + 30 + dir_pen)
+      | Arch.Invalid -> opteron_row4 class_of_source o_fill + 30 + dir_pen)
 
 (* -------------------------------------------------------------- *)
 (* Xeon: MESIF, inclusive LLC.  Within a socket the LLC tracks sharers
@@ -200,15 +213,21 @@ let xeon_row3 (d : Arch.distance) (v : int array) =
   | One_hop -> v.(1)
   | Two_hops | Max_hops -> v.(2)
 
+let x_load_modified = [| 109; 289; 400 |]
+let x_load_exclusive = [| 92; 273; 383 |]
+let x_load_shared = [| 44; 223; 334 |]
+let x_fill = [| 355; 492; 601 |]
+let x_store_modified = [| 115; 320; 431 |]
+let x_store_exclusive = [| 115; 315; 425 |]
+let x_store_shared = [| 116; 318; 428 |]
+let x_atomic_me = [| 120; 324; 430 |]
+let x_atomic_shared = [| 113; 312; 423 |]
+
 let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let class_of_source =
     match source_core t ~requester v with
     | Some c -> class_to_core t ~requester c
     | None -> class_to_home t ~requester v
-  in
-  let row = xeon_row3 class_of_source in
-  let inval_row a =
-    xeon_row3 (invalidation_class t ~requester v class_of_source) a
   in
   let invalidation_growth =
     (* storing on a line shared by all 80 cores costs 445 *)
@@ -219,26 +238,26 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
       if holds v requester then 5 (* L1 hit *)
       else
         match v.state with
-        | Arch.Modified -> row [| 109; 289; 400 |]
-        | Arch.Exclusive -> row [| 92; 273; 383 |]
-        | Arch.Shared | Arch.Forward | Arch.Owned -> row [| 44; 223; 334 |]
-        | Arch.Invalid -> row [| 355; 492; 601 |])
+        | Arch.Modified -> xeon_row3 class_of_source x_load_modified
+        | Arch.Exclusive -> xeon_row3 class_of_source x_load_exclusive
+        | Arch.Shared | Arch.Forward | Arch.Owned -> xeon_row3 class_of_source x_load_shared
+        | Arch.Invalid -> xeon_row3 class_of_source x_fill)
   | Arch.Store -> (
       match v.state with
       | Arch.Modified ->
-          if v.owner = Some requester then 5 else row [| 115; 320; 431 |]
+          if v.owner = Some requester then 5 else xeon_row3 class_of_source x_store_modified
       | Arch.Exclusive ->
-          if v.owner = Some requester then 5 else row [| 115; 315; 425 |]
+          if v.owner = Some requester then 5 else xeon_row3 class_of_source x_store_exclusive
       | Arch.Shared | Arch.Forward | Arch.Owned ->
-          inval_row [| 116; 318; 428 |] + invalidation_growth
-      | Arch.Invalid -> row [| 355; 492; 601 |] + 10)
+          xeon_row3 (invalidation_class t ~requester v class_of_source) x_store_shared + invalidation_growth
+      | Arch.Invalid -> xeon_row3 class_of_source x_fill + 10)
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
       match v.state with
       | Arch.Modified | Arch.Exclusive ->
-          if v.owner = Some requester then 20 else row [| 120; 324; 430 |]
+          if v.owner = Some requester then 20 else xeon_row3 class_of_source x_atomic_me
       | Arch.Shared | Arch.Forward | Arch.Owned ->
-          inval_row [| 113; 312; 423 |] + invalidation_growth
-      | Arch.Invalid -> row [| 355; 492; 601 |] + 25)
+          xeon_row3 (invalidation_class t ~requester v class_of_source) x_atomic_shared + invalidation_growth
+      | Arch.Invalid -> xeon_row3 class_of_source x_fill + 25)
 
 (* -------------------------------------------------------------- *)
 (* Niagara: uniform crossbar to a shared, duplicate-tag LLC.  Loads hit
@@ -251,32 +270,51 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
 let niagara_pair (d : Arch.distance) (a, b) =
   match d with Same_core -> a | _ -> b
 
+(* Atomic-operation rows hoisted like the x86 arrays above. *)
+let nia_load = (3, 24)
+let nia_cas = ((71, 66), (76, 66))
+let nia_fai = ((108, 99), (99, 99))
+let nia_tas = ((64, 55), (67, 55))
+let nia_swap = ((95, 90), (93, 90))
+
 let niagara_latency (t : Topology.t) (op : Arch.memop) ~requester v =
-  let d =
-    match source_core t ~requester v with
-    | Some c -> class_to_core t ~requester c
-    | None -> Same_die
-  in
-  let pair = niagara_pair d in
   match op with
   | Arch.Load ->
       if holds v requester then 3
       else if uncached v || v.state = Arch.Invalid then 176
-      else pair (3, 24)
+      else
+        let d =
+          match source_core t ~requester v with
+          | Some c -> class_to_core t ~requester c
+          | None -> Same_die
+        in
+        niagara_pair d nia_load
   | Arch.Store -> 24
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
       let m_row, s_row =
         match op with
-        | Arch.Cas -> ((71, 66), (76, 66))
-        | Arch.Fai -> ((108, 99), (99, 99))
-        | Arch.Tas -> ((64, 55), (67, 55))
-        | Arch.Swap -> ((95, 90), (93, 90))
+        | Arch.Cas -> nia_cas
+        | Arch.Fai -> nia_fai
+        | Arch.Tas -> nia_tas
+        | Arch.Swap -> nia_swap
         | Arch.Load | Arch.Store -> assert false
       in
       match v.state with
       | Arch.Invalid -> 176 + 20
-      | Arch.Modified | Arch.Exclusive | Arch.Owned -> pair m_row
-      | Arch.Shared | Arch.Forward -> pair s_row)
+      | Arch.Modified | Arch.Exclusive | Arch.Owned ->
+          let d =
+            match source_core t ~requester v with
+            | Some c -> class_to_core t ~requester c
+            | None -> Same_die
+          in
+          niagara_pair d m_row
+      | Arch.Shared | Arch.Forward ->
+          let d =
+            match source_core t ~requester v with
+            | Some c -> class_to_core t ~requester c
+            | None -> Same_die
+          in
+          niagara_pair d s_row)
 
 (* -------------------------------------------------------------- *)
 (* Tilera: distributed directory; each line has a home tile whose L2
@@ -294,6 +332,11 @@ let tilera_scale ~at1 ~at10 h =
      (10 mesh hops) measurements. *)
   let slope = float_of_int (at10 - at1) /. 9. in
   int_of_float (Float.round (float_of_int at1 +. (slope *. float_of_int (h - 1))))
+
+let til_cas = ((77, 98), (124, 142))
+let til_fai = ((51, 71), (82, 102))
+let til_tas = ((70, 89), (121, 141))
+let til_swap = ((63, 84), (95, 115))
 
 let tilera_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   let h = tilera_home_hops t ~requester v in
@@ -319,10 +362,10 @@ let tilera_latency (t : Topology.t) (op : Arch.memop) ~requester v =
   | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> (
       let (m1, m10), (s1, s10) =
         match op with
-        | Arch.Cas -> ((77, 98), (124, 142))
-        | Arch.Fai -> ((51, 71), (82, 102))
-        | Arch.Tas -> ((70, 89), (121, 141))
-        | Arch.Swap -> ((63, 84), (95, 115))
+        | Arch.Cas -> til_cas
+        | Arch.Fai -> til_fai
+        | Arch.Tas -> til_tas
+        | Arch.Swap -> til_swap
         | Arch.Load | Arch.Store -> assert false
       in
       match v.state with
@@ -379,13 +422,42 @@ let xeon2_latency (t : Topology.t) op ~requester v =
 
 let op_latency (t : Topology.t) (op : Arch.memop) ~requester (v : view) : int =
   Topology.check t requester;
-  match t.id with
-  | Arch.Opteron -> opteron_latency t op ~requester v
-  | Arch.Xeon -> xeon_latency t op ~requester v
-  | Arch.Niagara -> niagara_latency t op ~requester v
-  | Arch.Tilera -> tilera_latency t op ~requester v
-  | Arch.Opteron2 -> opteron2_latency t op ~requester v
-  | Arch.Xeon2 -> xeon2_latency t op ~requester v
+  (* Local-service fast paths.  Each constant mirrors the corresponding
+     early case of the model functions above (and, for the small
+     two-socket platforms, of [scaled_small], whose cross-socket ratio
+     never applies when the requester itself is the data source): the
+     general dispatch below would return exactly the same number, but
+     only after building its per-call row closures — which dominates the
+     simulator's hot path, where most accesses are cache hits. *)
+  match op with
+  | Arch.Load when holds v requester -> (
+      match t.id with
+      | Arch.Opteron | Arch.Opteron2 | Arch.Niagara -> 3
+      | Arch.Xeon | Arch.Xeon2 -> 5
+      | Arch.Tilera -> 2)
+  | Arch.Store
+    when v.owner = Some requester
+         && (v.state = Arch.Modified || v.state = Arch.Exclusive) -> (
+      match t.id with
+      | Arch.Opteron | Arch.Opteron2 -> 3
+      | Arch.Xeon | Arch.Xeon2 -> 5
+      | Arch.Niagara -> 24
+      | Arch.Tilera -> 11)
+  | (Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap)
+    when v.owner = Some requester
+         && (v.state = Arch.Modified || v.state = Arch.Exclusive)
+         && (match t.id with
+            | Arch.Opteron | Arch.Opteron2 | Arch.Xeon | Arch.Xeon2 -> true
+            | Arch.Niagara | Arch.Tilera -> false) ->
+      20
+  | _ -> (
+      match t.id with
+      | Arch.Opteron -> opteron_latency t op ~requester v
+      | Arch.Xeon -> xeon_latency t op ~requester v
+      | Arch.Niagara -> niagara_latency t op ~requester v
+      | Arch.Tilera -> tilera_latency t op ~requester v
+      | Arch.Opteron2 -> opteron2_latency t op ~requester v
+      | Arch.Xeon2 -> xeon2_latency t op ~requester v)
 
 (* How long the line (or its directory entry / home-tile slot) stays
    busy serving this operation.  A transfer has two phases: a

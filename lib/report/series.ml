@@ -6,6 +6,10 @@ type t = { name : string; points : (int * float) list }
 
 let make name points = { name; points }
 
+(* [of_fn name xs f] samples [f] at each x — handy when the ys come
+   from a result cursor rather than a literal list. *)
+let of_fn name xs f = { name; points = List.map (fun x -> (x, f x)) xs }
+
 (* Render several series sharing an x axis as a table with one column
    per series. *)
 let table ?(x_label = "x") (series : t list) : string =

@@ -34,6 +34,13 @@ let pad align width s =
     | Left -> s ^ String.make (width - n) ' '
     | Right -> String.make (width - n) ' ' ^ s
 
+(* Build a table from precomputed rows in one call — the natural shape
+   for renders that print results a planning phase already computed. *)
+let of_rows ?aligns headers rows =
+  let t = create ?aligns headers in
+  List.iter (add_row t) rows;
+  t
+
 let render t : string =
   let rows = List.rev t.rows in
   let all = t.headers :: rows in

@@ -69,6 +69,16 @@ let get t ~tid k : int option =
   b.lock.Lock_type.release ~tid;
   r
 
+(* [get] for benchmark loops: same simulated accesses, but returns
+   [default] on a miss instead of boxing every hit in an option. *)
+let get_or t ~tid k ~default : int =
+  let b = bucket_of t k in
+  b.lock.Lock_type.acquire ~tid;
+  let slot = find_slot t b k in
+  let r = if slot < 0 then default else Sim.load b.vals.(slot) in
+  b.lock.Lock_type.release ~tid;
+  r
+
 (* Returns [true] when freshly inserted; [false] on update or when the
    bucket is full (the paper keeps the table size constant, so inserts
    into full buckets are dropped like overflow chains would absorb). *)

@@ -16,4 +16,5 @@ let () =
       ("tm", Test_tm.suite);
       ("kvs", Test_kvs.suite);
       ("extras", Test_extras.suite);
+      ("pool", Test_pool.suite);
     ]
