@@ -22,13 +22,30 @@
      bench/main.exe --json     also write per-section engine counters
                                (cpu time, events, parked waiters,
                                simulated cycles/s) to BENCH_PERF.json
+     bench/main.exe --trace FILE
+                               record every job of the selected sections
+                               into a Chrome/Perfetto trace-event JSON
+                               (one process per job, one track per
+                               simulated thread; byte-identical at any
+                               --jobs count)
+     bench/main.exe profile [SECTIONS]
+                               run the sections traced (default fig3;
+                               tables are not rendered) and print the
+                               contention/coherence profile: per-lock
+                               wait/hold split, handoff distance-class
+                               matrix, acquisition-latency histogram,
+                               transfer accounting by (op, state,
+                               distance), state-transition matrix, and
+                               a reconciliation against Sim.perf.
+                               Combines with --quick/--jobs/--trace.
      bench/main.exe --compare-perf BASELINE FRESH
                                perf guardrail: exit 1 if FRESH shows the
                                simulator regressing vs BASELINE (>25%
                                drop in simulated cycles per cpu second,
-                               >25% growth in events executed, or a
-                               section's cpu time blowing up >1.75x and
-                               >0.5s) *)
+                               >25% growth in events executed globally
+                               or per section, or a section's cpu time
+                               blowing up >1.75x and >0.5s); all failing
+                               checks are reported before exiting *)
 
 open Ssync_bench
 
@@ -186,7 +203,8 @@ let section_time line =
 
 type file_perf = {
   fp_mode : string;
-  fp_sections : (string * float) list; (* section -> cpu_s (or wall_s) *)
+  fp_sections : (string * float * float option) list;
+      (* section -> cpu_s (or wall_s), events when the format has them *)
   fp_events : float;
   fp_mcps : float; (* simulated Mcycles per cpu second *)
 }
@@ -216,7 +234,7 @@ let perf_summary path =
         match field_str l "section" with
         | Some name when name <> "total" -> (
             match section_time l with
-            | Some t -> Some (name, t)
+            | Some t -> Some (name, t, field_num l "events")
             | None -> None)
         | _ -> None)
       lines
@@ -251,39 +269,168 @@ let compare_perf baseline_path fresh_path =
     (100. *. ((f.fp_events /. b.fp_events) -. 1.))
     b.fp_mcps f.fp_mcps
     (100. *. ((f.fp_mcps /. b.fp_mcps) -. 1.));
-  (* Per-section cpu time, with a deliberately generous threshold: the
-     numbers are one-shot wall measurements on a possibly noisy host, so
-     only flag a section that both blew its budget by 75% and lost more
-     than half a second in absolute terms. *)
-  let slow_sections =
-    List.filter_map
-      (fun (name, ft) ->
-        match List.assoc_opt name b.fp_sections with
-        | Some bt when ft > 1.75 *. bt && ft -. bt > 0.5 -> Some (name, bt, ft)
-        | _ -> None)
-      f.fp_sections
-  in
+  (* Every check runs and every failure is reported before the non-zero
+     exit, so one CI run shows the full damage instead of the first
+     mismatch.  The failure list keeps file order, so the report is
+     deterministic. *)
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if f.fp_events > 1.25 *. b.fp_events then
+    fail
+      "the simulator now executes >25%% more events for the same workload \
+       (lost elision/parking coverage?)";
+  if f.fp_mcps < 0.75 *. b.fp_mcps then
+    fail "simulated cycles per cpu second dropped >25%% (hot-path slowdown?)";
   List.iter
-    (fun (name, bt, ft) ->
-      Printf.printf "  section %-22s %8.2fs -> %8.2fs  (limit 1.75x and +0.5s)\n"
-        name bt ft)
-    slow_sections;
-  let events_ok = f.fp_events <= 1.25 *. b.fp_events in
-  let mcps_ok = f.fp_mcps >= 0.75 *. b.fp_mcps in
-  let sections_ok = slow_sections = [] in
-  if not events_ok then
-    Printf.printf
-      "FAIL: the simulator now executes >25%% more events for the same \
-       workload (lost elision/parking coverage?)\n";
-  if not mcps_ok then
-    Printf.printf
-      "FAIL: simulated cycles per cpu second dropped >25%% (hot-path \
-       slowdown?)\n";
-  if not sections_ok then
-    Printf.printf
-      "FAIL: section cpu time blew up >1.75x (and >0.5s) vs the baseline\n";
-  if events_ok && mcps_ok && sections_ok then Printf.printf "OK: within budget\n"
-  else exit 1
+    (fun (name, ft, fev) ->
+      match
+        List.find_opt (fun (n, _, _) -> n = name) b.fp_sections
+      with
+      | None -> ()
+      | Some (_, bt, bev) ->
+          (* Per-section cpu time, with a deliberately generous
+             threshold: the numbers are one-shot wall measurements on a
+             possibly noisy host, so only flag a section that both blew
+             its budget by 75% and lost more than half a second in
+             absolute terms. *)
+          if ft > 1.75 *. bt && ft -. bt > 0.5 then begin
+            Printf.printf
+              "  section %-22s %8.2fs -> %8.2fs  (limit 1.75x and +0.5s)\n"
+              name bt ft;
+            fail "section %s: cpu time %.2fs -> %.2fs (limit 1.75x and +0.5s)"
+              name bt ft
+          end;
+          (* Per-section event counts are exact, not host-noisy, so they
+             localize an events regression to the section that caused
+             it; the absolute floor keeps tiny sections from tripping on
+             legitimate small changes. *)
+          (match (bev, fev) with
+          | Some be, Some fe when fe > 1.25 *. be && fe -. be > 1e6 ->
+              Printf.printf
+                "  section %-22s %8.0f -> %8.0f events  (limit 1.25x and \
+                 +1e6)\n"
+                name be fe;
+              fail "section %s: events %.0f -> %.0f (limit 1.25x and +1e6)"
+                name be fe
+          | _ -> ()))
+    f.fp_sections;
+  match List.rev !failures with
+  | [] -> Printf.printf "OK: within budget\n"
+  | fs ->
+      List.iter (fun s -> Printf.printf "FAIL: %s\n" s) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: label every job "[section]/[index]" in submission order and
+   export the merged Chrome trace.  The per-job sinks are filled inside
+   whatever domain ran the job and merged here in submission order, so
+   the file is byte-identical at any --jobs count.  All chatter goes to
+   stderr: stdout (the rendered tables) must stay byte-identical with
+   and without --trace. *)
+let export_trace path planned results =
+  let labels =
+    List.concat_map
+      (fun (name, s) ->
+        List.init (Array.length s.Section.jobs) (fun j ->
+            Printf.sprintf "%s/%d" name j))
+      planned
+  in
+  let traces = Ssync_engine.Pool.traces results in
+  if List.length labels <> List.length traces then
+    (* every job gets a sink when tracing is on, so this is unreachable
+       short of an engine bug — don't write a mislabeled file *)
+    Printf.eprintf "(trace: label/trace count mismatch — %s not written)\n" path
+  else begin
+    Ssync_trace.Chrome.export_file path (List.combine labels traces);
+    let sum f = List.fold_left (fun a tr -> a + f tr) 0 traces in
+    let events = sum Ssync_trace.Trace.length in
+    let dropped = sum Ssync_trace.Trace.dropped in
+    Printf.eprintf
+      "(trace: %d jobs, %d events%s written to %s — load it at \
+       https://ui.perfetto.dev)\n"
+      (List.length traces) events
+      (if dropped > 0 then
+         Printf.sprintf " retained (oldest %d overwritten)" dropped
+       else "")
+      path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* [profile] subcommand: run the selected sections traced, skip their
+   renders, and print the contention/coherence report.  Every table is
+   explicitly sorted, so the report is byte-identical at any --jobs
+   count.  The closing reconciliation compares the trace aggregates
+   (which survive ring wrap-around) against the engine's own cumulative
+   counters; any drift means an instrumentation hook went missing, so
+   it exits non-zero. *)
+let run_profile ~quick ~jobs ~trace_file names =
+  let module Trace = Ssync_trace.Trace in
+  let module Profile = Ssync_trace.Profile in
+  let module Table = Ssync_report.Table in
+  let names = if names = [] then [ "fig3" ] else names in
+  List.iter
+    (fun n ->
+      if not (List.exists (fun (s, _, _) -> s = n) sections) then begin
+        Printf.eprintf "unknown section %S (use --list to see the choices)\n" n;
+        exit 1
+      end)
+    names;
+  Trace.requested := true;
+  let planned =
+    List.filter_map
+      (fun (name, _, mk) ->
+        if List.mem name names then Some (name, mk ~quick) else None)
+      sections
+  in
+  let all_jobs =
+    Array.concat (List.map (fun (_, s) -> s.Section.jobs) planned)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Ssync_engine.Pool.run ~jobs all_jobs in
+  let prof = Profile.of_traces (Ssync_engine.Pool.traces results) in
+  Printf.printf "Contention & coherence profile — sections: %s (%d jobs)\n"
+    (String.concat " " (List.map (fun (n, _) -> n) planned))
+    (Array.length all_jobs);
+  let section title tbl =
+    Printf.printf "\n%s\n" title;
+    Table.print tbl
+  in
+  let tt = prof.Profile.totals in
+  if tt.Trace.t_acquires > 0 then begin
+    section "Per-lock contention (wait/hold split, handoff distance mix)"
+      (Profile.lock_table prof);
+    section "Acquisition-wait histogram (cycles, log2 buckets)"
+      (Profile.wait_hist_table prof)
+  end;
+  if tt.Trace.t_xfers > 0 then begin
+    section "Coherence transfers by (platform, op, state, distance)"
+      (Profile.coherence_table ~top:24 prof);
+    section "State transitions (requests by pre/post line state)"
+      (Profile.transitions_table prof);
+    section "Hottest cache lines" (Profile.lines_table ~top:10 prof)
+  end;
+  section "Run summary" (Profile.summary_table prof);
+  (match trace_file with
+  | Some path -> export_trace path planned results
+  | None -> ());
+  Printf.eprintf "\n(profile wall time: %.1fs, %d jobs)\n"
+    (Unix.gettimeofday () -. t0) jobs;
+  let p = (Ssync_engine.Pool.total_stats results).Ssync_engine.Pool.perf in
+  let ok = ref true in
+  let check name traced engine =
+    if traced = engine then
+      Printf.printf "reconcile %-13s %12d  OK\n" name traced
+    else begin
+      Printf.printf "reconcile %-13s trace %d vs Sim.perf %d  MISMATCH\n" name
+        traced engine;
+      ok := false
+    end
+  in
+  Printf.printf "\n";
+  check "parks" tt.Trace.t_parks p.Ssync_engine.Sim.parks;
+  check "wakeups" tt.Trace.t_wakes p.Ssync_engine.Sim.wakeups;
+  check "elided probes" tt.Trace.t_elided p.Ssync_engine.Sim.elided_probes;
+  if not !ok then exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -316,9 +463,26 @@ let () =
     | a :: rest -> a :: strip_jobs rest
   in
   let args = strip_jobs args in
+  let trace_file = ref None in
+  let rec strip_trace = function
+    | [] -> []
+    | "--trace" :: f :: rest when f <> "--trace" ->
+        trace_file := Some f;
+        strip_trace rest
+    | [ "--trace" ] | "--trace" :: _ ->
+        Printf.eprintf "--trace: missing output file\n";
+        exit 2
+    | a :: rest -> a :: strip_trace rest
+  in
+  let args = strip_trace args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--json") args
   in
+  (match args with
+  | "profile" :: names ->
+      run_profile ~quick ~jobs:!jobs ~trace_file:!trace_file names;
+      exit 0
+  | _ -> ());
   if List.mem "--list" args then
     List.iter (fun (name, desc, _) -> Printf.printf "%-22s %s\n" name desc) sections
   else begin
@@ -340,6 +504,7 @@ let () =
       "SSYNC benchmark harness — reproduction of David, Guerraoui, \
        Trigonakis, SOSP'13.\nAll cross-platform numbers come from the \
        calibrated simulator; see EXPERIMENTS.md.\n%!";
+    if !trace_file <> None then Ssync_trace.Trace.requested := true;
     let t0 = Unix.gettimeofday () in
     (* Plan every selected section, fan all their jobs across the pool,
        then render in declaration order. *)
@@ -374,6 +539,9 @@ let () =
           }
           :: !perfs)
       planned;
+    (match !trace_file with
+    | Some path -> export_trace path planned results
+    | None -> ());
     let total_wall = Unix.gettimeofday () -. t0 in
     (* stderr, so stdout stays byte-identical across runs and --jobs *)
     Printf.eprintf "\n(total wall time: %.1fs, %d jobs)\n" total_wall !jobs;

@@ -22,6 +22,7 @@
    time; it only collapses O(poll iterations) events into O(1). *)
 
 open Ssync_platform
+module Trace = Ssync_trace.Trace
 
 type addr = int
 
@@ -71,6 +72,9 @@ type t = {
       (* result value of the most recent [access_lat] — an out-parameter
          that spares the engine's hot path one tuple allocation per
          memory operation *)
+  trace : Trace.t option;
+      (* the domain's trace sink, cached at creation time so the
+         untraced hot path pays exactly one option match per access *)
 }
 
 let dummy_line =
@@ -78,6 +82,14 @@ let dummy_line =
     value = 0; busy_until = 0; pfw_owner = None; waiters = [] }
 
 let create platform =
+  let trace = Trace.current () in
+  (match trace with
+  | Some tr ->
+      (* successive simulations in one traced job map onto a single
+         forward timeline; see [Trace.new_epoch] *)
+      Trace.new_epoch tr;
+      Trace.set_platform tr platform.Platform.name
+  | None -> ());
   {
     platform;
     lines = Array.make 1024 dummy_line;
@@ -87,6 +99,7 @@ let create platform =
       { Cost_model.state = Arch.Invalid; owner = None;
         sharers = Coreset.create (); home = 0 };
     last_result = 0;
+    trace;
   }
 
 let platform t = t.platform
@@ -336,6 +349,9 @@ let settle_elided t (l : line) ~now =
         let k = 1 + ((now - 1 - w.w_next) / w.w_step) in
         Stats.record_elided t.stats w.w_op ~count:k ~latency:w.w_hit
           ~local:w.w_local;
+        (match t.trace with
+        | Some tr -> Trace.note_elided tr ~count:k ~cycles:(k * w.w_hit)
+        | None -> ());
         w.w_next <- w.w_next + (k * w.w_step)
       end)
     l.waiters
@@ -366,6 +382,16 @@ let wake_disturbed t (l : line) =
       l.waiters <- still;
       List.iter (fun w -> w.w_replay w.w_next) woken
 
+(* Distance class of the transfer serving [core]'s request on [l] in
+   its *pre-access* state: to the data source when a cached copy
+   exists, to the line's home otherwise.  Trace-only; must run before
+   [transition] mutates the line (and its aliased sharer set). *)
+let dist_of t ~core (l : line) : Arch.distance =
+  let topo = t.platform.Platform.topo in
+  match Cost_model.source_core topo ~requester:core (view_of_line t l) with
+  | Some src -> Cost_model.class_to_core topo ~requester:core src
+  | None -> Cost_model.class_to_home topo ~requester:core (view_of_line t l)
+
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
    (completion latency in cycles, result value).  For [Cas], [operand]
    is the expected value and [operand2] the desired one ([fetch]
@@ -393,6 +419,14 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
     in
     Stats.record t.stats op ~latency:service ~queued:0 ~local:false
       ~invalidated:0;
+    (match t.trace with
+    | Some tr ->
+        Trace.emit tr ~ts:now
+          (Trace.E_xfer
+             { tid = Trace.cur_tid tr; core; op; addr = a; pre = l.state;
+               post = l.state; dist = dist_of t ~core l; lat = service;
+               service; queued = 0 })
+    | None -> ());
     t.last_result <- l.value;
     service
   end
@@ -410,6 +444,12 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
       t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
     in
     let pre_state = l.state in
+    (* pre-transition: the source/sharer set the request actually hit *)
+    let tr_dist =
+      match t.trace with
+      | Some _ when not local -> dist_of t ~core l
+      | _ -> Arch.Same_core
+    in
     if not local then
       l.busy_until <-
         max l.busy_until
@@ -427,6 +467,16 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
     Stats.record t.stats op ~latency
       ~queued:(if posted then 0 else queued)
       ~local ~invalidated;
+    (match t.trace with
+    | Some tr ->
+        if local then Trace.note_local tr ~cycles:latency
+        else
+          Trace.emit tr ~ts:now
+            (Trace.E_xfer
+               { tid = Trace.cur_tid tr; core; op; addr = a; pre = pre_state;
+                 post = l.state; dist = tr_dist; lat = latency; service;
+                 queued = (if posted then 0 else queued) })
+    | None -> ());
     if l.waiters <> [] then wake_disturbed t l;
     t.last_result <- result;
     latency

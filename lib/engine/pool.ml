@@ -19,9 +19,16 @@
    captured inside the domain that executed it; callers sum the per-job
    stats into per-section totals instead of reading a global. *)
 
+module Trace = Ssync_trace.Trace
+
 type stats = {
   wall_ns : int;  (** wall-clock spent executing the job *)
   perf : Sim.perf;  (** engine-counter delta attributable to the job *)
+  trace : Trace.t option;
+      (** the job's trace, when tracing was requested ([Trace.requested]):
+          one fresh sink per job, installed in the executing domain, so
+          the per-job traces are independent of the job-to-domain
+          assignment and merge deterministically in submission order *)
 }
 
 type 'a outcome = Ok_r of 'a | Error_r of exn | Not_run
@@ -31,8 +38,9 @@ let default_jobs () = Domain.recommended_domain_count ()
 (* Run [thunks.(i)] capturing its result, engine-counter delta and wall
    time.  Must execute in the domain that owns the slot's work so the
    domain-local counters attribute correctly. *)
-let exec_one (thunks : (unit -> 'a) array) (results : 'a outcome array)
+let exec_one ~traced (thunks : (unit -> 'a) array) (results : 'a outcome array)
     (stats : stats array) i =
+  let trace = if traced then Some (Trace.start ()) else None in
   let before = Sim.cumulative_perf () in
   let t0 = Unix.gettimeofday () in
   (results.(i) <-
@@ -40,8 +48,9 @@ let exec_one (thunks : (unit -> 'a) array) (results : 'a outcome array)
     | v -> Ok_r v
     | exception e -> Error_r e));
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  if traced then ignore (Trace.stop ());
   stats.(i) <-
-    { wall_ns; perf = Sim.perf_diff (Sim.cumulative_perf ()) before }
+    { wall_ns; perf = Sim.perf_diff (Sim.cumulative_perf ()) before; trace }
 
 let finish (results : 'a outcome array) (stats : stats array) :
     ('a * stats) array =
@@ -62,13 +71,16 @@ let run ?jobs (thunks : (unit -> 'a) array) : ('a * stats) array =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
   let results = Array.make n Not_run in
   let stats =
-    Array.make n { wall_ns = 0; perf = Sim.perf_zero }
+    Array.make n { wall_ns = 0; perf = Sim.perf_zero; trace = None }
   in
+  (* read once in the submitting domain; workers capture the value, so
+     no domain races on the flag itself *)
+  let traced = !Trace.requested in
   if jobs = 1 || n <= 1 then
     (* Inline path: no domains, no atomics — the reference behaviour
        the parallel path must reproduce byte-for-byte. *)
     for i = 0 to n - 1 do
-      exec_one thunks results stats i
+      exec_one ~traced thunks results stats i
     done
   else begin
     let next = Atomic.make 0 in
@@ -76,7 +88,7 @@ let run ?jobs (thunks : (unit -> 'a) array) : ('a * stats) array =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          exec_one thunks results stats i;
+          exec_one ~traced thunks results stats i;
           loop ()
         end
       in
@@ -94,6 +106,14 @@ let run ?jobs (thunks : (unit -> 'a) array) : ('a * stats) array =
 let total_stats (results : ('a * stats) array) : stats =
   Array.fold_left
     (fun acc (_, s) ->
-      { wall_ns = acc.wall_ns + s.wall_ns; perf = Sim.perf_add acc.perf s.perf })
-    { wall_ns = 0; perf = Sim.perf_zero }
+      {
+        wall_ns = acc.wall_ns + s.wall_ns;
+        perf = Sim.perf_add acc.perf s.perf;
+        trace = None;
+      })
+    { wall_ns = 0; perf = Sim.perf_zero; trace = None }
     results
+
+(* Per-job traces in submission order (empty when tracing was off). *)
+let traces (results : ('a * stats) array) : Trace.t list =
+  Array.to_list results |> List.filter_map (fun (_, s) -> s.trace)

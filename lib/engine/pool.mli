@@ -11,6 +11,12 @@
 type stats = {
   wall_ns : int;  (** wall-clock spent executing the job *)
   perf : Sim.perf;  (** engine-counter delta attributable to the job *)
+  trace : Ssync_trace.Trace.t option;
+      (** the job's trace when [Ssync_trace.Trace.requested] was set at
+          submission time: a fresh sink installed around the job in
+          whatever domain executed it, so per-job traces are
+          independent of scheduling and merge deterministically in
+          submission order *)
 }
 
 val default_jobs : unit -> int
@@ -27,4 +33,9 @@ val run : ?jobs:int -> (unit -> 'a) array -> ('a * stats) array
     Raises [Invalid_argument] when [jobs < 1]. *)
 
 val total_stats : ('a * stats) array -> stats
-(** Sum of the per-job stats (field-wise). *)
+(** Sum of the per-job stats (field-wise; [trace] is [None] — merge
+    traces with {!traces} instead). *)
+
+val traces : ('a * stats) array -> Ssync_trace.Trace.t list
+(** The per-job traces in submission order; empty when tracing was
+    off. *)

@@ -36,6 +36,7 @@
 open Ssync_platform
 open Ssync_coherence
 module Rng = Ssync_workload.Rng
+module Trace = Ssync_trace.Trace
 
 (* Per-thread bookkeeping for faults and the watchdog.  [pend_ik] /
    [pend_uk] hold the thread's suspended continuation between the
@@ -112,6 +113,9 @@ type t = {
      limit *)
   mutable run_until : int;
   mutable direct_fuel : int;
+  trace : Trace.t option;
+      (* the domain's trace sink, cached at creation time (zero
+         overhead when off: one option match per hook site) *)
 }
 
 type barrier = {
@@ -176,6 +180,7 @@ let create ?(faults = Fault.none) ?parking platform =
     cum = counters ();
     run_until = max_int;
     direct_fuel = 0;
+    trace = Trace.current ();
   }
 
 let memory t = t.mem
@@ -292,6 +297,13 @@ let event_driven_waits () = Effect.perform E_evd
    duration, whatever it holds staying held.  Draws come from the
    thread's private stream, so faults in one thread never perturb
    another thread's draws. *)
+let trace_fault t st kind cycles =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr ~ts:t.now
+        (Trace.E_fault { tid = st.tid; kind; cycles })
+  | None -> ()
+
 let fault_extra t st ~mem_op =
   if not t.faults_active then 0
   else begin
@@ -300,13 +312,17 @@ let fault_extra t st ~mem_op =
     if mem_op && f.Fault.jitter_prob > 0.
        && Rng.float st.rng < f.Fault.jitter_prob
     then begin
-      extra := !extra + Fault.sample st.rng f.Fault.jitter_cycles;
-      t.jitter_count <- t.jitter_count + 1
+      let cy = Fault.sample st.rng f.Fault.jitter_cycles in
+      extra := !extra + cy;
+      t.jitter_count <- t.jitter_count + 1;
+      trace_fault t st Trace.Jitter cy
     end;
     if f.Fault.preempt_prob > 0. && Rng.float st.rng < f.Fault.preempt_prob
     then begin
-      extra := !extra + Fault.sample st.rng f.Fault.preempt_cycles;
-      t.preempt_count <- t.preempt_count + 1
+      let cy = Fault.sample st.rng f.Fault.preempt_cycles in
+      extra := !extra + cy;
+      t.preempt_count <- t.preempt_count + 1;
+      trace_fault t st Trace.Preempt cy
     end;
     !extra
   end
@@ -324,7 +340,8 @@ let crash_sched t st ~at f =
         if not st.crashed then begin
           st.crashed <- true;
           t.crashed_tids <- st.tid :: t.crashed_tids;
-          t.live_threads <- t.live_threads - 1
+          t.live_threads <- t.live_threads - 1;
+          trace_fault t st Trace.Crash 0
         end)
   else
     schedule t ~at (fun () ->
@@ -425,6 +442,7 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
   let rec probe () =
     (* [t.now] is the probe's issue time *)
     st.last_progress <- t.now;
+    (match t.trace with Some tr -> Trace.set_tid tr st.tid | None -> ());
     let latency =
       Memory.access_lat t.mem ~core ~now:t.now op a ~operand ~operand2
     in
@@ -442,10 +460,18 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
            ~while_ ~poll ~replay:(fun at ->
              t.wakeups <- t.wakeups + 1;
              t.cum.c_wakeups <- t.cum.c_wakeups + 1;
+             (match t.trace with
+             | Some tr ->
+                 Trace.emit tr ~ts:at (Trace.E_wake { tid = st.tid; addr = a })
+             | None -> ());
              sched_step t st ~at probe)
     then begin
       t.parks <- t.parks + 1;
-      t.cum.c_parks <- t.cum.c_parks + 1
+      t.cum.c_parks <- t.cum.c_parks + 1;
+      match t.trace with
+      | Some tr ->
+          Trace.emit tr ~ts:t.now (Trace.E_park { tid = st.tid; addr = a })
+      | None -> ()
     end
     else if poll = 0 then probe ()
     else begin
@@ -495,6 +521,9 @@ let spawn t ~core body =
           Effect.Deep.continue k ()
       | None -> ());
   Hashtbl.replace t.tstates tid st;
+  (match t.trace with
+  | Some tr -> Trace.emit tr ~ts:t.now (Trace.E_thread { tid; core })
+  | None -> ());
   let open Effect.Deep in
   let handler : (unit, unit) handler =
     {
@@ -510,6 +539,9 @@ let spawn t ~core body =
           | E_mem (op, a, op1, op2) ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  (match t.trace with
+                  | Some tr -> Trace.set_tid tr tid
+                  | None -> ());
                   let latency =
                     Memory.access_lat t.mem ~core ~now:t.now op a ~operand:op1
                       ~operand2:op2
@@ -520,6 +552,9 @@ let spawn t ~core body =
           | E_casf (a, expected, desired) ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  (match t.trace with
+                  | Some tr -> Trace.set_tid tr tid
+                  | None -> ());
                   let latency =
                     Memory.access_lat t.mem ~core ~now:t.now Arch.Cas a
                       ~operand:expected ~operand2:desired ~fetch:true
@@ -566,7 +601,12 @@ let spawn t ~core body =
                     pk.seat_at <- t.now;
                     pk.seat_poll <- poll;
                     t.parks <- t.parks + 1;
-                    t.cum.c_parks <- t.cum.c_parks + 1
+                    t.cum.c_parks <- t.cum.c_parks + 1;
+                    match t.trace with
+                    | Some tr ->
+                        Trace.emit tr ~ts:t.now
+                          (Trace.E_park { tid = st.tid; addr = -1 })
+                    | None -> ()
                   end
                   else begin
                     (* literal polling: one pause quantum, the caller's
@@ -587,6 +627,12 @@ let spawn t ~core body =
                       in
                       t.wakeups <- t.wakeups + 1;
                       t.cum.c_wakeups <- t.cum.c_wakeups + 1;
+                      (match t.trace with
+                      | Some tr ->
+                          Trace.emit tr
+                            ~ts:(pk.seat_at + (steps * pk.seat_poll))
+                            (Trace.E_wake { tid = wst.tid; addr = -1 })
+                      | None -> ());
                       resume_unit t wst wk
                         ~at:(pk.seat_at + (steps * pk.seat_poll))
                   | None -> ());

@@ -68,6 +68,70 @@ let ticket_backoff_base (p : Platform.t) =
   | Arch.Niagara -> 90
   | Arch.Tilera -> 220
 
+(* Wrap a lock with trace instrumentation: wait/acquire/release events
+   timed from inside the acquiring thread, with each acquisition's
+   handoff classified by the distance from the previous holder's core
+   (the profiler's Table 2 mirror).  Only built when a trace sink is
+   installed at creation time, so untraced runs never see the
+   indirection.  The extra [Sim.now]/[Sim.self_core] calls are pure
+   effects that advance no virtual time and consume no draws, so a
+   traced run's timestamps are identical to an untraced one. *)
+let instrumented tr (platform : Platform.t) ~n_threads (l : Lock_type.t) :
+    Lock_type.t =
+  let module Trace = Ssync_trace.Trace in
+  let open Ssync_engine in
+  let id = Trace.new_lock tr l.Lock_type.name in
+  let topo = platform.Platform.topo in
+  let holder_core = ref (-1) in
+  let acquired_at = Array.make (max 1 n_threads) 0 in
+  (* Events carry the ENGINE thread id ([Sim.self_tid], spawn order),
+     not the wrapper's [~tid] argument (the workload's own numbering,
+     which the harness's hashed spawn order permutes): the memory model
+     and the parking sites tag their events with the engine id, and a
+     Chrome track must hold ONE thread's events or its timestamps stop
+     being monotone. *)
+  let note_acquire ~t0 =
+    let t1 = Sim.now () in
+    let tid = Sim.self_tid () in
+    let core = Sim.self_core () in
+    let dist =
+      if !holder_core < 0 then None
+      else Some (Topology.distance_class topo !holder_core core)
+    in
+    holder_core := core;
+    if tid >= 0 && tid < Array.length acquired_at then acquired_at.(tid) <- t1;
+    Trace.emit tr ~ts:t1 (Trace.E_acq { tid; lock = id; wait = t1 - t0; dist })
+  in
+  {
+    Lock_type.name = l.Lock_type.name;
+    acquire =
+      (fun ~tid ->
+        let t0 = Sim.now () in
+        Trace.emit tr ~ts:t0
+          (Trace.E_wait { tid = Sim.self_tid (); lock = id });
+        l.Lock_type.acquire ~tid;
+        note_acquire ~t0);
+    release =
+      (fun ~tid ->
+        l.Lock_type.release ~tid;
+        let t1 = Sim.now () in
+        let etid = Sim.self_tid () in
+        let held =
+          if etid >= 0 && etid < Array.length acquired_at then
+            t1 - acquired_at.(etid)
+          else 0
+        in
+        Trace.emit tr ~ts:t1 (Trace.E_rel { tid = etid; lock = id; held }));
+    try_acquire =
+      (fun ~tid ->
+        let t0 = Sim.now () in
+        if l.Lock_type.try_acquire ~tid then begin
+          note_acquire ~t0;
+          true
+        end
+        else false);
+  }
+
 (* Instantiate [algo] in simulated memory.  [n_threads] bounds the
    thread ids that will use the lock; [home_core] places the lock's
    global lines (defaults to the first participating thread's core, the
@@ -76,7 +140,8 @@ let create ?(home_core = 0) mem (platform : Platform.t) ~n_threads algo :
     Lock_type.t =
   let place tid = Platform.place platform tid in
   let base = ticket_backoff_base platform in
-  match algo with
+  let lock =
+    match algo with
   | Tas -> Spinlocks.tas mem ~home_core
   | Ttas -> Spinlocks.ttas mem ~home_core
   | Ticket -> Spinlocks.ticket ~backoff_base:base mem ~home_core
@@ -88,7 +153,11 @@ let create ?(home_core = 0) mem (platform : Platform.t) ~n_threads algo :
   | Array_lock ->
       Spinlocks.array_lock mem ~home_core ~n_slots:(max 2 n_threads)
   | Mutex -> Spinlocks.mutex mem ~home_core
-  | Mcs -> Queue_locks.mcs mem ~home_core ~n_threads ~place
-  | Clh -> Queue_locks.clh mem ~home_core ~n_threads ~place
-  | Hclh -> Hierarchical.hclh mem platform ~home_core ~n_threads ~place
-  | Hticket -> Hierarchical.hticket mem platform ~home_core ~n_threads ~place
+    | Mcs -> Queue_locks.mcs mem ~home_core ~n_threads ~place
+    | Clh -> Queue_locks.clh mem ~home_core ~n_threads ~place
+    | Hclh -> Hierarchical.hclh mem platform ~home_core ~n_threads ~place
+    | Hticket -> Hierarchical.hticket mem platform ~home_core ~n_threads ~place
+  in
+  match Ssync_trace.Trace.current () with
+  | None -> lock
+  | Some tr -> instrumented tr platform ~n_threads lock

@@ -20,6 +20,7 @@
 open Ssync_platform
 open Ssync_coherence
 open Ssync_engine
+module Trace = Ssync_trace.Trace
 
 type impl =
   | Coherence of { buf : Memory.addr; prefetchw : bool }
@@ -37,6 +38,8 @@ type t = {
   sw_pause : int;
       (* per-message software overhead (flag checks, fences, buffer
          management), calibrated per platform against Figure 9 *)
+  trace : (Trace.t * int) option;
+      (* trace sink + this channel's registered id, cached at creation *)
 }
 
 (* The T2's fences/atomics make its libssmp path comparatively heavy
@@ -69,13 +72,45 @@ let create ?(prefetchw = false) ?(use_hw = true) mem (platform : Platform.t)
   let sw_pause =
     match impl with Hardware _ -> 0 | Coherence _ -> platform_sw_pause platform
   in
-  { sender_core; receiver_core; impl; sw_pause }
+  let trace =
+    match Trace.current () with
+    | None -> None
+    | Some tr ->
+        let kind =
+          match impl with
+          | Hardware _ -> "hw"
+          | Coherence { prefetchw = true; _ } -> "pfw"
+          | Coherence _ -> "coh"
+        in
+        let id =
+          Trace.new_chan tr
+            (Printf.sprintf "%s %d->%d" kind sender_core receiver_core)
+        in
+        Some (tr, id)
+  in
+  { sender_core; receiver_core; impl; sw_pause; trace }
+
+(* Message-boundary instants on the acting thread's track; the line
+   transfers they ride are already traced by the memory model. *)
+let trace_send t =
+  match t.trace with
+  | Some (tr, id) ->
+      Trace.emit tr ~ts:(Sim.now ())
+        (Trace.E_send { tid = Sim.self_tid (); chan = id })
+  | None -> ()
+
+let trace_recv t =
+  match t.trace with
+  | Some (tr, id) ->
+      Trace.emit tr ~ts:(Sim.now ())
+        (Trace.E_recv { tid = Sim.self_tid (); chan = id })
+  | None -> ()
 
 (* Blocking send of [payload] (>= 0).  Must be called from the sending
    simulated thread. *)
 let send t payload =
   if payload < 0 then invalid_arg "Channel.send: payload must be >= 0";
-  match t.impl with
+  (match t.impl with
   | Hardware h ->
       (* the NIC queue is small: block while the receiver lags *)
       let rec wait_space () =
@@ -108,7 +143,8 @@ let send t payload =
            transfer to the receiver overlaps with the sender's next
            message preparation (no fence before it) *)
         Sim.store_posted buf (payload + 1)
-      end
+      end);
+  trace_send t
 
 (* Non-blocking receive. *)
 let try_recv t =
@@ -121,6 +157,7 @@ let try_recv t =
           ignore (Queue.pop h.queue);
           Sim.pause 20; (* drain the message from the NIC *)
           Sim.unpark h.send_parker; (* the NIC queue has space again *)
+          trace_recv t;
           Some payload
         end
         else None
@@ -148,7 +185,11 @@ let try_recv t =
           end
         end
       in
-      (match consumed with Some _ -> Sim.pause t.sw_pause | None -> ());
+      (match consumed with
+      | Some _ ->
+          Sim.pause t.sw_pause;
+          trace_recv t
+      | None -> ());
       consumed
 
 (* Blocking receive. *)
@@ -200,4 +241,5 @@ let recv t =
         end
       in
       Sim.pause t.sw_pause;
+      trace_recv t;
       v - 1

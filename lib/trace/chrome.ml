@@ -1,0 +1,205 @@
+(* Chrome/Perfetto trace-event JSON exporter.
+
+   One exported process per job (pid = 1 + submission index, named
+   after the job's label) and one track per simulated thread (tid),
+   so a figure's whole fan-out opens as side-by-side timelines in
+   ui.perfetto.dev or chrome://tracing.
+
+   Mapping:
+   - lock wait      -> "B"/"E" slice "wait NAME"
+   - lock hold      -> "B"/"E" slice "hold NAME" (args: wait, handoff
+                       distance class)
+   - parked spinner -> "B"/"E" slice "parked"
+   - coherence
+     transfer       -> "X" complete event, dur = cycles charged to the
+                       thread (args: addr, pre/post state, distance,
+                       service, queued)
+   - fault / msg
+     send / recv    -> "i" instant events
+   - spawn,
+     process names  -> "M" metadata events
+
+   Timestamps are virtual cycles written into the [ts]/[dur]
+   microsecond fields (the viewer's "us" then reads as cycles); they
+   are emitted in per-track monotone order, and contain nothing
+   host-dependent, so the same seeds produce byte-identical files at
+   any [--jobs] count.
+
+   The ring buffer may have dropped a slice's opening event; the
+   per-track slice stack below drops the matching close instead of
+   emitting an unbalanced "E", so the output always parses. *)
+
+open Ssync_platform
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Track id for events issued outside any simulated thread (memory
+   setup, ccbench drivers). *)
+let setup_track = 9999
+let track tid = if tid < 0 then setup_track else tid
+
+(* What a track currently has open, innermost first. *)
+type slice = Wait of int | Hold of int | Parked
+
+let obj b ~name ~ph ~ts ~pid ~tid rest =
+  Buffer.add_string b ",\n{\"name\":\"";
+  add_escaped b name;
+  Buffer.add_string b
+    (Printf.sprintf "\",\"ph\":\"%s\",\"ts\":%d,\"pid\":%d,\"tid\":%d%s}" ph ts
+       pid tid rest)
+
+let meta b ~name ~pid ~tid ~value =
+  Buffer.add_string b
+    (Printf.sprintf ",\n{\"name\":\"%s\",\"ph\":\"M\",\"ts\":0,\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"" name pid tid);
+  add_escaped b value;
+  Buffer.add_string b "\"}}"
+
+let dist_arg d = Arch.distance_name d
+
+let export_job b ~pid ~label (tr : Trace.t) =
+  meta b ~name:"process_name" ~pid ~tid:0 ~value:label;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\n{\"name\":\"process_sort_index\",\"ph\":\"M\",\"ts\":0,\"pid\":%d,\"tid\":0,\"args\":{\"sort_index\":%d}}"
+       pid pid);
+  (* thread tracks: one per E_thread (re-spawns across epochs reuse the
+     tid's track), plus the setup track if anything ran outside a
+     simulated thread *)
+  let named = Hashtbl.create 32 in
+  let uses_setup = ref false in
+  Trace.iter tr (fun e ->
+      match e.Trace.ev with
+      | Trace.E_thread { tid; core } ->
+          if not (Hashtbl.mem named tid) then begin
+            Hashtbl.replace named tid ();
+            meta b ~name:"thread_name" ~pid ~tid
+              ~value:(Printf.sprintf "tid %d @ core %d" tid core)
+          end
+      | Trace.E_xfer { tid; _ } -> if tid < 0 then uses_setup := true
+      | _ -> ());
+  if !uses_setup then
+    meta b ~name:"thread_name" ~pid ~tid:setup_track ~value:"(setup)";
+  let stacks : (int, slice list ref) Hashtbl.t = Hashtbl.create 32 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks tid s;
+        s
+  in
+  let close b ~ts ~tid name = obj b ~name ~ph:"E" ~ts ~pid ~tid "" in
+  Trace.iter tr (fun { Trace.ts; ev } ->
+      match ev with
+      | Trace.E_thread { tid; _ } ->
+          obj b ~name:"spawn" ~ph:"i" ~ts ~pid ~tid:(track tid) ",\"s\":\"t\""
+      | Trace.E_wait { tid; lock } ->
+          let s = stack tid in
+          s := Wait lock :: !s;
+          obj b
+            ~name:("wait " ^ Trace.lock_name tr lock)
+            ~ph:"B" ~ts ~pid ~tid:(track tid) ""
+      | Trace.E_acq { tid; lock; wait; dist } ->
+          let s = stack tid in
+          (match !s with
+          | Wait l :: rest when l = lock ->
+              s := rest;
+              close b ~ts ~tid:(track tid) ("wait " ^ Trace.lock_name tr lock)
+          | _ -> ());
+          s := Hold lock :: !s;
+          let args =
+            match dist with
+            | None -> Printf.sprintf ",\"args\":{\"wait\":%d}" wait
+            | Some d ->
+                Printf.sprintf ",\"args\":{\"wait\":%d,\"handoff\":\"%s\"}"
+                  wait (dist_arg d)
+          in
+          obj b
+            ~name:("hold " ^ Trace.lock_name tr lock)
+            ~ph:"B" ~ts ~pid ~tid:(track tid) args
+      | Trace.E_rel { tid; lock; held } ->
+          let s = stack tid in
+          (match !s with
+          | Hold l :: rest when l = lock ->
+              s := rest;
+              close b ~ts ~tid:(track tid) ("hold " ^ Trace.lock_name tr lock)
+          | _ ->
+              obj b
+                ~name:("release " ^ Trace.lock_name tr lock)
+                ~ph:"i" ~ts ~pid ~tid:(track tid)
+                (Printf.sprintf ",\"s\":\"t\",\"args\":{\"held\":%d}" held))
+      | Trace.E_xfer { tid; core; op; addr; pre; post; dist; lat; service; queued }
+        ->
+          let name =
+            Printf.sprintf "%s %c>%c %s" (Arch.memop_name op)
+              (Arch.cstate_letter pre) (Arch.cstate_letter post) (dist_arg dist)
+          in
+          obj b ~name ~ph:"X" ~ts ~pid ~tid:(track tid)
+            (Printf.sprintf
+               ",\"dur\":%d,\"args\":{\"addr\":%d,\"core\":%d,\"service\":%d,\"queued\":%d}"
+               lat addr core service queued)
+      | Trace.E_park { tid; addr } ->
+          let s = stack tid in
+          s := Parked :: !s;
+          obj b ~name:"parked" ~ph:"B" ~ts ~pid ~tid:(track tid)
+            (Printf.sprintf ",\"args\":{\"addr\":%d}" addr)
+      | Trace.E_wake { tid; _ } ->
+          let s = stack tid in
+          (match !s with
+          | Parked :: rest ->
+              s := rest;
+              close b ~ts ~tid:(track tid) "parked"
+          | _ ->
+              obj b ~name:"wake" ~ph:"i" ~ts ~pid ~tid:(track tid)
+                ",\"s\":\"t\"")
+      | Trace.E_fault { tid; kind; cycles } ->
+          let name =
+            match kind with
+            | Trace.Jitter -> "jitter"
+            | Trace.Preempt -> "preempt"
+            | Trace.Crash -> "crash"
+          in
+          obj b ~name ~ph:"i" ~ts ~pid ~tid:(track tid)
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"cycles\":%d}" cycles)
+      | Trace.E_send { tid; chan } ->
+          obj b ~name:"send" ~ph:"i" ~ts ~pid ~tid:(track tid)
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"chan\":\"%s\"}"
+               (Trace.chan_name tr chan))
+      | Trace.E_recv { tid; chan } ->
+          obj b ~name:"recv" ~ph:"i" ~ts ~pid ~tid:(track tid)
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"chan\":\"%s\"}"
+               (Trace.chan_name tr chan)))
+
+(* [export_buffer b jobs] writes the merged trace of [(label, trace)]
+   jobs, pid-ordered by their position in the list (= pool submission
+   order). *)
+let export_buffer b (jobs : (string * Trace.t) list) =
+  Buffer.add_string b "{\"traceEvents\":[";
+  (* dummy first element so every real event can emit ",\n" uniformly *)
+  Buffer.add_string b
+    "{\"name\":\"trace\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"exporter\":\"ssync\",\"ts_unit\":\"cycles\"}}";
+  List.iteri
+    (fun i (label, tr) -> export_job b ~pid:(i + 1) ~label tr)
+    jobs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let export_string jobs =
+  let b = Buffer.create 65536 in
+  export_buffer b jobs;
+  Buffer.contents b
+
+let export_file path jobs =
+  let oc = open_out path in
+  let b = Buffer.create 65536 in
+  export_buffer b jobs;
+  Buffer.output_buffer oc b;
+  close_out oc

@@ -17,4 +17,5 @@ let () =
       ("kvs", Test_kvs.suite);
       ("extras", Test_extras.suite);
       ("pool", Test_pool.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -92,6 +92,58 @@ let test_job_stats_captured () =
     (Array.fold_left (fun acc (_, s) -> acc + s.Pool.perf.Sim.events) 0 results)
     total.Pool.perf.Sim.events
 
+(* ----------------------- perf arithmetic --------------------------- *)
+
+let perf_of (a, b, c, d, e, f) =
+  {
+    Sim.events = a;
+    parks = b;
+    wakeups = c;
+    elided_probes = d;
+    sim_cycles = e;
+    wall_ns = f;
+  }
+
+let test_perf_arithmetic () =
+  let a = perf_of (10, 2, 3, 40, 5_000, 77)
+  and b = perf_of (7, 1, 1, 13, 900, 11) in
+  check_bool "zero is add-neutral" true (Sim.perf_add a Sim.perf_zero = a);
+  check_bool "diff of self is zero" true (Sim.perf_diff a a = Sim.perf_zero);
+  check_bool "add/diff round-trip" true
+    (Sim.perf_diff (Sim.perf_add a b) b = a);
+  check_bool "add commutes" true (Sim.perf_add a b = Sim.perf_add b a)
+
+(* [cumulative_perf] deltas around a run must equal the run's own
+   [perf] — the invariant the pool's per-job capture relies on. *)
+let test_cumulative_matches_per_run () =
+  let before = Sim.cumulative_perf () in
+  let r = sim_workload () in
+  let delta = Sim.perf_diff (Sim.cumulative_perf ()) before in
+  let p = { r.Harness.perf with Sim.wall_ns = 0 } in
+  let d = { delta with Sim.wall_ns = 0 } in
+  check_bool "cumulative delta equals the run's perf" true (p = d)
+
+(* The pool's summed per-job counters are independent of the domain
+   count (wall time excepted): the --jobs invariant at the stats
+   level. *)
+let test_total_stats_jobs_invariant () =
+  let thunks () =
+    Array.init 4 (fun i () ->
+        if i mod 2 = 0 then ignore (sim_workload ())
+        else
+          ignore
+            (sim_workload
+               ~faults:(Fault.preemption ~seed:7 ~cycles:(1_000, 5_000) 0.01)
+               ()))
+  in
+  let p1 = (Pool.total_stats (Pool.run ~jobs:1 (thunks ()))).Pool.perf in
+  let p4 = (Pool.total_stats (Pool.run ~jobs:4 (thunks ()))).Pool.perf in
+  check_int "events" p1.Sim.events p4.Sim.events;
+  check_int "parks" p1.Sim.parks p4.Sim.parks;
+  check_int "wakeups" p1.Sim.wakeups p4.Sim.wakeups;
+  check_int "elided probes" p1.Sim.elided_probes p4.Sim.elided_probes;
+  check_int "sim cycles" p1.Sim.sim_cycles p4.Sim.sim_cycles
+
 (* -------------------- concurrent-domain smoke ---------------------- *)
 
 let test_two_domains_match_serial () =
@@ -179,6 +231,12 @@ let suite =
       test_exception_lowest_index;
     Alcotest.test_case "pool: invalid jobs" `Quick test_invalid_jobs;
     Alcotest.test_case "pool: per-job stats" `Quick test_job_stats_captured;
+    Alcotest.test_case "perf arithmetic round-trips" `Quick
+      test_perf_arithmetic;
+    Alcotest.test_case "cumulative perf matches per-run perf" `Quick
+      test_cumulative_matches_per_run;
+    Alcotest.test_case "total stats identical across domain counts" `Quick
+      test_total_stats_jobs_invariant;
     Alcotest.test_case "two domains match serial" `Quick
       test_two_domains_match_serial;
     Alcotest.test_case "bench output byte-identical across domains" `Slow

@@ -1,0 +1,374 @@
+(* Tests of the tracing/profiling subsystem:
+
+   - ring-buffer semantics: geometric growth to the cap, wrap-around
+     with [dropped] accounting, never-dropped aggregate totals;
+   - reconciliation: trace aggregates match the engine's own perf
+     counters exactly (parks, wakeups, elided probes) for a traced
+     simulation;
+   - the Chrome exporter emits valid trace-event JSON — checked with a
+     small hand-rolled parser (no JSON library in this environment):
+     every event carries ph/pid/tid, every non-metadata event carries
+     ts, and timestamps are monotone per (pid, tid) track;
+   - exports are byte-identical at --jobs 1 and --jobs 4;
+   - profile invariants: acquisitions equal releases for a
+     acquire/release-balanced workload, the handoff matrix sums to
+     acquisitions minus first acquisitions, and per-thread fairness
+     counts sum to the acquisition count. *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+open Ssync_simlocks
+module Trace = Ssync_trace.Trace
+module Chrome = Ssync_trace.Chrome
+module Profile = Ssync_trace.Profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --------------------------- ring buffer --------------------------- *)
+
+let test_ring_wrap () =
+  let tr = Trace.create ~capacity:64 () in
+  for i = 0 to 99 do
+    Trace.emit tr ~ts:i (Trace.E_park { tid = 0; addr = i })
+  done;
+  check_int "ring holds its capacity" 64 (Trace.length tr);
+  check_int "oldest events dropped" 36 (Trace.dropped tr);
+  let first = ref (-1) and count = ref 0 and last = ref (-1) in
+  Trace.iter tr (fun e ->
+      if !first < 0 then first := e.Trace.ts;
+      check_bool "iter is chronological" true (e.Trace.ts >= !last);
+      last := e.Trace.ts;
+      incr count);
+  check_int "iter covers the retained window" 64 !count;
+  check_int "retained window starts after the drop" 36 !first;
+  let tt = Trace.totals tr in
+  check_int "aggregates never drop" 100 tt.Trace.t_parks;
+  check_int "emitted counts everything" 100 tt.Trace.t_emitted
+
+let test_epoch_offsets () =
+  let tr = Trace.create () in
+  Trace.emit tr ~ts:500 (Trace.E_park { tid = 0; addr = 0 });
+  Trace.new_epoch tr;
+  (* the second sim restarts at ts 0; its events must land after the
+     first sim's on the shared timeline *)
+  Trace.emit tr ~ts:0 (Trace.E_wake { tid = 0; addr = 0 });
+  let tss = ref [] in
+  Trace.iter tr (fun e -> tss := e.Trace.ts :: !tss);
+  match List.rev !tss with
+  | [ a; b ] ->
+      check_int "first epoch timestamp" 500 a;
+      check_bool "second epoch offset past the first" true (b >= a)
+  | _ -> Alcotest.fail "expected two events"
+
+(* ----------------- traced simulation + reconciliation -------------- *)
+
+(* A contended lock workload on the Opteron: parks, wakes and elided
+   probes all occur, so the reconciliation is non-trivial. *)
+let traced_workload () =
+  Harness.run Platform.opteron ~threads:8 ~duration:60_000
+    ~setup:(fun mem ->
+      let p = Platform.opteron in
+      (Simlock.create mem p ~n_threads:8 Simlock.Ticket, Memory.alloc mem))
+    ~body:(fun (lock, data) _mem ~tid ~deadline ->
+      let n = ref 0 in
+      while Sim.now () < deadline do
+        lock.Lock_type.acquire ~tid;
+        ignore (Sim.fai data);
+        lock.Lock_type.release ~tid;
+        Sim.pause 100;
+        incr n
+      done;
+      !n)
+
+let with_trace f =
+  let tr = Trace.start () in
+  match f () with
+  | v ->
+      ignore (Trace.stop ());
+      (v, tr)
+  | exception e ->
+      ignore (Trace.stop ());
+      raise e
+
+let test_reconciles_with_perf () =
+  let r, tr = with_trace traced_workload in
+  let tt = Trace.totals tr in
+  let p = r.Harness.perf in
+  check_bool "workload did work" true (r.Harness.total_ops > 0);
+  check_bool "events were recorded" true (Trace.length tr > 0);
+  check_int "parks reconcile" p.Sim.parks tt.Trace.t_parks;
+  check_int "wakeups reconcile" p.Sim.wakeups tt.Trace.t_wakes;
+  check_int "elided probes reconcile" p.Sim.elided_probes tt.Trace.t_elided;
+  check_int "acquires balance releases" tt.Trace.t_acquires
+    tt.Trace.t_releases
+
+let test_traced_run_same_virtual_time () =
+  (* tracing must not perturb the simulation: identical throughput and
+     engine counters (minus wall time) with and without a sink *)
+  let plain = traced_workload () in
+  let traced, _ = with_trace traced_workload in
+  check_int "total ops unchanged" plain.Harness.total_ops
+    traced.Harness.total_ops;
+  check_int "events unchanged" plain.Harness.perf.Sim.events
+    traced.Harness.perf.Sim.events;
+  check_int "sim cycles unchanged" plain.Harness.perf.Sim.sim_cycles
+    traced.Harness.perf.Sim.sim_cycles
+
+(* ------------------------- profile sanity -------------------------- *)
+
+let test_profile_invariants () =
+  let r, tr = with_trace traced_workload in
+  let prof = Profile.of_traces [ tr ] in
+  (match Profile.locks_in_order prof with
+  | [ name ] ->
+      check_string "one lock profiled" "TICKET" name;
+      let lp = Hashtbl.find prof.Profile.locks name in
+      check_int "acqs == releases" lp.Profile.acqs lp.Profile.rels;
+      check_int "every op acquired once" r.Harness.total_ops lp.Profile.acqs;
+      let handoffs = Array.fold_left ( + ) 0 lp.Profile.handoff in
+      check_int "handoff matrix sums to non-first acquisitions"
+        (lp.Profile.acqs - lp.Profile.first_acqs)
+        handoffs;
+      check_int "fairness counts sum to acqs" lp.Profile.acqs
+        (Array.fold_left ( + ) 0 lp.Profile.by_tid);
+      check_int "histogram sums to acqs" lp.Profile.acqs
+        (Array.fold_left ( + ) 0 lp.Profile.wait_hist)
+  | l -> Alcotest.failf "expected one lock, got %d" (List.length l));
+  (* the rendered tables must not raise and must mention the lock *)
+  let tbls =
+    [
+      Profile.lock_table prof; Profile.wait_hist_table prof;
+      Profile.coherence_table prof; Profile.transitions_table prof;
+      Profile.lines_table prof; Profile.summary_table prof;
+    ]
+  in
+  check_int "all tables render" 6 (List.length tbls)
+
+(* ------------------- minimal JSON schema checker ------------------- *)
+
+(* Just enough of a JSON parser to validate the exporter's output:
+   values become a tree of variants; parse errors raise [Failure]. *)
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                advance ()
+              done;
+              Buffer.add_char b '?'
+          | c ->
+              advance ();
+              Buffer.add_char b
+                (match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c));
+          go ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          J_obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          J_arr (elems [])
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' ->
+        pos := !pos + 4;
+        J_bool true
+    | 'f' ->
+        pos := !pos + 5;
+        J_bool false
+    | 'n' ->
+        pos := !pos + 4;
+        J_null
+    | c when c = '-' || (c >= '0' && c <= '9') ->
+        let start = !pos in
+        let num c = (c >= '0' && c <= '9') || String.contains "-+.eE" c in
+        while num (peek ()) do
+          advance ()
+        done;
+        J_num (float_of_string (String.sub s start (!pos - start)))
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field o k =
+  match o with J_obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let as_num = function J_num f -> Some f | _ -> None
+let as_str = function J_str s -> Some s | _ -> None
+
+(* ----------------------- Chrome export schema ---------------------- *)
+
+let export_of_workload () =
+  let _, tr = with_trace traced_workload in
+  Chrome.export_string [ ("job/0", tr) ]
+
+let test_chrome_schema () =
+  let s = export_of_workload () in
+  let j = parse_json s in
+  let events =
+    match obj_field j "traceEvents" with
+    | Some (J_arr evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  check_bool "events exported" true (List.length events > 100);
+  let tracks : (float * float, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let ph =
+        match obj_field e "ph" with
+        | Some (J_str p) -> p
+        | _ -> Alcotest.fail "event without ph"
+      in
+      let num k =
+        match Option.bind (obj_field e k) as_num with
+        | Some v -> v
+        | None -> Alcotest.failf "event without numeric %s" k
+      in
+      check_bool "name present" true (obj_field e "name" <> None);
+      let pid = num "pid" and tid = num "tid" in
+      if ph <> "M" then begin
+        let ts = num "ts" in
+        check_bool "timestamps non-negative" true (ts >= 0.);
+        (match Hashtbl.find_opt tracks (pid, tid) with
+        | Some prev ->
+            if ts < prev then
+              Alcotest.failf "track (%g,%g): ts %g after %g" pid tid ts prev
+        | None -> ());
+        Hashtbl.replace tracks (pid, tid) ts
+      end)
+    events;
+  (* the process got named after its job label *)
+  let labeled =
+    List.exists
+      (fun e ->
+        obj_field e "name" = Some (J_str "process_name")
+        && (match obj_field e "args" with
+           | Some a -> Option.bind (obj_field a "name") as_str = Some "job/0"
+           | None -> false))
+      events
+  in
+  check_bool "process named after the job label" true labeled
+
+(* ----------------- determinism across domain counts ---------------- *)
+
+(* Four independent lock sims fanned through the pool: the export must
+   be byte-identical however many domains executed the jobs. *)
+let pool_export ~jobs =
+  Trace.requested := true;
+  let thunks = Array.init 4 (fun _ () -> ignore (traced_workload ())) in
+  let results = Pool.run ~jobs thunks in
+  Trace.requested := false;
+  let traces = Pool.traces results in
+  check_int "every job traced" 4 (List.length traces);
+  Chrome.export_string
+    (List.mapi (fun i tr -> (Printf.sprintf "job/%d" i, tr)) traces)
+
+let test_export_jobs_identical () =
+  let s1 = pool_export ~jobs:1 in
+  let s4 = pool_export ~jobs:4 in
+  check_bool "export non-trivial" true (String.length s1 > 10_000);
+  check_string "byte-identical at --jobs 1 and 4" s1 s4
+
+let suite =
+  [
+    Alcotest.test_case "ring: wrap and totals" `Quick test_ring_wrap;
+    Alcotest.test_case "ring: epoch offsets" `Quick test_epoch_offsets;
+    Alcotest.test_case "totals reconcile with Sim.perf" `Quick
+      test_reconciles_with_perf;
+    Alcotest.test_case "tracing leaves virtual time unchanged" `Quick
+      test_traced_run_same_virtual_time;
+    Alcotest.test_case "profile invariants" `Quick test_profile_invariants;
+    Alcotest.test_case "chrome export: schema and monotone tracks" `Quick
+      test_chrome_schema;
+    Alcotest.test_case "chrome export: byte-identical across domains" `Quick
+      test_export_jobs_identical;
+  ]
