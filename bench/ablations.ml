@@ -23,7 +23,7 @@ let ticket_latency_with_base pid ~base ~threads ~duration =
   let _, mean =
     Harness.run_latency p ~threads ~duration
       ~setup:(fun mem ->
-        Spinlocks.ticket ~backoff_base:base mem ~home_core:0)
+        Spinlocks.ticket ~backoff_base:base mem ~home_core:0 ~n_threads:threads)
       ~body:(fun lock _mem ~tid ~deadline ->
         let n = ref 0 and cy = ref 0 in
         while Sim.now () < deadline do

@@ -38,6 +38,15 @@
                                distance), state-transition matrix, and
                                a reconciliation against Sim.perf.
                                Combines with --quick/--jobs/--trace.
+     bench/main.exe chaos      deterministic crash-sweep over the robust
+                               lock paths: every (platform, lock, seed,
+                               crash schedule) runs as a pure job, its
+                               trace is replayed through the invariant
+                               checker, violations are shrunk to minimal
+                               repro keys (chaos --repro KEY replays one
+                               verbosely).  Prints a per-lock robustness
+                               scorecard; exits 1 on any violation.
+                               Combines with --quick/--jobs.
      bench/main.exe --compare-perf BASELINE FRESH
                                perf guardrail: exit 1 if FRESH shows the
                                simulator regressing vs BASELINE (>25%
@@ -481,6 +490,9 @@ let () =
   (match args with
   | "profile" :: names ->
       run_profile ~quick ~jobs:!jobs ~trace_file:!trace_file names;
+      exit 0
+  | "chaos" :: rest ->
+      Chaos.run ~quick ~jobs:!jobs rest;
       exit 0
   | _ -> ());
   if List.mem "--list" args then

@@ -339,6 +339,10 @@ let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
 
 let waiter_count t a = List.length (line t a).waiters
 
+let probe_would_elide t ~core (op : Arch.memop) (a : addr) ~operand ~operand2
+    ~while_ =
+  probe_inert (line t a) ~core op ~operand ~operand2 ~while_
+
 (* Phase 1, before the access mutates the line: account every elided
    probe that would have issued strictly before [now] under the state
    the line held since the last real access. *)

@@ -108,6 +108,14 @@ val try_park :
 val waiter_count : t -> addr -> int
 (** Number of spinners currently parked on the line (tests/metrics). *)
 
+val probe_would_elide :
+  t -> core:int -> Arch.memop -> addr ->
+  operand:int -> operand2:int -> while_:int -> bool
+(** Would a probe of the line be inert right now (same predicate as
+    {!try_park})?  Used by the engine to decide whether a probe can
+    skip per-op fault draws under jitter-only specs: an inert probe is
+    exactly one that parking would have elided. *)
+
 val probe_latency : t -> core:int -> Arch.memop -> addr -> int
 (** Expected service latency of [op] right now, without performing it. *)
 

@@ -42,6 +42,13 @@ let none =
 
 let is_none s = s == none || s = none
 
+(* Jitter only stretches a probe's completion latency; it never changes
+   which thread runs next or removes a thread from the schedule, so a
+   parked waiter misses nothing a polling waiter would have seen.
+   Preemption and crash-stop do reshape the schedule, hence the
+   polling fallback for those. *)
+let parkable s = s.preempt_prob = 0. && s.crashes = []
+
 let preemption ?(seed = 1) ?(cycles = (2_000, 20_000)) prob =
   if prob < 0. || prob > 1. then invalid_arg "Fault.preemption: prob in [0,1]";
   { none with seed; preempt_prob = prob; preempt_cycles = cycles }

@@ -29,6 +29,12 @@ val none : spec
 
 val is_none : spec -> bool
 
+val parkable : spec -> bool
+(** A spec under which event-driven parking stays exact: only latency
+    jitter enabled (no preemption, no crashes).  Jitter stretches probe
+    latencies but never reshapes the schedule, so elided inert probes
+    are equivalent parked or polled. *)
+
 val preemption : ?seed:int -> ?cycles:int * int -> float -> spec
 (** [preemption prob] preempts at each scheduling point with
     probability [prob] for a duration drawn from [cycles]. *)

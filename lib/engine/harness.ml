@@ -35,6 +35,30 @@ type result = {
 let total_of ops = Array.fold_left ( + ) 0 ops
 let completed_all r = Array.for_all (fun c -> c) r.completed
 
+(* Real threads leave the start barrier in arbitrary order; a
+   noise-free start in tid order would freeze the tid-sorted
+   (= socket-sorted) arrival order into every queue lock's wait
+   list, silently giving the flat queue locks an almost perfectly
+   hierarchical (same-die) handoff pattern no real machine exhibits.
+   Spawning in a hashed order freezes a pseudorandom arrival order
+   instead: same-time events execute in spawn order, so this permutes
+   who wins the initial races without moving a single virtual
+   timestamp (which would perturb park/poll tie-breaking).
+
+   Exposed because the mapping workload tid <-> engine tid hangs off
+   it: engine tid [k] (spawn order, what crash schedules and trace
+   events speak) runs workload tid [(spawn_order ~threads).(k)].
+   Fault/chaos tooling needs both directions. *)
+let spawn_order ~threads =
+  let order = Array.init threads (fun tid -> tid) in
+  Array.sort
+    (fun a b ->
+      compare
+        ((a * 2654435761) lsr 7 land 1023, a)
+        ((b * 2654435761) lsr 7 land 1023, b))
+    order;
+  order
+
 (* [body shared mem ~tid ~deadline] runs inside a simulated thread and
    returns the number of operations it completed; it must poll
    [Sim.now () < deadline] to terminate.  [setup] builds the shared
@@ -56,22 +80,7 @@ let run ?(faults = Fault.none) ?parking (platform : Platform.t) ~threads
   let ops = Array.make threads 0 in
   let completed = Array.make threads false in
   let barrier = Sim.make_barrier threads in
-  (* Real threads leave the start barrier in arbitrary order; a
-     noise-free start in tid order would freeze the tid-sorted
-     (= socket-sorted) arrival order into every queue lock's wait
-     list, silently giving the flat queue locks an almost perfectly
-     hierarchical (same-die) handoff pattern no real machine exhibits.
-     Spawning in a hashed order freezes a pseudorandom arrival order
-     instead: same-time events execute in spawn order, so this permutes
-     who wins the initial races without moving a single virtual
-     timestamp (which would perturb park/poll tie-breaking). *)
-  let spawn_order = Array.init threads (fun tid -> tid) in
-  Array.sort
-    (fun a b ->
-      compare
-        ((a * 2654435761) lsr 7 land 1023, a)
-        ((b * 2654435761) lsr 7 land 1023, b))
-    spawn_order;
+  let spawn_order = spawn_order ~threads in
   Array.iter
     (fun tid ->
       let core = Platform.place platform tid in

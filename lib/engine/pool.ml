@@ -33,6 +33,21 @@ type stats = {
 
 type 'a outcome = Ok_r of 'a | Error_r of exn | Not_run
 
+exception Job_failures of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Job_failures fails ->
+        Some
+          (Printf.sprintf "Pool.Job_failures: %d jobs failed\n%s"
+             (List.length fails)
+             (String.concat "\n"
+                (List.map
+                   (fun (i, e) ->
+                     Printf.sprintf "  job %d: %s" i (Printexc.to_string e))
+                   fails)))
+    | _ -> None)
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Run [thunks.(i)] capturing its result, engine-counter delta and wall
@@ -54,11 +69,28 @@ let exec_one ~traced (thunks : (unit -> 'a) array) (results : 'a outcome array)
 
 let finish (results : 'a outcome array) (stats : stats array) :
     ('a * stats) array =
+  (* Collect every failure first: with independent jobs fanned wide, a
+     single re-raised exception hides how broad the breakage was.  One
+     failure re-raises the original exception unchanged (backtraces,
+     matching callers); several raise [Job_failures], lowest index
+     first. *)
+  let fails =
+    Array.to_seq results
+    |> Seq.mapi (fun i r -> (i, r))
+    |> Seq.filter_map (function
+         | i, Error_r e -> Some (i, e)
+         | _ -> None)
+    |> List.of_seq
+  in
+  (match fails with
+  | [] -> ()
+  | [ (_, e) ] -> raise e
+  | _ :: _ -> raise (Job_failures fails));
   Array.mapi
     (fun i r ->
       match r with
       | Ok_r v -> (v, stats.(i))
-      | Error_r e -> raise e
+      | Error_r _ -> assert false
       | Not_run ->
           (* only reachable if a domain died without raising, which
              [Domain.join] would already have surfaced *)

@@ -19,6 +19,12 @@ type stats = {
           submission order *)
 }
 
+exception Job_failures of (int * exn) list
+(** Raised by {!run} when two or more jobs failed: every
+    [(job index, exception)] pair, lowest index first.  A registered
+    printer renders all of them.  A single failing job re-raises its
+    original exception unchanged instead. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
 
@@ -28,9 +34,9 @@ val run : ?jobs:int -> (unit -> 'a) array -> ('a * stats) array
     to {!default_jobs}; [jobs = 1] (or a single job) executes inline on
     the calling domain with no domains or atomics involved.  Domains
     pull jobs off a shared counter, so long and short jobs balance
-    dynamically.  If any job raises, the exception of the
-    lowest-indexed failed job is re-raised after all jobs finish.
-    Raises [Invalid_argument] when [jobs < 1]. *)
+    dynamically.  If exactly one job raises, its exception is re-raised
+    after all jobs finish; if several fail, {!Job_failures} reports
+    them all.  Raises [Invalid_argument] when [jobs < 1]. *)
 
 val total_stats : ('a * stats) array -> stats
 (** Sum of the per-job stats (field-wise; [trace] is [None] — merge

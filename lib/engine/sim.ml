@@ -96,6 +96,9 @@ type t = {
   mutable spawned : int;
   faults : Fault.spec;
   faults_active : bool;
+  faults_parkable : bool;
+      (* active spec is jitter-only: parking stays exact because inert
+         probes draw nothing (see [event_driven] / [spin_loop]) *)
   parking : bool; (* event-driven waiter wakeup enabled? *)
   tstates : (int, thread_state) Hashtbl.t;
   mutable preempt_count : int;
@@ -147,6 +150,11 @@ type _ Effect.t +=
   | E_park : parker * int -> unit Effect.t
   | E_unpark : parker -> unit Effect.t
   | E_evd : bool Effect.t (* is event-driven waiting active? *)
+  | E_dead : int -> bool Effect.t
+    (* has thread [tid] crash-stopped?  The oracle robust locks build
+       their owner-death detection on: true from the moment virtual
+       time reaches the victim's crash time, whether or not the crash
+       event itself has fired yet *)
 
 (* Default for [create]'s [?parking] — lets tests A/B the event-driven
    path against literal polling without threading a flag through every
@@ -168,6 +176,7 @@ let create ?(faults = Fault.none) ?parking platform =
     spawned = 0;
     faults;
     faults_active = not (Fault.is_none faults);
+    faults_parkable = (not (Fault.is_none faults)) && Fault.parkable faults;
     parking;
     tstates = Hashtbl.create 64;
     preempt_count = 0;
@@ -187,10 +196,15 @@ let memory t = t.mem
 let platform t = t.platform
 let now_of t = t.now
 
-(* Event-driven waiting applies only without faults: the fallback poll
-   stepping keeps the per-thread fault-draw order identical to the
-   hand-written loops it replaced. *)
-let event_driven t = t.parking && not t.faults_active
+(* Event-driven waiting applies without faults and under jitter-only
+   specs.  Jitter draws happen per *real* memory op; an inert probe —
+   exactly the kind parking elides — is made to consume no draw (see
+   [spin_loop]), so the per-thread draw sequence is identical whether
+   the waiter parked or polled.  Preemption and crash specs keep the
+   polling fallback: their draws key off every scheduling point, which
+   parking removes. *)
+let event_driven t =
+  t.parking && ((not t.faults_active) || t.faults_parkable)
 
 let schedule t ~at run =
   Event_queue.push t.events ~time:(max at t.now) run
@@ -288,6 +302,11 @@ let park pk ~poll =
 
 let unpark pk = Effect.perform (E_unpark pk)
 let event_driven_waits () = Effect.perform E_evd
+
+(* Cost-free oracle: robust locks model the OS's exact knowledge of
+   which threads died (robust-futex EOWNERDEAD bookkeeping), so the
+   query itself adds no events and no latency. *)
+let tid_crashed tid = Effect.perform (E_dead tid)
 
 (* ------------------------------------------------------------------ *)
 (* Fault hooks. *)
@@ -443,11 +462,22 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
     (* [t.now] is the probe's issue time *)
     st.last_progress <- t.now;
     (match t.trace with Some tr -> Trace.set_tid tr st.tid | None -> ());
+    (* Under a jitter-only spec an inert probe consumes no fault draw:
+       parking elides exactly the inert probes, so charging draws only
+       to non-inert probes keeps the per-thread draw sequence — and so
+       the whole schedule — identical parked or polled. *)
+    let inert =
+      t.faults_parkable
+      && Memory.probe_would_elide t.mem ~core op a ~operand ~operand2
+           ~while_
+    in
     let latency =
       Memory.access_lat t.mem ~core ~now:t.now op a ~operand ~operand2
     in
     let x = Memory.last_result t.mem in
-    let latency = latency + fault_extra t st ~mem_op:true in
+    let latency =
+      if inert then latency else latency + fault_extra t st ~mem_op:true
+    in
     if x <> while_ then resume_int t st k ~at:(t.now + latency) x
     else sched_step t st ~at:(t.now + latency) continue_spin
   and continue_spin () =
@@ -641,6 +671,17 @@ let spawn t ~core body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   continue k (event_driven t))
+          | E_dead qtid ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let dead =
+                    match Hashtbl.find_opt t.tstates qtid with
+                    | Some qst ->
+                        qst.crashed
+                        || (qst.crash_at >= 0 && t.now >= qst.crash_at)
+                    | None -> false
+                  in
+                  continue k dead)
           | _ -> None);
     }
   in

@@ -19,10 +19,12 @@
     preemption, latency jitter, crash-stop threads) and always tracks
     per-thread progress, so {!run_health} reports a structured verdict
     — finished versus stalled/deadlocked — instead of silently
-    dropping the tail of a pathological schedule.  Under fault
-    injection the spin primitives fall back to literal pause/probe
-    stepping so every scheduling point draws from the per-thread fault
-    streams in the original order. *)
+    dropping the tail of a pathological schedule.  Under
+    schedule-reshaping fault injection (preemption, crash-stop) the
+    spin primitives fall back to literal pause/probe stepping so every
+    scheduling point draws from the per-thread fault streams in the
+    original order; jitter-only specs keep the event-driven path, whose
+    elided inert probes consume no draws in either mode. *)
 
 type t
 
@@ -40,7 +42,9 @@ val create :
     consumes no random draws — fault-free runs are bit-identical to the
     engine without the fault layer.  [parking] (default
     [!parking_default]) enables event-driven waiter wakeup; it is
-    automatically disabled while faults are active.  Raises
+    automatically disabled while schedule-reshaping faults (preemption,
+    crash-stop) are active, but stays on under jitter-only specs, where
+    parking remains exact (see {!Fault.parkable}).  Raises
     [Invalid_argument] on a malformed spec. *)
 
 val memory : t -> Ssync_coherence.Memory.t
@@ -226,5 +230,12 @@ val unpark : parker -> unit
 
 val event_driven_waits : unit -> bool
 (** Whether event-driven waiting is active in the enclosing simulation
-    (parking enabled and faults off) — lets wait loops choose between
-    grid-arithmetic shortcuts and literal polling. *)
+    (parking enabled; faults off or jitter-only) — lets wait loops
+    choose between grid-arithmetic shortcuts and literal polling. *)
+
+val tid_crashed : int -> bool
+(** Has thread [tid] crash-stopped?  True from the moment virtual time
+    reaches the victim's crash time — the oracle robust locks build
+    owner-death detection on, modeling the OS's exact knowledge of dead
+    lock holders (robust-futex EOWNERDEAD bookkeeping).  Cost-free: the
+    query adds no events and no latency.  Unknown tids are alive. *)

@@ -10,13 +10,26 @@
    win its local lock also takes the global lock; on release the holder
    hands over locally while local waiters exist (bounded by [max_pass]
    to preserve long-term fairness), and only then releases the global
-   lock. *)
+   lock.
+
+   Robust composition: the global lock's robust id space is the
+   cluster ids, with liveness delegated to the local locks' shadows —
+   a cluster is dead exactly when no live thread is engaged with its
+   local lock (nobody is left to drive the cluster's global handle).
+   Intra-cluster owner death recovers locally and the global lock never
+   notices.  When the cluster's global *driver* dies but live local
+   threads remain, the next local winner adopts the cluster's global
+   handle mid-queue ([Rshadow.x_adopt]).  When a whole cluster dies,
+   the other clusters excise it from the global queue; the excision
+   harvests the cluster's dead in-CS holders for the EOWNERDEAD witness
+   and resets the cluster's ownership flags. *)
 
 open Ssync_platform
 
 type inner = {
   lock : Lock_type.t;
   waiters : tid:int -> bool; (* is someone queued behind the holder? *)
+  rext : Rshadow.ext; (* robust shadow probes of the local lock *)
 }
 
 let default_max_pass = 64
@@ -36,15 +49,18 @@ let cluster_home platform cluster =
   in
   find 0
 
+(* [global_owned]/[passes] are created by the lock constructors (the
+   global lock's removal hook must reset them, and it is built before
+   the cohort record exists).  They are only read and written by the
+   thread currently holding the cluster's local lock — or excising the
+   cluster after its death — so plain OCaml state models node-local
+   flags with no extra coherence traffic. *)
 let cohort ~name ~platform ~place ?(max_pass = default_max_pass)
-    ~(global : Lock_type.t) ~(locals : inner array) () : Lock_type.t =
+    ~(global : Lock_type.t) ~(global_ext : Rshadow.ext)
+    ~(global_owned : bool array) ~(passes : int array)
+    ~(locals : inner array) ~rstats () : Lock_type.t =
   let n_clusters = Array.length locals in
   if n_clusters = 0 then invalid_arg "cohort: no clusters";
-  (* Owned/pass-count flags are only read and written by the thread
-     currently holding the cluster's local lock, so plain OCaml state
-     models node-local flags with no extra coherence traffic. *)
-  let global_owned = Array.make n_clusters false in
-  let passes = Array.make n_clusters 0 in
   {
     name;
     acquire =
@@ -85,37 +101,114 @@ let cohort ~name ~platform ~place ?(max_pass = default_max_pass)
           locals.(c).lock.Lock_type.release ~tid;
           false
         end);
+    acquire_robust =
+      (fun ~tid ->
+        let c = cluster_of platform ~place tid in
+        let gl = locals.(c).lock.Lock_type.acquire_robust ~tid in
+        let gg =
+          if global_owned.(c) then Lock_type.Clean
+          else begin
+            let g =
+              match global_ext.Rshadow.x_phase c with
+              | Rshadow.Waiting | Rshadow.Holder ->
+                  (* the cluster is already in the global queue (or its
+                     grant landed) but its driver died: adopt the
+                     handle and keep waiting in its place *)
+                  global_ext.Rshadow.x_adopt c
+              | Rshadow.Out | Rshadow.Releasing ->
+                  (* [Releasing] is unreachable for the ticket/CLH
+                     globals (their release is atomic with its store),
+                     so both mean: no outstanding handle *)
+                  global.Lock_type.acquire_robust ~tid:c
+            in
+            global_owned.(c) <- true;
+            g
+          end
+        in
+        Lock_type.merge_grant gl gg);
+    release_robust =
+      (fun ~tid ->
+        let c = cluster_of platform ~place tid in
+        if
+          passes.(c) < max_pass
+          && locals.(c).rext.Rshadow.x_waiting_live ()
+        then begin
+          passes.(c) <- passes.(c) + 1;
+          (* hand over within the cluster — but only to a live waiter:
+             passing to a queue of corpses would just delay the
+             inter-cluster recovery *)
+          locals.(c).lock.Lock_type.release_robust ~tid
+        end
+        else begin
+          passes.(c) <- 0;
+          global_owned.(c) <- false;
+          global.Lock_type.release_robust ~tid:c;
+          locals.(c).lock.Lock_type.release_robust ~tid
+        end);
+    rstats;
   }
 
-let hticket ?max_pass mem platform ~home_core ~n_threads:_ ~place :
-    Lock_type.t =
+(* Wire a cohort's robust delegation: the global lock judges cluster
+   [c] dead when no live thread is engaged with [c]'s local lock, its
+   EOWNERDEAD witness for [c] is the harvest of [c]'s dead in-CS
+   holders, and removing [c] from the global queue resets [c]'s
+   ownership flags. *)
+let cluster_hooks (locals : inner array) ~global_owned ~passes =
+  let is_dead c = not (locals.(c).rext.Rshadow.x_engaged_live ()) in
+  let dead_of c = locals.(c).rext.Rshadow.x_harvest () in
+  let on_removed c =
+    global_owned.(c) <- false;
+    passes.(c) <- 0
+  in
+  (is_dead, dead_of, on_removed)
+
+let hticket ?max_pass mem platform ~home_core ~n_threads ~place : Lock_type.t =
   let n_clusters = platform.Platform.topo.Topology.n_nodes in
-  let global = Spinlocks.ticket mem ~home_core in
+  let stats = Lock_type.rstats_zero () in
   let locals =
     Array.init n_clusters (fun c ->
         (* intra-socket handoffs are short: spin with a small backoff *)
-        let lk, waiters =
-          Spinlocks.ticket_ext ~backoff_base:180 mem
-            ~home_core:(cluster_home platform c)
+        let lk, waiters, rext =
+          Spinlocks.ticket_ext ~backoff_base:180 ~rstats:stats mem
+            ~home_core:(cluster_home platform c) ~n_ids:n_threads
         in
-        { lock = lk; waiters = (fun ~tid:_ -> waiters ()) })
+        { lock = lk; waiters = (fun ~tid:_ -> waiters ()); rext })
   in
-  cohort ~name:"HTICKET" ~platform ~place ?max_pass ~global ~locals ()
+  let global_owned = Array.make n_clusters false in
+  let passes = Array.make n_clusters 0 in
+  let is_dead, dead_of, on_removed =
+    cluster_hooks locals ~global_owned ~passes
+  in
+  let global, _, global_ext =
+    Spinlocks.ticket_ext ~rstats:stats ~is_dead ~dead_of ~on_removed mem
+      ~home_core ~n_ids:n_clusters
+  in
+  cohort ~name:"HTICKET" ~platform ~place ?max_pass ~global ~global_ext
+    ~global_owned ~passes ~locals ~rstats:stats ()
 
 let hclh ?max_pass mem platform ~home_core ~n_threads ~place : Lock_type.t =
   let n_clusters = platform.Platform.topo.Topology.n_nodes in
-  (* the global CLH queue is entered per-cluster, so cluster ids act as
-     its thread ids *)
-  let global =
-    Queue_locks.clh mem ~home_core ~n_threads:n_clusters ~place:(fun c ->
-        cluster_home platform c)
-  in
+  let stats = Lock_type.rstats_zero () in
   let locals =
     Array.init n_clusters (fun c ->
         let home = cluster_home platform c in
-        let lk, waiters =
-          Queue_locks.clh_ext mem ~home_core:home ~n_threads ~place
+        let lk, waiters, rext =
+          Queue_locks.clh_ext ~rstats:stats mem ~home_core:home ~n_threads
+            ~place
         in
-        { lock = lk; waiters })
+        { lock = lk; waiters; rext })
   in
-  cohort ~name:"HCLH" ~platform ~place ?max_pass ~global ~locals ()
+  let global_owned = Array.make n_clusters false in
+  let passes = Array.make n_clusters 0 in
+  let is_dead, dead_of, on_removed =
+    cluster_hooks locals ~global_owned ~passes
+  in
+  (* the global CLH queue is entered per-cluster, so cluster ids act as
+     its thread ids *)
+  let global, _, global_ext =
+    Queue_locks.clh_ext ~rstats:stats ~is_dead ~dead_of ~on_removed mem
+      ~home_core ~n_threads:n_clusters ~place:(fun c ->
+        cluster_home platform c)
+  in
+  cohort ~name:"HCLH" ~platform ~place ?max_pass ~global ~global_ext
+    ~global_owned ~passes ~locals ~rstats:stats ()

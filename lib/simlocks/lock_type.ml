@@ -9,9 +9,60 @@
    spin_trylock discipline.  That makes it safe to give up: a waiter
    bounded by [acquire_timeout] never wedges the lock for later
    acquirers, even on the queue locks, whose blocking acquire cannot
-   abandon a published node. *)
+   abandon a published node.
+
+   [acquire_robust]/[release_robust] are the owner-death-tolerant
+   entries, modeled on robust futexes: an acquisition that had to
+   recover past one or more crash-stopped threads returns an
+   [Owner_died] witness naming every dead thread that held the lock
+   inside its critical section, so the caller can repair the protected
+   state (EOWNERDEAD / mutex-consistency marking) before relying on it.
+   The robust paths keep their own owner/queue shadow — the simulated
+   analogue of the kernel's robust list — and are entirely separate
+   code from the plain paths: a lock used only through [acquire] /
+   [release] issues exactly the memory operations it did before the
+   robust layer existed.  Plain and robust acquisitions must not be
+   mixed on one lock instance (the plain paths do not maintain the
+   shadow, just as a non-robust futex acquisition is invisible to the
+   kernel's robust list). *)
 
 open Ssync_engine
+
+(* Outcome of a robust acquisition.  [dead] lists every crash-stopped
+   thread that died while holding this lock (in its critical section or
+   mid-release) and whose death this grant is the first to observe —
+   each dead holder is witnessed exactly once across the lock's
+   lifetime, by the acquisition that recovered past it. *)
+type grant = Clean | Owner_died of { dead : int list }
+
+let merge_grant a b =
+  match (a, b) with
+  | Clean, g | g, Clean -> g
+  | Owner_died { dead = d1 }, Owner_died { dead = d2 } ->
+      Owner_died { dead = d1 @ d2 }
+
+(* Robustness counters, accumulated over the lock's lifetime (for the
+   chaos scorecard).  Hierarchical locks share one record across the
+   global and local levels, so a grant there may count once per level
+   acquired. *)
+type rstats = {
+  mutable r_grants : int;  (* robust acquisitions granted *)
+  mutable r_owner_deaths : int;  (* grants carrying an Owner_died witness *)
+  mutable r_dead_holders : int;  (* dead in-CS holders recovered past *)
+  mutable r_excised : int;  (* dead waiters excised from wait queues *)
+  mutable r_recoveries : int;  (* recovery episodes (detection -> grant) *)
+  mutable r_recovery_cycles : int;  (* total detection -> grant latency *)
+}
+
+let rstats_zero () =
+  {
+    r_grants = 0;
+    r_owner_deaths = 0;
+    r_dead_holders = 0;
+    r_excised = 0;
+    r_recoveries = 0;
+    r_recovery_cycles = 0;
+  }
 
 type t = {
   name : string;
@@ -20,6 +71,9 @@ type t = {
   try_acquire : tid:int -> bool;
       (* immediate, non-blocking; on failure the shared state is as if
          the call never happened *)
+  acquire_robust : tid:int -> grant;
+  release_robust : tid:int -> unit;
+  rstats : rstats;
 }
 
 (* Run [f] under the lock. *)
@@ -27,6 +81,18 @@ let with_lock t ~tid f =
   t.acquire ~tid;
   let r = f () in
   t.release ~tid;
+  r
+
+(* Run [f] under the robust lock; when the grant carries an
+   [Owner_died] witness, [recover] runs first — still under the lock —
+   to repair the protected state the dead holders may have left
+   inconsistent. *)
+let with_lock_robust t ~tid ~recover f =
+  (match t.acquire_robust ~tid with
+  | Clean -> ()
+  | Owner_died { dead } -> recover dead);
+  let r = f () in
+  t.release_robust ~tid;
   r
 
 (* Timed acquisition: retry [try_acquire] under capped exponential

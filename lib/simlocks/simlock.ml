@@ -102,6 +102,24 @@ let instrumented tr (platform : Platform.t) ~n_threads (l : Lock_type.t) :
     if tid >= 0 && tid < Array.length acquired_at then acquired_at.(tid) <- t1;
     Trace.emit tr ~ts:t1 (Trace.E_acq { tid; lock = id; wait = t1 - t0; dist })
   in
+  (* [E_rel] is emitted at release ENTRY, before the underlying release
+     runs: the critical section ends here ([held] is pure CS time, not
+     release-protocol time), and any successor's grant is produced by an
+     effect issued inside the release — so in the trace ring a lock's
+     E_rel always precedes the next E_acq, which is what lets the
+     invariant checker assert strict mutual exclusion.  (Emitting on
+     return breaks that order for handoff protocols with post-grant
+     work, e.g. MUTEX's wake syscall.) *)
+  let note_release () =
+    let t1 = Sim.now () in
+    let etid = Sim.self_tid () in
+    let held =
+      if etid >= 0 && etid < Array.length acquired_at then
+        t1 - acquired_at.(etid)
+      else 0
+    in
+    Trace.emit tr ~ts:t1 (Trace.E_rel { tid = etid; lock = id; held })
+  in
   {
     Lock_type.name = l.Lock_type.name;
     acquire =
@@ -113,15 +131,8 @@ let instrumented tr (platform : Platform.t) ~n_threads (l : Lock_type.t) :
         note_acquire ~t0);
     release =
       (fun ~tid ->
-        l.Lock_type.release ~tid;
-        let t1 = Sim.now () in
-        let etid = Sim.self_tid () in
-        let held =
-          if etid >= 0 && etid < Array.length acquired_at then
-            t1 - acquired_at.(etid)
-          else 0
-        in
-        Trace.emit tr ~ts:t1 (Trace.E_rel { tid = etid; lock = id; held }));
+        note_release ();
+        l.Lock_type.release ~tid);
     try_acquire =
       (fun ~tid ->
         let t0 = Sim.now () in
@@ -130,6 +141,19 @@ let instrumented tr (platform : Platform.t) ~n_threads (l : Lock_type.t) :
           true
         end
         else false);
+    acquire_robust =
+      (fun ~tid ->
+        let t0 = Sim.now () in
+        Trace.emit tr ~ts:t0
+          (Trace.E_wait { tid = Sim.self_tid (); lock = id });
+        let g = l.Lock_type.acquire_robust ~tid in
+        note_acquire ~t0;
+        g);
+    release_robust =
+      (fun ~tid ->
+        note_release ();
+        l.Lock_type.release_robust ~tid);
+    rstats = l.Lock_type.rstats;
   }
 
 (* Instantiate [algo] in simulated memory.  [n_threads] bounds the
@@ -142,17 +166,19 @@ let create ?(home_core = 0) mem (platform : Platform.t) ~n_threads algo :
   let base = ticket_backoff_base platform in
   let lock =
     match algo with
-  | Tas -> Spinlocks.tas mem ~home_core
-  | Ttas -> Spinlocks.ttas mem ~home_core
-  | Ticket -> Spinlocks.ticket ~backoff_base:base mem ~home_core
-  | Ticket_spin ->
-      Spinlocks.ticket ~variant:Spinlocks.Ticket_spin mem ~home_core
-  | Ticket_prefetchw ->
-      Spinlocks.ticket ~variant:Spinlocks.Ticket_prefetchw ~backoff_base:base
-        mem ~home_core
-  | Array_lock ->
-      Spinlocks.array_lock mem ~home_core ~n_slots:(max 2 n_threads)
-  | Mutex -> Spinlocks.mutex mem ~home_core
+    | Tas -> Spinlocks.tas mem ~home_core ~n_threads
+    | Ttas -> Spinlocks.ttas mem ~home_core ~n_threads
+    | Ticket -> Spinlocks.ticket ~backoff_base:base mem ~home_core ~n_threads
+    | Ticket_spin ->
+        Spinlocks.ticket ~variant:Spinlocks.Ticket_spin mem ~home_core
+          ~n_threads
+    | Ticket_prefetchw ->
+        Spinlocks.ticket ~variant:Spinlocks.Ticket_prefetchw
+          ~backoff_base:base mem ~home_core ~n_threads
+    | Array_lock ->
+        Spinlocks.array_lock mem ~home_core ~n_slots:(max 2 n_threads)
+          ~n_threads
+    | Mutex -> Spinlocks.mutex mem ~home_core ~n_threads
     | Mcs -> Queue_locks.mcs mem ~home_core ~n_threads ~place
     | Clh -> Queue_locks.clh mem ~home_core ~n_threads ~place
     | Hclh -> Hierarchical.hclh mem platform ~home_core ~n_threads ~place

@@ -1,27 +1,86 @@
 (* The simple spin locks of libslock: test-and-set, test-and-test-and-set
    with exponential backoff, the ticket lock (three variants, Figure 3),
-   the array-based lock, and a futex-style Pthread-Mutex model. *)
+   the array-based lock, and a futex-style Pthread-Mutex model.
+
+   Every lock carries two disjoint code paths: the plain path (exactly
+   the paper's algorithm, untouched by the robust layer) and a robust
+   path modeled on robust futexes — see [Rshadow] for the shadow
+   discipline that keeps owner/queue bookkeeping exact with zero extra
+   simulated memory traffic.  Robust waiters use honest costed probes
+   plus explicit pauses (literal polling: under crash-stop faults the
+   engine polls anyway), then peek-and-issue atomically to recover. *)
 
 open Ssync_coherence
 open Ssync_engine
 
+(* ------------------------- TAS / TTAS ---------------------------- *)
+(* Robust owner-word path shared by TAS and TTAS: the word encodes the
+   owner as tid+2 (0 free, 1 a plain-path holder), the way a robust
+   futex stores the owner's TID — any waiter can match the word against
+   the dead-thread oracle and steal from a dead owner.  The steal is
+   crash-safe because crash-stop is permanent: a value naming a dead
+   owner stays naming a dead owner until somebody overwrites it, and
+   the peek-predicted CAS overwrites exactly the value it peeked. *)
+let robust_word_paths mem sh lock ~mk_backoff =
+  let acquire_robust ~tid =
+    Rshadow.register sh tid;
+    let det = ref (-1) in
+    let backoff = mk_backoff tid in
+    let rec loop () =
+      ignore (Sim.load lock);
+      (* honest probe above for the traffic; exact decision below *)
+      let v = Memory.peek mem lock in
+      if v = 0 then begin
+        sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+        ignore (Sim.cas lock ~expected:0 ~desired:(tid + 2));
+        Rshadow.grant sh det
+      end
+      else if v >= 2 && Rshadow.dead sh (v - 2) then begin
+        Rshadow.detect det;
+        Rshadow.claim_holder sh (v - 2);
+        sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+        ignore (Sim.cas lock ~expected:v ~desired:(tid + 2));
+        Rshadow.grant sh det
+      end
+      else begin
+        Sim.pause (backoff ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let release_robust ~tid =
+    sh.Rshadow.phase.(tid) <- Rshadow.Out;
+    Sim.store lock 0
+  in
+  (acquire_robust, release_robust)
+
 (* ------------------------------ TAS ------------------------------ *)
 (* Spin directly on the atomic: every probe is an exclusive transaction
    on the lock line, the classic non-scalable spin lock. *)
-let tas mem ~home_core : Lock_type.t =
+let tas mem ~home_core ~n_threads : Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
+  let sh = Rshadow.create n_threads in
+  let acquire_robust, release_robust =
+    (* the plain TAS hammers with poll 0; the robust path's probe pair
+       (load + peek-gated CAS) needs a short gap to stay comparable *)
+    robust_word_paths mem sh lock ~mk_backoff:(fun _tid () -> 16)
+  in
   {
     name = "TAS";
     acquire = (fun ~tid:_ -> Sim.spin_tas lock ~poll:0);
     release = (fun ~tid:_ -> Sim.store lock 0);
     try_acquire = (fun ~tid:_ -> Sim.tas lock);
+    acquire_robust;
+    release_robust;
+    rstats = sh.Rshadow.stats;
   }
 
 (* ------------------------------ TTAS ----------------------------- *)
 (* Spin with plain loads (served from the local cache while the holder
    keeps the line) and only attempt the TAS when the lock looks free;
    back off exponentially after a lost race. *)
-let ttas mem ~home_core : Lock_type.t =
+let ttas mem ~home_core ~n_threads : Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
   (* one backoff per thread, reset at each acquire — state identical to
      a fresh one, without allocating on the lock's hot path *)
@@ -35,6 +94,12 @@ let ttas mem ~home_core : Lock_type.t =
         let b = Backoff.create ~seed:tid () in
         Hashtbl.add backoffs tid b;
         b
+  in
+  let sh = Rshadow.create n_threads in
+  let acquire_robust, release_robust =
+    robust_word_paths mem sh lock ~mk_backoff:(fun tid ->
+        let b = backoff_for tid in
+        fun () -> Backoff.once b)
   in
   {
     name = "TTAS";
@@ -56,6 +121,9 @@ let ttas mem ~home_core : Lock_type.t =
     release = (fun ~tid:_ -> Sim.store lock 0);
     (* probe first so a failed try costs one local load, not a TAS miss *)
     try_acquire = (fun ~tid:_ -> Sim.load lock = 0 && Sim.tas lock);
+    acquire_robust;
+    release_robust;
+    rstats = sh.Rshadow.stats;
   }
 
 (* ----------------------------- TICKET ---------------------------- *)
@@ -84,9 +152,14 @@ let ticket_shift = 1 lsl 24
 let ticket_mask = ticket_shift - 1
 
 (* Returns the lock plus a [waiters] probe (does anybody queue behind
-   the current holder?), needed by the hierarchical cohort locks. *)
-let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
-    ~home_core : Lock_type.t * (unit -> bool) =
+   the current holder?) and the robust extension, both needed by the
+   hierarchical cohort locks.  [n_ids] bounds the id space of the
+   robust path (thread ids, or cluster ids when this is a cohort's
+   global lock — then [is_dead]/[dead_of]/[on_removed] translate
+   cluster ids to thread liveness). *)
+let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) ?rstats
+    ?is_dead ?dead_of ?on_removed mem ~home_core ~n_ids :
+    Lock_type.t * (unit -> bool) * Rshadow.ext =
   let line = Memory.alloc ~home_core mem in
   let wait_turn my =
     let probe () =
@@ -124,6 +197,72 @@ let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
     in
     loop (probe ())
   in
+  (* Robust path.  Shadow: which raw ticket each id drew ([tick], -1
+     none) — set in the same plain block as the faa that draws it, via
+     a peek of the line, so the mapping turn -> owner is exact.  A
+     waiter whose turn is held up by a dead owner advances [current]
+     past the dead turn with a peek-predicted CAS (the robust "skip"):
+     a dead waiter's turn is simply consumed, a dead holder's turn
+     additionally queues the EOWNERDEAD witness. *)
+  let sh = Rshadow.create ?stats:rstats ?is_dead ?dead_of ?on_removed n_ids in
+  let tick = Array.make (max 1 n_ids) (-1) in
+  let owner_of turn =
+    let rec go i =
+      if i >= n_ids then None
+      else if tick.(i) = turn then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec wait_robust ~id ~my det =
+    ignore (Sim.load line);
+    let v = Memory.peek mem line in
+    let cur = v land ticket_mask in
+    if cur = my then begin
+      sh.Rshadow.phase.(id) <- Rshadow.Holder;
+      Rshadow.grant sh det
+    end
+    else begin
+      (match owner_of cur with
+      | Some d when Rshadow.dead sh d ->
+          Rshadow.detect det;
+          (if sh.Rshadow.phase.(d) = Rshadow.Holder then
+             Rshadow.claim_holder sh d
+           else Rshadow.excise sh d);
+          tick.(d) <- -1;
+          (* skip the dead turn: advance current past it (guaranteed:
+             [v] was peeked in this same plain block) *)
+          ignore (Sim.cas line ~expected:v ~desired:(v + 1))
+      | _ ->
+          let dist = (my - cur + ticket_shift) land ticket_mask in
+          Sim.pause (max 1 (dist * max 1 (backoff_base / 2))));
+      wait_robust ~id ~my det
+    end
+  in
+  let acquire_robust ~tid =
+    Rshadow.register sh tid;
+    let det = ref (-1) in
+    (* predict the drawn ticket in the same plain block as the faa *)
+    let v0 = Memory.peek mem line in
+    let my = (v0 lsr 24) land ticket_mask in
+    tick.(tid) <- my;
+    if v0 land ticket_mask = my then begin
+      (* uncontended: granted at the draw itself *)
+      sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+      ignore (Sim.faa line ticket_shift);
+      Rshadow.grant sh det
+    end
+    else begin
+      sh.Rshadow.phase.(tid) <- Rshadow.Waiting;
+      ignore (Sim.faa line ticket_shift);
+      wait_robust ~id:tid ~my det
+    end
+  in
+  let release_robust ~tid =
+    tick.(tid) <- -1;
+    sh.Rshadow.phase.(tid) <- Rshadow.Out;
+    ignore (Sim.faa_store line 1)
+  in
   let lock : Lock_type.t =
     {
       name = ticket_variant_name variant;
@@ -142,27 +281,130 @@ let ticket_ext ?(variant = Ticket_backoff) ?(backoff_base = 1500) mem
           let cur = v land ticket_mask in
           let nxt = (v lsr 24) land ticket_mask in
           nxt = cur && Sim.cas line ~expected:v ~desired:(v + ticket_shift));
+      acquire_robust;
+      release_robust;
+      rstats = sh.Rshadow.stats;
     }
   in
   let waiters () =
     let v = Sim.load line in
     (v lsr 24) land ticket_mask > (v land ticket_mask) + 1
   in
-  (lock, waiters)
+  let ext =
+    {
+      Rshadow.x_phase = (fun id -> sh.Rshadow.phase.(id));
+      x_adopt =
+        (fun id ->
+          let det = ref (Sim.now ()) in
+          if sh.Rshadow.phase.(id) = Rshadow.Holder then Rshadow.grant sh det
+          else wait_robust ~id ~my:tick.(id) det);
+      x_waiting_live = (fun () -> Rshadow.waiting_live sh);
+      x_engaged_live = (fun () -> Rshadow.engaged_live sh);
+      x_harvest = (fun () -> Rshadow.harvest_dead_holders sh);
+    }
+  in
+  (lock, waiters, ext)
 
-let ticket ?variant ?backoff_base mem ~home_core : Lock_type.t =
-  fst (ticket_ext ?variant ?backoff_base mem ~home_core)
+let ticket ?variant ?backoff_base mem ~home_core ~n_threads : Lock_type.t =
+  let lock, _, _ =
+    ticket_ext ?variant ?backoff_base mem ~home_core ~n_ids:n_threads
+  in
+  lock
 
 (* ----------------------------- ARRAY ----------------------------- *)
 (* Anderson's array lock: waiters spin each on their own slot (line);
-   release flips the next slot. *)
-let array_lock mem ~home_core ~n_slots : Lock_type.t =
+   release flips the next slot.
+
+   Robust path: mutual exclusion rests on a shadow [turn] (the absolute
+   position currently granted) advanced atomically with each release or
+   excision; the slot flags remain the wake-up vehicle, so a stale flag
+   left by a dead thread is harmless (the turn check rejects it) and a
+   missing flag whose writer died is compensated by a self-grant. *)
+let array_lock mem ~home_core ~n_slots ~n_threads : Lock_type.t =
   if n_slots <= 0 then invalid_arg "array_lock: n_slots must be positive";
   let tail = Memory.alloc ~home_core mem in
   let slots = Array.init n_slots (fun _ -> Memory.alloc ~home_core mem) in
   Memory.poke mem slots.(0) 1;
   (* remembers which slot each thread owns between acquire and release *)
   let my_slot = Array.make 1024 0 in
+  let sh = Rshadow.create n_threads in
+  let pos_of = Array.make (max 1 n_threads) (-1) in
+  (* absolute position drawn by each id *)
+  let turn = ref 0 in
+  let flag_writer = ref (-1) in
+  (* who owes the current turn its grant flag; -1 = initial setup (the
+     poked slots.(0)), always "already written" *)
+  let owner_at pos =
+    let rec go i =
+      if i >= n_threads then None
+      else if pos_of.(i) = pos then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let acquire_robust ~tid =
+    Rshadow.register sh tid;
+    let det = ref (-1) in
+    let t0 = Memory.peek mem tail in
+    pos_of.(tid) <- t0;
+    sh.Rshadow.phase.(tid) <- Rshadow.Waiting;
+    ignore (Sim.fai tail);
+    let idx = t0 mod n_slots in
+    let rec wait () =
+      ignore (Sim.load slots.(idx));
+      let flag = Memory.peek mem slots.(idx) in
+      if
+        !turn = t0
+        && (flag = 1
+           ||
+           let w = !flag_writer in
+           w = tid || (w >= 0 && Rshadow.dead sh w))
+      then begin
+        (* granted: the turn is ours and the flag either arrived, or
+           its writer is this thread (we advanced the turn to our own
+           position during an excision), or its writer died before
+           writing (a dead writer's store can never land later: the
+           model applies stores at issue) *)
+        sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+        Rshadow.grant sh det
+      end
+      else begin
+        (if !turn <> t0 then begin
+           let g = !turn in
+           match owner_at g with
+           | Some d when Rshadow.dead sh d ->
+               Rshadow.detect det;
+               (if sh.Rshadow.phase.(d) = Rshadow.Holder then
+                  Rshadow.claim_holder sh d
+                else Rshadow.excise sh d);
+               pos_of.(d) <- -1;
+               turn := g + 1;
+               flag_writer := tid;
+               (* retire the dead turn's stale flag, then wake the next
+                  turn; [turn] already advanced, so a crash between
+                  these stores leaves only stale/missing flags, both
+                  harmless under the turn check *)
+               let gslot = slots.(g mod n_slots) in
+               if Memory.peek mem gslot = 1 then Sim.store gslot 0;
+               if !turn <> t0 then Sim.store slots.(!turn mod n_slots) 1
+           | _ -> Sim.pause 24
+         end
+         else Sim.pause 24);
+        wait ()
+      end
+    in
+    wait ()
+  in
+  let release_robust ~tid =
+    let p = pos_of.(tid) in
+    let idx = p mod n_slots in
+    pos_of.(tid) <- -1;
+    sh.Rshadow.phase.(tid) <- Rshadow.Out;
+    turn := p + 1;
+    flag_writer := tid;
+    Sim.store slots.(idx) 0;
+    Sim.store slots.((idx + 1) mod n_slots) 1
+  in
   {
     name = "ARRAY";
     acquire =
@@ -187,6 +429,9 @@ let array_lock mem ~home_core ~n_slots : Lock_type.t =
         &&
         (my_slot.(tid) <- idx;
          true));
+    acquire_robust;
+    release_robust;
+    rstats = sh.Rshadow.stats;
   }
 
 (* ----------------------------- MUTEX ----------------------------- *)
@@ -201,9 +446,15 @@ let array_lock mem ~home_core ~n_slots : Lock_type.t =
    the coherence protocol, so they live in plain OCaml; each sleeper
    has its own grant-flag line, stored by the releaser, which is how
    the wake-up travels through the memory model.  Lock word: 0 free,
-   1 held, 2 held with (possible) waiters. *)
-let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
-    Lock_type.t =
+   1 held, 2 held with (possible) waiters.
+
+   Robust path: the closest to the real thing — the shadow *is* the
+   kernel's robust bookkeeping.  The owner is recorded with the
+   acquiring CAS/swap; a releaser requeues past dead sleepers; when the
+   owner dies, the head live sleeper claims the mutex with EOWNERDEAD
+   (after pruning dead sleepers ahead of it). *)
+let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core
+    ~n_threads : Lock_type.t =
   let lock = Memory.alloc ~home_core mem in
   let sleepers : int list ref = ref [] in
   let flags : (int, Memory.addr) Hashtbl.t = Hashtbl.create 16 in
@@ -241,6 +492,115 @@ let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
     end
     else wait_flag flag
   in
+  let sh = Rshadow.create n_threads in
+  let owner = ref (-1) in
+  let prune_dead_sleepers () =
+    sleepers :=
+      List.filter
+        (fun t ->
+          if Rshadow.dead sh t then begin
+            Rshadow.excise sh t;
+            false
+          end
+          else true)
+        !sleepers
+  in
+  let acquire_robust ~tid =
+    Rshadow.register sh tid;
+    let det = ref (-1) in
+    Sim.pause 20; (* library call overhead *)
+    let flag = flag_for tid in
+    let fast () =
+      let v = Memory.peek mem lock in
+      v = 0
+      &&
+      (owner := tid;
+       sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+       ignore (Sim.cas lock ~expected:0 ~desired:1);
+       true)
+    in
+    if fast () then Rshadow.grant sh det
+    else begin
+      Sim.store flag 0;
+      let rec enter () =
+        (* the peek decides holder-vs-sleeper in the same plain block
+           the swap issues, so the shadow matches the swap's outcome *)
+        let v = Memory.peek mem lock in
+        if v = 0 then begin
+          owner := tid;
+          sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+          ignore (Sim.swap lock 2);
+          Rshadow.grant sh det
+        end
+        else begin
+          sh.Rshadow.phase.(tid) <- Rshadow.Waiting;
+          sleepers := !sleepers @ [ tid ];
+          ignore (Sim.swap lock 2);
+          Sim.pause syscall_cycles; (* futex_wait entry *)
+          sleep ()
+        end
+      and sleep () =
+        if sh.Rshadow.phase.(tid) = Rshadow.Holder then
+          (* a releaser handed the mutex over while we slept; the flag
+             store may still be in flight (or its writer dead), but the
+             grant itself landed with the releaser's dequeue *)
+          Rshadow.grant sh det
+        else begin
+          ignore (Sim.load flag);
+          if sh.Rshadow.phase.(tid) = Rshadow.Holder then Rshadow.grant sh det
+          else begin
+            let ow = !owner in
+            if
+              ow >= 0 && ow <> tid
+              && Rshadow.dead sh ow
+              && (sh.Rshadow.phase.(ow) = Rshadow.Holder
+                 || sh.Rshadow.phase.(ow) = Rshadow.Releasing)
+            then begin
+              Rshadow.detect det;
+              prune_dead_sleepers ();
+              match !sleepers with
+              | t :: rest when t = tid ->
+                  (* head live sleeper claims the dead owner's mutex *)
+                  sleepers := rest;
+                  Rshadow.claim_holder sh ow;
+                  owner := tid;
+                  sh.Rshadow.phase.(tid) <- Rshadow.Holder;
+                  Sim.store lock 2; (* re-assert HELD|WAITERS *)
+                  Rshadow.grant sh det
+              | _ ->
+                  Sim.pause (syscall_cycles + sleep_cycles);
+                  sleep ()
+            end
+            else begin
+              Sim.pause (syscall_cycles + sleep_cycles);
+              sleep ()
+            end
+          end
+        end
+      in
+      enter ()
+    end
+  in
+  let release_robust ~tid =
+    sh.Rshadow.phase.(tid) <- Rshadow.Releasing;
+    prune_dead_sleepers ();
+    match !sleepers with
+    | [] ->
+        owner := -1;
+        sh.Rshadow.phase.(tid) <- Rshadow.Out;
+        ignore (Sim.swap lock 0)
+    | t :: rest ->
+        (* direct handoff, requeued past any dead sleepers: the grant
+           is effective at this block (shadow owner + phase), the flag
+           store is only the wake-up; a crash before the flag lands is
+           recovered by the grantee's own poll loop *)
+        sleepers := rest;
+        owner := t;
+        sh.Rshadow.phase.(t) <- Rshadow.Holder;
+        sh.Rshadow.phase.(tid) <- Rshadow.Out;
+        Sim.pause syscall_cycles; (* futex_wake *)
+        Sim.store (flag_for t) 1
+  in
   {
     name = "MUTEX";
     acquire =
@@ -263,4 +623,7 @@ let mutex ?(syscall_cycles = 900) ?(sleep_cycles = 1800) mem ~home_core :
       (fun ~tid:_ ->
         Sim.pause 20; (* library call overhead *)
         Sim.cas lock ~expected:0 ~desired:1);
+    acquire_robust;
+    release_robust;
+    rstats = sh.Rshadow.stats;
   }

@@ -116,7 +116,7 @@ let contended_ticket_latency ~base ~threads =
   let p = Platform.opteron in
   let _, mean =
     Harness.run_latency p ~threads ~duration:200_000
-      ~setup:(fun mem -> Spinlocks.ticket ~backoff_base:base mem ~home_core:0)
+      ~setup:(fun mem -> Spinlocks.ticket ~backoff_base:base mem ~home_core:0 ~n_threads:threads)
       ~body:(fun lock _mem ~tid ~deadline ->
         let n = ref 0 and cy = ref 0 in
         while Sim.now () < deadline do

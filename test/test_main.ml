@@ -17,5 +17,6 @@ let () =
       ("kvs", Test_kvs.suite);
       ("extras", Test_extras.suite);
       ("pool", Test_pool.suite);
+      ("robust", Test_robust.suite);
       ("trace", Test_trace.suite);
     ]

@@ -318,6 +318,40 @@ let test_faults_force_polling_fallback () =
   check_int "faults disable parking" 0 parks1;
   check_int "faults disable parking (2nd run)" 0 parks2
 
+(* Latency jitter alone must NOT disable parking: jitter draws are
+   charged per real (non-inert) memory op, parking elides only inert
+   probes, so the parked and polled schedules — including every jitter
+   draw — stay identical, and spinners still park. *)
+let test_jitter_only_keeps_parking () =
+  let p = Platform.opteron in
+  let faults = Fault.jitter ~seed:11 ~cycles:(50, 400) 0.05 in
+  let run ~parking =
+    let r =
+      Harness.run ~faults ~parking p ~threads:12 ~duration:40_000
+        ~setup:(fun mem -> Simlock.create mem p ~n_threads:12 Simlock.Mcs)
+        ~body:(fun lock _mem ~tid ~deadline ->
+          let ops = ref 0 in
+          while Sim.now () < deadline do
+            lock.Lock_type.acquire ~tid;
+            Sim.pause 120;
+            lock.Lock_type.release ~tid;
+            Sim.pause 40;
+            incr ops
+          done;
+          !ops)
+    in
+    (Array.to_list r.Harness.ops, r.Harness.perf, r.Harness.health)
+  in
+  let ops_parked, perf_parked, health_parked = run ~parking:true in
+  let ops_polled, perf_polled, health_polled = run ~parking:false in
+  Alcotest.(check (list int)) "jitter-only: parked = polled" ops_polled
+    ops_parked;
+  check_bool "jitter fired" true (health_parked.Sim.jitter_events > 0);
+  check_int "same jitter draws parked vs polled"
+    health_polled.Sim.jitter_events health_parked.Sim.jitter_events;
+  check_bool "spinners parked under jitter" true (perf_parked.Sim.parks > 0);
+  check_int "polling still parks nothing" 0 perf_polled.Sim.parks
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_coreset_vs_list;
@@ -336,4 +370,6 @@ let suite =
       test_parked_deadlock_drains;
     Alcotest.test_case "faults fall back to literal polling" `Quick
       test_faults_force_polling_fallback;
+    Alcotest.test_case "jitter-only keeps parking exact" `Quick
+      test_jitter_only_keeps_parking;
   ]

@@ -38,16 +38,51 @@ let test_order_parallel () =
 exception Boom of int
 
 let test_exception_lowest_index () =
+  (* A single failing job re-raises its original exception unchanged. *)
+  let one =
+    Array.init 8 (fun i () -> if i = 3 then raise (Boom i) else i)
+  in
+  let got =
+    try
+      ignore (Pool.run ~jobs:4 one);
+      None
+    with Boom i -> Some i
+  in
+  check_bool "single failure re-raised as-is" true (got = Some 3)
+
+let test_exception_aggregation () =
+  (* Several failing jobs are all collected: [Job_failures] carries
+     every (index, exn) pair, lowest index first. *)
   let thunks =
-    Array.init 8 (fun i () -> if i = 3 || i = 5 then raise (Boom i) else i)
+    Array.init 8 (fun i () ->
+        if i = 3 || i = 5 || i = 6 then raise (Boom i) else i)
   in
   let got =
     try
       ignore (Pool.run ~jobs:4 thunks);
       None
-    with Boom i -> Some i
+    with Pool.Job_failures fails -> Some fails
   in
-  check_bool "raised the lowest-indexed failure" true (got = Some 3)
+  match got with
+  | None -> Alcotest.fail "expected Job_failures"
+  | Some fails ->
+      Alcotest.(check (list int))
+        "all failing jobs reported, lowest first" [ 3; 5; 6 ]
+        (List.map fst fails);
+      check_bool "original exceptions preserved" true
+        (List.for_all (fun (i, e) -> e = Boom i) fails);
+      let msg = Printexc.to_string (Pool.Job_failures fails) in
+      let contains needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec at i =
+          i + nl <= ml && (String.sub msg i nl = needle || at (i + 1))
+        in
+        at 0
+      in
+      check_bool "printer aggregates every job's message" true
+        (List.for_all
+           (fun i -> contains (Printf.sprintf "job %d" i))
+           [ 3; 5; 6 ])
 
 let test_invalid_jobs () =
   check_bool "jobs = 0 rejected" true
@@ -229,6 +264,8 @@ let suite =
     Alcotest.test_case "pool: parallel order" `Quick test_order_parallel;
     Alcotest.test_case "pool: lowest-index exception" `Quick
       test_exception_lowest_index;
+    Alcotest.test_case "pool: multi-failure aggregation" `Quick
+      test_exception_aggregation;
     Alcotest.test_case "pool: invalid jobs" `Quick test_invalid_jobs;
     Alcotest.test_case "pool: per-job stats" `Quick test_job_stats_captured;
     Alcotest.test_case "perf arithmetic round-trips" `Quick
