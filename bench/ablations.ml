@@ -131,6 +131,7 @@ let max_pass_render got () =
 (* -------------- placement: packed vs scattered threads ------------- *)
 
 let placement_throughput pid ~threads ~scattered ~duration =
+  Sim.serial_fallback @@ fun () ->
   let p = Platform.get pid in
   let place =
     if not scattered then Platform.place p

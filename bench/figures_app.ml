@@ -16,6 +16,7 @@ let hr title = Printf.printf "\n==== %s ====\n%!" title
 (* Lock-based ssht throughput: [threads] workers over the 80/10/10 mix. *)
 let ssht_lock_throughput pid algo ~threads ~n_buckets ~capacity ~duration :
     float =
+  Sim.serial_fallback @@ fun () ->
   let p = Platform.get pid in
   let sim = Sim.create p in
   let mem = Sim.memory sim in
@@ -52,6 +53,7 @@ let ssht_lock_throughput pid algo ~threads ~n_buckets ~capacity ~duration :
 
 (* Message-passing ssht: one server per three threads (paper's best). *)
 let ssht_mp_throughput pid ~threads ~n_buckets ~capacity ~duration : float =
+  Sim.serial_fallback @@ fun () ->
   let p = Platform.get pid in
   let n_servers = max 1 (threads / 3) in
   let n_clients = max 1 (threads - n_servers) in
@@ -314,6 +316,7 @@ let extra_small_platforms () =
 
 (* STM bank benchmark: lock-based vs message-passing TM2C backends. *)
 let stm_throughput pid backend ~threads ~accounts ~duration : float =
+  Sim.serial_fallback @@ fun () ->
   let p = Platform.get pid in
   let sim = Sim.create p in
   let mem = Sim.memory sim in

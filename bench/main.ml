@@ -18,6 +18,11 @@
      bench/main.exe --jobs N   fan simulation jobs across N domains
                                (default: the machine's recommended
                                domain count; --jobs 1 is fully serial)
+     bench/main.exe --shards N run every simulation sharded (PDES)
+                               across N shards (default 1 = serial).
+                               Output is byte-identical to --shards 1:
+                               workloads the conservative windows
+                               cannot order abort and re-run serially
      bench/main.exe --list     list section names
      bench/main.exe --json     also write per-section engine counters
                                (cpu time, events, parked waiters,
@@ -50,7 +55,8 @@
      bench/main.exe --compare-perf BASELINE FRESH
                                perf guardrail: exit 1 if FRESH shows the
                                simulator regressing vs BASELINE (>25%
-                               drop in simulated cycles per cpu second,
+                               drop in simulated cycles per cpu second
+                               globally or in a non-trivial section,
                                >25% growth in events executed globally
                                or per section, or a section's cpu time
                                blowing up >1.75x and >0.5s); all failing
@@ -135,7 +141,7 @@ let perf_json_fields sp =
     p.Ssync_engine.Sim.sim_cycles
     (sim_mcps ~cpu_s:sp.sp_cpu_s ~sim_cycles:p.Ssync_engine.Sim.sim_cycles)
 
-let write_perf_json ~quick ~jobs ~total_wall sps =
+let write_perf_json ~quick ~jobs ~shards ~total_wall sps =
   let oc = open_out "BENCH_PERF.json" in
   let total =
     List.fold_left
@@ -149,9 +155,9 @@ let write_perf_json ~quick ~jobs ~total_wall sps =
       sps
   in
   output_string oc "[\n";
-  Printf.fprintf oc "{\"mode\":%S,\"jobs\":%d},\n"
+  Printf.fprintf oc "{\"mode\":%S,\"jobs\":%d,\"shards\":%d},\n"
     (if quick then "quick" else "full")
-    jobs;
+    jobs shards;
   List.iter
     (fun sp ->
       Printf.fprintf oc "{\"section\":%S,%s},\n" sp.sp_name
@@ -212,8 +218,9 @@ let section_time line =
 
 type file_perf = {
   fp_mode : string;
-  fp_sections : (string * float * float option) list;
-      (* section -> cpu_s (or wall_s), events when the format has them *)
+  fp_sections : (string * float * float option * float option) list;
+      (* section -> cpu_s (or wall_s), events and sim Mcy/s when the
+         format has them *)
   fp_events : float;
   fp_mcps : float; (* simulated Mcycles per cpu second *)
 }
@@ -243,7 +250,10 @@ let perf_summary path =
         match field_str l "section" with
         | Some name when name <> "total" -> (
             match section_time l with
-            | Some t -> Some (name, t, field_num l "events")
+            | Some t ->
+                Some
+                  (name, t, field_num l "events",
+                   field_num l "sim_mcycles_per_s")
             | None -> None)
         | _ -> None)
       lines
@@ -291,12 +301,12 @@ let compare_perf baseline_path fresh_path =
   if f.fp_mcps < 0.75 *. b.fp_mcps then
     fail "simulated cycles per cpu second dropped >25%% (hot-path slowdown?)";
   List.iter
-    (fun (name, ft, fev) ->
+    (fun (name, ft, fev, fmcps) ->
       match
-        List.find_opt (fun (n, _, _) -> n = name) b.fp_sections
+        List.find_opt (fun (n, _, _, _) -> n = name) b.fp_sections
       with
       | None -> ()
-      | Some (_, bt, bev) ->
+      | Some (_, bt, bev, bmcps) ->
           (* Per-section cpu time, with a deliberately generous
              threshold: the numbers are one-shot wall measurements on a
              possibly noisy host, so only flag a section that both blew
@@ -321,6 +331,19 @@ let compare_perf baseline_path fresh_path =
                 name be fe;
               fail "section %s: events %.0f -> %.0f (limit 1.25x and +1e6)"
                 name be fe
+          | _ -> ());
+          (* Per-section simulator throughput (simulated Mcycles per
+             cpu second): localizes a hot-path slowdown to the section
+             that pays it.  Only sections with a non-trivial baseline
+             cpu budget are judged — tiny sections' one-shot timings
+             are mostly noise. *)
+          (match (bmcps, fmcps) with
+          | Some bm, Some fm when bt >= 0.5 && bm > 0. && fm < 0.75 *. bm ->
+              Printf.printf
+                "  section %-22s %8.1f -> %8.1f sim Mcy/s  (limit -25%%)\n"
+                name bm fm;
+              fail "section %s: sim Mcy/s %.1f -> %.1f (limit -25%%)" name bm
+                fm
           | _ -> ()))
     f.fp_sections;
   match List.rev !failures with
@@ -472,6 +495,24 @@ let () =
     | a :: rest -> a :: strip_jobs rest
   in
   let args = strip_jobs args in
+  let shards = ref 1 in
+  let rec strip_shards = function
+    | [] -> []
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some s when s >= 1 ->
+            shards := s;
+            strip_shards rest
+        | _ ->
+            Printf.eprintf "--shards: expected a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--shards" ] ->
+        Printf.eprintf "--shards: missing shard count\n";
+        exit 2
+    | a :: rest -> a :: strip_shards rest
+  in
+  let args = strip_shards args in
+  Ssync_engine.Sim.default_shards := !shards;
   let trace_file = ref None in
   let rec strip_trace = function
     | [] -> []
@@ -557,5 +598,7 @@ let () =
     let total_wall = Unix.gettimeofday () -. t0 in
     (* stderr, so stdout stays byte-identical across runs and --jobs *)
     Printf.eprintf "\n(total wall time: %.1fs, %d jobs)\n" total_wall !jobs;
-    if json then write_perf_json ~quick ~jobs:!jobs ~total_wall (List.rev !perfs)
+    if json then
+      write_perf_json ~quick ~jobs:!jobs ~shards:!shards ~total_wall
+        (List.rev !perfs)
   end

@@ -19,7 +19,14 @@
    and waiters whose next probe would no longer be inert are woken to
    replay it for real, on the exact virtual-time grid the poll loop
    would have used.  The mechanism is therefore invisible in simulated
-   time; it only collapses O(poll iterations) events into O(1). *)
+   time; it only collapses O(poll iterations) events into O(1).
+
+   For sharded (PDES) execution the mutable per-access scratch state —
+   the cost-model view, the [last_result] out-parameter and the running
+   [Stats.t] — lives in *slots*, one per shard, so concurrent shards
+   never race on it; lines themselves are partitioned by a residency
+   tag and cross-shard accesses are deferred by the engine (see
+   [Sim]).  Serial execution uses slot 0 throughout and is unchanged. *)
 
 open Ssync_platform
 module Trace = Ssync_trace.Trace
@@ -40,6 +47,10 @@ type line = {
          degrade to directed read snoops that steal nothing. *)
   mutable waiters : waiter list; (* parked spinners, FIFO *)
 }
+(* Sharded-execution bookkeeping (residency tags, conflict stamps,
+   peek generations) lives in side arrays on [t], not in the line
+   record: serial runs never touch it, and growing every line by four
+   words measurably hurts the serial hot path's cache footprint. *)
 
 (* A parked spinner: the spin loop [probe; while result = w_while:
    pause w_poll; probe] whose probes are currently inert.  [w_next] is
@@ -62,24 +73,75 @@ and waiter = {
   w_replay : int -> unit;
 }
 
-type t = {
-  platform : Platform.t;
-  mutable lines : line array;
-  mutable n_lines : int;
-  stats : Stats.t;
+(* Per-shard mutable scratch: reused cost-model view, the
+   [last_result] out-parameter and this shard's share of the access
+   statistics.  Serial code uses slot 0; a sharded engine gives each
+   shard its own slot and merges the stats at the end of the run. *)
+type slot = {
   scratch : Cost_model.view;    (* reused for every op_latency call *)
   mutable last_result : int;
       (* result value of the most recent [access_lat] — an out-parameter
          that spares the engine's hot path one tuple allocation per
          memory operation *)
+  stats : Stats.t;
+}
+
+type t = {
+  platform : Platform.t;
+  mutable lines : line array;
+  mutable n_lines : int;
+  (* per-line sharding tags, indexed by address alongside [lines] *)
+  mutable res : int array;      (* resident shard, -1 = unassigned/serial *)
+  mutable stamp_t : int array;  (* latest access key on the line: time... *)
+  mutable stamp_tid : int array; (* ...and the accessing thread *)
+  mutable peek_gens : int array; (* window generation of the last in-window
+                                    peek/poke (cost-free debug access) *)
+  mutable slots : slot array;   (* slots.(0) always exists *)
+  mutable frozen : bool;
+      (* a sharded window is executing: structural mutation (alloc)
+         must abort to the serial path instead of racing *)
+  mutable gen : int;
+      (* window generation, bumped by [freeze t true]; lines record the
+         generation of their last in-window [peek]/[poke] so the
+         coordinator can detect unstamped value reads it would race *)
+  mutable serial_only : bool;
+      (* a workload component declared state the memory model cannot
+         see (e.g. a hardware message queue held in native OCaml data):
+         the line stamps cannot order it, so sharded runs must abort *)
   trace : Trace.t option;
       (* the domain's trace sink, cached at creation time so the
          untraced hot path pays exactly one option match per access *)
 }
 
+exception Sharded_alloc
+(* raised by [alloc] while [frozen]: the engine catches it, aborts the
+   sharded attempt and re-runs serially *)
+
+exception Sharded_violation
+(* raised by [peek]/[poke] from inside a sharded window when the line
+   is resident on another shard: the cost-free debug accessors bypass
+   the engine's residency routing, so a cross-shard one cannot be
+   deferred — the attempt aborts and re-runs serially *)
+
+(* Which shard the calling domain is currently draining (-1 = none:
+   serial execution, or the coordinator between windows).  Domain-local
+   because shard drains run on worker domains. *)
+let exec_sid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let set_exec_sid s = Domain.DLS.set exec_sid_key s
+let exec_sid () = Domain.DLS.get exec_sid_key
+
 let dummy_line =
   { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home = 0;
     value = 0; busy_until = 0; pfw_owner = None; waiters = [] }
+
+let make_slot () =
+  {
+    scratch =
+      { Cost_model.state = Arch.Invalid; owner = None;
+        sharers = Coreset.create (); home = 0 };
+    last_result = 0;
+    stats = Stats.create ();
+  }
 
 let create platform =
   let trace = Trace.current () in
@@ -94,25 +156,79 @@ let create platform =
     platform;
     lines = Array.make 1024 dummy_line;
     n_lines = 0;
-    stats = Stats.create ();
-    scratch =
-      { Cost_model.state = Arch.Invalid; owner = None;
-        sharers = Coreset.create (); home = 0 };
-    last_result = 0;
+    res = Array.make 1024 (-1);
+    stamp_t = Array.make 1024 (-1);
+    stamp_tid = Array.make 1024 (-1);
+    peek_gens = Array.make 1024 (-1);
+    slots = [| make_slot () |];
+    frozen = false;
+    gen = 0;
+    serial_only = false;
     trace;
   }
 
+let require_serial t = t.serial_only <- true
+let serial_required t = t.serial_only
+
 let platform t = t.platform
-let stats t = t.stats
+let stats t = t.slots.(0).stats
 let n_lines t = t.n_lines
 
+(* ------------------------- sharding support ------------------------ *)
+
+let slot t i = t.slots.(i)
+let n_slots t = Array.length t.slots
+
+(* Ensure [n] slots exist (fresh stats in slots >= 1 each call, so a
+   sharded run's per-shard tallies start from zero). *)
+let set_slots t n =
+  let n = max 1 n in
+  let old = Array.length t.slots in
+  if n <> old then begin
+    let slots =
+      Array.init n (fun i -> if i = 0 then t.slots.(0) else make_slot ())
+    in
+    t.slots <- slots
+  end
+  else
+    for i = 1 to n - 1 do
+      t.slots.(i) <- make_slot ()
+    done
+
+(* Fold every shard slot's stats into slot 0 and zero the shard slots:
+   after a sharded run, [stats] reports the same merged totals a serial
+   run accumulates directly.  The slot records themselves stay put, so
+   an engine that cached them per shard can keep using them across
+   runs. *)
+let merge_slots t =
+  let s0 = t.slots.(0).stats in
+  for i = 1 to Array.length t.slots - 1 do
+    Stats.add s0 t.slots.(i).stats;
+    Stats.reset t.slots.(i).stats
+  done
+
+let freeze t b =
+  if b then t.gen <- t.gen + 1;
+  t.frozen <- b
+
 let alloc ?(home_core = 0) ?(value = 0) t : addr =
+  if t.frozen then raise Sharded_alloc;
   Topology.check t.platform.Platform.topo home_core;
   let home = t.platform.Platform.topo.Topology.mem_node_of_core home_core in
   if t.n_lines = Array.length t.lines then begin
-    let bigger = Array.make (2 * Array.length t.lines) dummy_line in
+    let cap = 2 * Array.length t.lines in
+    let bigger = Array.make cap dummy_line in
     Array.blit t.lines 0 bigger 0 t.n_lines;
-    t.lines <- bigger
+    t.lines <- bigger;
+    let grow_tags src =
+      let b = Array.make cap (-1) in
+      Array.blit src 0 b 0 t.n_lines;
+      b
+    in
+    t.res <- grow_tags t.res;
+    t.stamp_t <- grow_tags t.stamp_t;
+    t.stamp_tid <- grow_tags t.stamp_tid;
+    t.peek_gens <- grow_tags t.peek_gens
   end;
   let a = t.n_lines in
   t.lines.(a) <-
@@ -134,14 +250,85 @@ let line t a =
     invalid_arg (Printf.sprintf "Memory.line: address %d out of range" a);
   t.lines.(a)
 
-(* Debug/test access that costs nothing and moves no state. *)
-let peek t a = (line t a).value
-let poke t a v = (line t a).value <- v
+(* Shard residency: every line belongs to one shard; only that shard's
+   threads may touch it inside a window (the engine defers everything
+   else to the inter-window coordinator, which may migrate the line to
+   the requester). *)
+(* Engine-internal callers pass addresses straight out of [alloc], so
+   these rely on the array bounds check alone. *)
+let residency t a = t.res.(a)
+let set_residency t a s = t.res.(a) <- s
 
-(* Refill the scratch view from [l]; [sharers] aliases the line's set,
-   which the cost model only reads. *)
-let view_of_line t (l : line) : Cost_model.view =
-  let v = t.scratch in
+(* Assign residency for lines [from, n_lines) by their home node;
+   returns the new high-water mark.  Called by the coordinator between
+   windows, so lines allocated by deferred (coordinator-run) code get
+   tagged before the next window starts. *)
+let assign_residency t ~shard_of_node ~from =
+  for a = from to t.n_lines - 1 do
+    t.res.(a) <- shard_of_node t.lines.(a).home
+  done;
+  t.n_lines
+
+(* Conflict check + stamp for sharded execution: an access with key
+   [(time, tid)] is serial-order sound only if every access this line
+   has already served has a key at most [(time, tid)] — same-time
+   accesses by *different* threads are ambiguous (their serial order
+   was insertion order, which sharded execution cannot reconstruct), so
+   they conservatively fail.  Returns [false] on violation; the engine
+   aborts the sharded attempt and re-runs serially. *)
+let stamp t a ~time ~tid =
+  let st = t.stamp_t.(a) in
+  if st > time || (st = time && t.stamp_tid.(a) <> tid) then false
+  else begin
+    t.stamp_t.(a) <- time;
+    t.stamp_tid.(a) <- tid;
+    true
+  end
+
+let clear_stamps t =
+  Array.fill t.stamp_t 0 t.n_lines (-1);
+  Array.fill t.stamp_tid 0 t.n_lines (-1)
+
+(* ------------------------------------------------------------------ *)
+
+(* Debug/test access that costs nothing and moves no state.  Simulated
+   bodies use these for cost-free algorithmic reads (e.g. a queue
+   lock's uncontended fast-path check), so under sharded execution they
+   are guarded like real accesses: a cross-shard peek inside a window
+   aborts ([Sharded_violation]), and a resident one marks the line's
+   window generation so the coordinator refuses to touch the line in
+   the same window ([peeked_this_window]) — a peek carries no (time,
+   tid) key, so the ordinary stamp check cannot order it against
+   deferred cross-shard work. *)
+let guard_debug_access t a =
+  if t.frozen then begin
+    let s = Domain.DLS.get exec_sid_key in
+    if s >= 0 then
+      if t.res.(a) <> s then raise Sharded_violation
+      else t.peek_gens.(a) <- t.gen
+  end
+
+let peek t a =
+  let l = line t a in
+  guard_debug_access t a;
+  l.value
+
+let poke t a v =
+  let l = line t a in
+  guard_debug_access t a;
+  l.value <- v
+
+(* Was the line peeked/poked during the current (just-finished) window?
+   Checked by the coordinator before executing a deferred access on the
+   line. *)
+let peeked_this_window t a =
+  ignore (line t a);
+  t.peek_gens.(a) = t.gen
+
+(* Refill the slot's scratch view from [l]; [sharers] aliases the
+   line's set, which the cost model only reads. *)
+let view_of_line (sl : slot) (l : line) : Cost_model.view =
+  let v = sl.scratch in
   v.Cost_model.state <- l.state;
   v.Cost_model.owner <- l.owner;
   v.Cost_model.sharers <- l.sharers;
@@ -187,13 +374,14 @@ let store_buffer_retire = 12
    the literal loop would) and [wake_disturbed] (a parked waiter whose
    probe cost changed must replay for real to stay on the polled
    schedule). *)
-let probe_cost t (l : line) ~core (op : Arch.memop) ~operand ~operand2 =
+let probe_cost t (sl : slot) (l : line) ~core (op : Arch.memop) ~operand
+    ~operand2 =
   let foreign = foreign_reservation l ~core op ~operand ~operand2 in
   let cost_op =
     if foreign then Arch.Load else cost_op_of op ~operand ~operand2
   in
   ( foreign,
-    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
+    t.platform.Platform.op_latency cost_op ~requester:core (view_of_line sl l)
   )
 
 (* Protocol state transition after [core] performs [op].  MOESI
@@ -312,12 +500,12 @@ let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2
    inert.  Returns [false] — and parks nothing — when the probe must
    run for real.  [replay] receives the issue time of the first
    non-elided probe once a real access disturbs the line. *)
-let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
-    ~while_ ~poll ~replay : bool =
+let try_park_in t ~slot:sl ~core ~now (op : Arch.memop) (a : addr) ~operand
+    ~operand2 ~while_ ~poll ~replay : bool =
   let l = line t a in
   if not (probe_inert l ~core op ~operand ~operand2 ~while_) then false
   else begin
-    let foreign, hit = probe_cost t l ~core op ~operand ~operand2 in
+    let foreign, hit = probe_cost t sl l ~core op ~operand ~operand2 in
     let w =
       {
         w_core = core;
@@ -337,6 +525,10 @@ let try_park t ~core ~now (op : Arch.memop) (a : addr) ~operand ~operand2
     true
   end
 
+let try_park t ~core ~now op a ~operand ~operand2 ~while_ ~poll ~replay =
+  try_park_in t ~slot:t.slots.(0) ~core ~now op a ~operand ~operand2 ~while_
+    ~poll ~replay
+
 let waiter_count t a = List.length (line t a).waiters
 
 let probe_would_elide t ~core (op : Arch.memop) (a : addr) ~operand ~operand2
@@ -346,12 +538,12 @@ let probe_would_elide t ~core (op : Arch.memop) (a : addr) ~operand ~operand2
 (* Phase 1, before the access mutates the line: account every elided
    probe that would have issued strictly before [now] under the state
    the line held since the last real access. *)
-let settle_elided t (l : line) ~now =
+let settle_elided t (sl : slot) (l : line) ~now =
   List.iter
     (fun w ->
       if w.w_next < now then begin
         let k = 1 + ((now - 1 - w.w_next) / w.w_step) in
-        Stats.record_elided t.stats w.w_op ~count:k ~latency:w.w_hit
+        Stats.record_elided sl.stats w.w_op ~count:k ~latency:w.w_hit
           ~local:w.w_local;
         (match t.trace with
         | Some tr -> Trace.note_elided tr ~count:k ~cycles:(k * w.w_hit)
@@ -368,7 +560,7 @@ let settle_elided t (l : line) ~now =
    grid point >= [now]; a probe landing exactly on the access time
    observes the post-access state (the access wins the tie).  Wake
    order is park order, so same-time replays are deterministic. *)
-let wake_disturbed t (l : line) =
+let wake_disturbed t (sl : slot) (l : line) =
   match l.waiters with
   | [] -> ()
   | ws ->
@@ -378,7 +570,7 @@ let wake_disturbed t (l : line) =
             probe_inert l ~core:w.w_core w.w_op ~operand:w.w_operand
               ~operand2:w.w_operand2 ~while_:w.w_while
             && snd
-                 (probe_cost t l ~core:w.w_core w.w_op ~operand:w.w_operand
+                 (probe_cost t sl l ~core:w.w_core w.w_op ~operand:w.w_operand
                     ~operand2:w.w_operand2)
                = w.w_hit)
           ws
@@ -390,11 +582,11 @@ let wake_disturbed t (l : line) =
    its *pre-access* state: to the data source when a cached copy
    exists, to the line's home otherwise.  Trace-only; must run before
    [transition] mutates the line (and its aliased sharer set). *)
-let dist_of t ~core (l : line) : Arch.distance =
+let dist_of t (sl : slot) ~core (l : line) : Arch.distance =
   let topo = t.platform.Platform.topo in
-  match Cost_model.source_core topo ~requester:core (view_of_line t l) with
+  match Cost_model.source_core topo ~requester:core (view_of_line sl l) with
   | Some src -> Cost_model.class_to_core topo ~requester:core src
-  | None -> Cost_model.class_to_home topo ~requester:core (view_of_line t l)
+  | None -> Cost_model.class_to_home topo ~requester:core (view_of_line sl l)
 
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
    (completion latency in cycles, result value).  For [Cas], [operand]
@@ -405,9 +597,11 @@ let dist_of t ~core (l : line) : Arch.distance =
    the thread pays only the retire cost while the transfer completes in
    the background).  A prefetchw probe ([Fai], operand 0) either takes
    the line exclusively and reserves it, or — under another core's
-   reservation — degrades to a directed read snoop. *)
-let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
-    (op : Arch.memop) (a : addr) : int =
+   reservation — degrades to a directed read snoop.  [slot] selects the
+   shard's scratch/stats slot; serial callers use the [access_lat]
+   wrapper on slot 0. *)
+let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
+    ~slot:(sl : slot) ~core ~now (op : Arch.memop) (a : addr) : int =
   Topology.check t.platform.Platform.topo core;
   let l = line t a in
   if foreign_reservation l ~core op ~operand ~operand2 then begin
@@ -419,23 +613,23 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
        handoff).  Nothing mutates, so parked waiters are untouched. *)
     let service =
       t.platform.Platform.op_latency Arch.Load ~requester:core
-        (view_of_line t l)
+        (view_of_line sl l)
     in
-    Stats.record t.stats op ~latency:service ~queued:0 ~local:false
+    Stats.record sl.stats op ~latency:service ~queued:0 ~local:false
       ~invalidated:0;
     (match t.trace with
     | Some tr ->
         Trace.emit tr ~ts:now
           (Trace.E_xfer
              { tid = Trace.cur_tid tr; core; op; addr = a; pre = l.state;
-               post = l.state; dist = dist_of t ~core l; lat = service;
+               post = l.state; dist = dist_of t sl ~core l; lat = service;
                service; queued = 0 })
     | None -> ());
-    t.last_result <- l.value;
+    sl.last_result <- l.value;
     service
   end
   else begin
-    if l.waiters <> [] then settle_elided t l ~now;
+    if l.waiters <> [] then settle_elided t sl l ~now;
     let is_pfw = is_pfw_probe op ~operand ~operand2 in
     let posted = op = Arch.Store && operand2 = 1 in
     let cost_op = cost_op_of op ~operand ~operand2 in
@@ -445,13 +639,14 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
     let start = if local || is_pfw then now else max now l.busy_until in
     let queued = start - now in
     let service =
-      t.platform.Platform.op_latency cost_op ~requester:core (view_of_line t l)
+      t.platform.Platform.op_latency cost_op ~requester:core
+        (view_of_line sl l)
     in
     let pre_state = l.state in
     (* pre-transition: the source/sharer set the request actually hit *)
     let tr_dist =
       match t.trace with
-      | Some _ when not local -> dist_of t ~core l
+      | Some _ when not local -> dist_of t sl ~core l
       | _ -> Arch.Same_core
     in
     if not local then
@@ -468,7 +663,7 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
     let latency =
       if posted then min service store_buffer_retire else queued + service
     in
-    Stats.record t.stats op ~latency
+    Stats.record sl.stats op ~latency
       ~queued:(if posted then 0 else queued)
       ~local ~invalidated;
     (match t.trace with
@@ -481,23 +676,28 @@ let access_lat ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t ~core ~now
                  post = l.state; dist = tr_dist; lat = latency; service;
                  queued = (if posted then 0 else queued) })
     | None -> ());
-    if l.waiters <> [] then wake_disturbed t l;
-    t.last_result <- result;
+    if l.waiters <> [] then wake_disturbed t sl l;
+    sl.last_result <- result;
     latency
   end
 
-let last_result t = t.last_result
+let access_lat ?operand ?operand2 ?fetch t ~core ~now op a =
+  access_lat_in ?operand ?operand2 ?fetch t ~slot:t.slots.(0) ~core ~now op a
+
+let last_result t = t.slots.(0).last_result
+let last_result_in (sl : slot) = sl.last_result
 
 let access ?operand ?operand2 ?fetch t ~core ~now (op : Arch.memop) (a : addr)
     : int * int =
   let latency = access_lat ?operand ?operand2 ?fetch t ~core ~now op a in
-  (latency, t.last_result)
+  (latency, last_result t)
 
 (* Expected latency of [op] issued by [core] right now, without doing
    it — used by ccbench to report best-case protocol latencies. *)
 let probe_latency t ~core (op : Arch.memop) (a : addr) : int =
   let l = line t a in
-  t.platform.Platform.op_latency op ~requester:core (view_of_line t l)
+  t.platform.Platform.op_latency op ~requester:core
+    (view_of_line t.slots.(0) l)
 
 (* Test/bench helper: drive a line into a wanted state via real protocol
    transitions, like the real ccbench does ("brings the cache line in

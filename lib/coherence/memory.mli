@@ -32,6 +32,10 @@ type line = {
           prefetchw probes degrade to directed read snoops meanwhile *)
   mutable waiters : waiter list;  (** parked spinners, FIFO *)
 }
+(** Sharded-execution bookkeeping (residency, conflict stamps, peek
+    generations) is held in side arrays indexed by address — see
+    {!residency}, {!stamp}, {!peeked_this_window} — so serial runs pay
+    nothing for it in line-record size. *)
 
 (** A parked spinner of the loop [probe; while result = w_while: pause
     w_poll; probe]: elided probes sit on the virtual-time grid
@@ -57,8 +61,104 @@ type t
 
 val create : Platform.t -> t
 val platform : t -> Platform.t
+
 val stats : t -> Stats.t
+(** Slot-0 statistics.  After a sharded run the engine calls
+    {!merge_slots}, so this reports the same merged totals a serial run
+    accumulates directly. *)
+
 val n_lines : t -> int
+
+(** {1 Sharded (PDES) execution support}
+
+    A sharded engine partitions lines across shards by a residency tag
+    and gives each shard its own {!slot} — the mutable per-access
+    scratch (cost-model view, {!last_result} out-parameter, running
+    stats) that concurrent shards must not share.  Serial execution
+    uses slot 0 throughout.  See [Sim] for the execution model. *)
+
+type slot
+(** Per-shard scratch + stats; obtained from {!slot}. *)
+
+exception Sharded_alloc
+(** Raised by {!alloc} while the memory is {!freeze}-frozen (a sharded
+    window is executing): allocation mutates the line table, which
+    shards cannot do concurrently, so the engine aborts the sharded
+    attempt and re-runs serially. *)
+
+exception Sharded_violation
+(** Raised by {!peek}/{!poke} from inside a sharded window when the
+    line is resident on another shard — the cost-free accessors bypass
+    the engine's deferral machinery, so a cross-shard one forces an
+    abort to the serial path. *)
+
+val require_serial : t -> unit
+(** Declare that the workload holds cross-thread state the memory model
+    cannot see (e.g. a hardware message queue in native OCaml data) —
+    the conflict stamps cannot order it, so sharded runs of this memory
+    must abort to the serial path.  Called by workload constructors
+    (channel setup) before the run starts. *)
+
+val serial_required : t -> bool
+
+val set_exec_sid : int -> unit
+(** Declare which shard the calling domain is currently draining
+    ([-1] = none).  Domain-local. *)
+
+val exec_sid : unit -> int
+
+val peeked_this_window : t -> addr -> bool
+(** Was the line {!peek}ed/{!poke}d during the current window?  The
+    coordinator refuses to run deferred accesses against such a line
+    (the peek carries no ordering key to conflict-check against). *)
+
+val slot : t -> int -> slot
+val n_slots : t -> int
+
+val set_slots : t -> int -> unit
+(** Ensure [n] slots exist; slots >= 1 restart with fresh stats. *)
+
+val merge_slots : t -> unit
+(** Fold every shard slot's stats into slot 0 and zero the shard
+    slots (which stay usable for the next run).  Statistics are sums,
+    so the merged totals equal a serial run's regardless of how
+    accesses were distributed over shards. *)
+
+val freeze : t -> bool -> unit
+(** Toggle the window-in-progress flag checked by {!alloc} and the
+    debug accessors; freezing bumps the window generation used by
+    {!peeked_this_window}. *)
+
+val residency : t -> addr -> int
+val set_residency : t -> addr -> int -> unit
+
+val assign_residency : t -> shard_of_node:(int -> int) -> from:int -> int
+(** Tag lines [\[from, n_lines)] with the shard of their home node;
+    returns the new high-water mark. *)
+
+val stamp : t -> addr -> time:int -> tid:int -> bool
+(** Conflict check + stamp: record that the line served an access with
+    key [(time, tid)].  Returns [false] — without stamping — when the
+    line has already served a later-keyed access (or a same-time access
+    by a different thread, whose serial order is unreconstructable):
+    the sharded schedule has diverged from the serial one and the
+    engine must abort and re-run serially. *)
+
+val clear_stamps : t -> unit
+(** Reset every line's touched stamp (start of a sharded run). *)
+
+val access_lat_in :
+  ?operand:int -> ?operand2:int -> ?fetch:bool -> t -> slot:slot ->
+  core:int -> now:int -> Arch.memop -> addr -> int
+(** {!access_lat} against an explicit shard slot. *)
+
+val last_result_in : slot -> int
+
+val try_park_in :
+  t -> slot:slot -> core:int -> now:int -> Arch.memop -> addr ->
+  operand:int -> operand2:int -> while_:int -> poll:int ->
+  replay:(int -> unit) -> bool
+(** {!try_park} against an explicit shard slot. *)
 
 val alloc : ?home_core:int -> ?value:int -> t -> addr
 (** Allocate one line homed at [home_core]'s memory node (first-touch). *)

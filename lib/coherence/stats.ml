@@ -68,6 +68,21 @@ let add dst src =
   dst.queued_cycles <- dst.queued_cycles + src.queued_cycles;
   dst.elided_probes <- dst.elided_probes + src.elided_probes
 
+(* Zero every field in place — used to reset a shard slot's stats after
+   they have been merged into the run total. *)
+let reset t =
+  let zero c =
+    c.count <- 0;
+    c.cycles <- 0
+  in
+  zero t.loads;
+  zero t.stores;
+  zero t.atomics;
+  t.local_hits <- 0;
+  t.invalidations <- 0;
+  t.queued_cycles <- 0;
+  t.elided_probes <- 0
+
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count
 let total_cycles t = t.loads.cycles + t.stores.cycles + t.atomics.cycles
 

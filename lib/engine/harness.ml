@@ -74,35 +74,39 @@ let run ?(faults = Fault.none) ?parking (platform : Platform.t) ~threads
     invalid_arg
       (Printf.sprintf "Harness.run: %d threads > %d cores on %s" threads
          (Platform.n_cores platform) platform.Platform.name);
-  let sim = Sim.create ~faults ?parking platform in
-  let mem = Sim.memory sim in
-  let shared = setup mem in
-  let ops = Array.make threads 0 in
-  let completed = Array.make threads false in
-  let barrier = Sim.make_barrier threads in
-  let spawn_order = spawn_order ~threads in
-  Array.iter
-    (fun tid ->
-      let core = Platform.place platform tid in
-      Sim.spawn sim ~core (fun () ->
-          Sim.await barrier;
-          let deadline = Sim.now () + duration in
-          ops.(tid) <- body shared mem ~tid ~deadline;
-          completed.(tid) <- true))
-    spawn_order;
-  let _, health = Sim.run_health sim ~until:(duration * 4) in
-  let total_ops = total_of ops in
-  {
-    platform;
-    threads;
-    ops;
-    completed;
-    duration;
-    total_ops;
-    mops = Platform.mops platform ~ops:total_ops ~cycles:duration;
-    health;
-    perf = Sim.perf sim;
-  }
+  (* The attempt is a pure function of the arguments — it builds its
+     own simulation, memory, and result arrays — so a sharded attempt
+     that aborts with [Shard_conflict] is simply re-run serially. *)
+  Sim.serial_fallback (fun () ->
+      let sim = Sim.create ~faults ?parking platform in
+      let mem = Sim.memory sim in
+      let shared = setup mem in
+      let ops = Array.make threads 0 in
+      let completed = Array.make threads false in
+      let barrier = Sim.make_barrier threads in
+      let spawn_order = spawn_order ~threads in
+      Array.iter
+        (fun tid ->
+          let core = Platform.place platform tid in
+          Sim.spawn sim ~core (fun () ->
+              Sim.await barrier;
+              let deadline = Sim.now () + duration in
+              ops.(tid) <- body shared mem ~tid ~deadline;
+              completed.(tid) <- true))
+        spawn_order;
+      let _, health = Sim.run_health sim ~until:(duration * 4) in
+      let total_ops = total_of ops in
+      {
+        platform;
+        threads;
+        ops;
+        completed;
+        duration;
+        total_ops;
+        mops = Platform.mops platform ~ops:total_ops ~cycles:duration;
+        health;
+        perf = Sim.perf sim;
+      })
 
 (* Latency-style harness: like [run] but the body accumulates cycles of
    interest (e.g. acquire+release latency) into its return value

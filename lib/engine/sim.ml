@@ -31,7 +31,45 @@
      timestamps, so [run_health] can report *why* a run ended —
      [Completed] (all threads returned) versus [Stalled] (live threads
      remained at the [until] backstop or deadlocked on an empty queue)
-     — instead of silently discarding the tail of the schedule. *)
+     — instead of silently discarding the tail of the schedule.
+
+   {2 Sharded (PDES) execution}
+
+   With [create ~shards:n] (n > 1) the engine runs conservative-window
+   parallel DES: simulated threads and cache lines are partitioned into
+   shards along topology-node boundaries, each shard owns a private
+   event queue and memory slot, and shards advance together through
+   bounded time windows [w, w + lookahead) where [lookahead] is the
+   minimum cross-node transfer latency of the platform's cost model.
+   Inside a window a shard may touch only lines *resident* on it; any
+   cross-shard interaction — a memory access to a foreign-resident
+   line, a barrier arrival, a parker operation, a wakeup of a foreign
+   waiter — is deferred as a timestamped entry into the shard's outbox
+   and executed by a single-threaded coordinator at the window barrier,
+   in global (time, per-shard FIFO) order, migrating line residency to
+   the requester as it goes.
+
+   The coherence model mutates line state at access-issue time, so the
+   true lookahead on a *shared* line is zero: windows alone cannot make
+   cross-shard interleavings safe.  Soundness therefore comes from
+   conflict detection, not from the window width (which is only a
+   batching heuristic): every access stamps its line with its (time,
+   tid) key and any out-of-order service — including same-time
+   different-thread pairs, whose serial tie-break order (queue
+   insertion order) is unreconstructable across shards — aborts the
+   entire attempt with [Shard_conflict].  Jobs are pure (they build
+   their own [Sim.t]/[Memory.t]), so the engine simply re-runs the job
+   serially ([serial_fallback]); the serial run is the semantics, and
+   a sharded run either produces byte-identical results or aborts.
+   Workloads whose threads genuinely share hot lines (lock contention
+   sweeps) abort immediately and degrade to serial cost; partitioned
+   workloads (per-node data, message passing between windows longer
+   than the lookahead) keep their shards independent and scale.
+
+   Tracing and crash-stop fault injection force [shards = 1] at
+   creation: traces record engine-internal event order, and the
+   crash bookkeeping mutates global state mid-run; both are defined by
+   the serial engine. *)
 
 open Ssync_platform
 open Ssync_coherence
@@ -48,6 +86,7 @@ module Trace = Ssync_trace.Trace
 type thread_state = {
   tid : int;
   core : int;
+  sh : shard; (* the shard this thread executes on (shard 0 serially) *)
   rng : Rng.t; (* this thread's private fault stream *)
   crash_at : int; (* -1 = never *)
   mutable last_progress : int;
@@ -59,6 +98,51 @@ type thread_state = {
   mutable run_ik : unit -> unit;
   mutable run_uk : unit -> unit;
 }
+
+(* One shard of the simulation.  Serial execution is the one-shard
+   special case: shard 0 owns the only queue and the only clock, and
+   every per-shard counter below is simply the engine's counter.
+   Sharded counters are summed by the (single-threaded) run loop at
+   barriers and run end — each worker domain writes only its own
+   shard's fields inside a window, so nothing races. *)
+and shard = {
+  sid : int;
+  q : Event_queue.t;
+  slot : Memory.slot; (* this shard's memory scratch + stats *)
+  popped : Event_queue.popped; (* preallocated pop-out cell *)
+  mutable s_now : int; (* this shard's virtual clock *)
+  mutable s_window_end : int;
+      (* inclusive bound on event times this shard may execute:
+         [max_int] serially, the window end inside a window, [-1] while
+         the coordinator drains outboxes (disables direct-run) *)
+  mutable s_fuel : int; (* consecutive direct-run steps since last pop *)
+  mutable s_events : int; (* logical resumptions: pops + direct-runs *)
+  mutable s_live : int;
+  mutable s_parks : int;
+  mutable s_wakeups : int;
+  mutable s_preempt : int;
+  mutable s_jitter : int;
+  mutable out : outentry list; (* deferred cross-shard work, reversed *)
+}
+
+(* A deferred cross-shard operation: executed by the coordinator at the
+   window barrier, in ascending [o_time] with per-shard FIFO order
+   preserved (the serial tie-break for same-time entries of one shard;
+   same-time entries of *different* shards have no reconstructable
+   serial order — harmless for commuting entries, caught by the line
+   stamps or the parker-order check otherwise). *)
+and outentry = {
+  o_time : int;
+  o_kind : int; (* kind_wake / kind_mem / kind_barrier / kind_parker *)
+  o_addr : int; (* line to migrate to [o_st]'s shard, -1 = none *)
+  o_st : thread_state;
+  o_run : unit -> unit;
+}
+
+let kind_wake = 0
+let kind_mem = 1
+let kind_barrier = 2
+let kind_parker = 3
 
 (* Cumulative engine counters for the benchmark harness's perf report.
    Domain-local: each domain accumulates the simulations it ran itself,
@@ -90,9 +174,13 @@ let counters () = Domain.DLS.get counters_key
 type t = {
   platform : Platform.t;
   mem : Memory.t;
-  events : Event_queue.t;
-  mutable now : int;
-  mutable live_threads : int;
+  shards : shard array; (* at least one; serial execution = exactly one *)
+  nshards : int;
+  use_domains : bool; (* drain shards on worker domains (multicore)? *)
+  lookahead : int; (* window width: min cross-node transfer latency *)
+  mutable in_window : bool;
+  mutable abort : bool; (* a conflict was detected; attempt is doomed *)
+  mutable res_hwm : int; (* lines below this have residency assigned *)
   mutable spawned : int;
   faults : Fault.spec;
   faults_active : bool;
@@ -101,21 +189,10 @@ type t = {
          probes draw nothing (see [event_driven] / [spin_loop]) *)
   parking : bool; (* event-driven waiter wakeup enabled? *)
   tstates : (int, thread_state) Hashtbl.t;
-  mutable preempt_count : int;
-  mutable jitter_count : int;
-  mutable crashed_tids : int list; (* reversed *)
-  (* engine performance counters *)
-  mutable events_run : int;
-  mutable parks : int;
-  mutable wakeups : int;
+  mutable crashed_tids : int list; (* reversed; serial-only mutation *)
   mutable wall_ns : int;
   cum : counters; (* the creating domain's cumulative totals *)
-  (* direct-run bookkeeping (see [resume_int]): the current run's
-     [until] backstop, and a bound on consecutively direct-run steps so
-     long event-free stretches cannot grow the native stack without
-     limit *)
-  mutable run_until : int;
-  mutable direct_fuel : int;
+  mutable run_until : int; (* current run's [until] backstop *)
   trace : Trace.t option;
       (* the domain's trace sink, cached at creation time (zero
          overhead when off: one option match per hook site) *)
@@ -156,45 +233,174 @@ type _ Effect.t +=
        time reaches the victim's crash time, whether or not the crash
        event itself has fired yet *)
 
+exception Simulation_runaway of int
+
+exception Shard_conflict
+(* a sharded attempt detected an interleaving it cannot order serially;
+   the simulation object is dead — re-run the job with [serial_fallback] *)
+
 (* Default for [create]'s [?parking] — lets tests A/B the event-driven
    path against literal polling without threading a flag through every
    harness layer. *)
 let parking_default = ref true
 
+(* Default for [create]'s [?shards] — set by the benchmark driver's
+   [--shards] flag so sharding reaches every [Harness.run] without
+   threading a parameter through the figure pipelines. *)
+let default_shards = ref 1
 
-let create ?(faults = Fault.none) ?parking platform =
+(* Drain shards on worker domains?  Defaults to whether the host has
+   them; tests force [true] to exercise the cross-domain machinery on
+   any host (shards produce identical results either way — inside a
+   window they touch disjoint state, so domain execution order cannot
+   matter). *)
+let shard_domains = ref (Domain.recommended_domain_count () > 1)
+
+(* While set, [create] forces one shard whatever was requested: the
+   retry arm of [serial_fallback]. *)
+let force_serial_key : bool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> false)
+
+let serial_fallback f =
+  try f ()
+  with Shard_conflict ->
+    Domain.DLS.set force_serial_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set force_serial_key false)
+      f
+
+(* The window width: the smallest latency at which one shard's action
+   can affect another, i.e. the platform's minimum cross-node transfer
+   cost.  Sampled as a dirty-line read from core 0 against every
+   foreign-node owner — on all four topologies node 0 has a
+   minimum-distance neighbour, so the scan reaches the global minimum.
+   Width is a batching heuristic only; correctness comes from the line
+   stamps (see the header comment). *)
+let lookahead_of (platform : Platform.t) =
+  let topo = platform.Platform.topo in
+  let v =
+    {
+      Cost_model.state = Arch.Modified;
+      owner = None;
+      sharers = Coreset.create ();
+      home = 0;
+    }
+  in
+  let n0 = topo.Topology.node_of_core 0 in
+  let best = ref max_int in
+  for c2 = 0 to topo.Topology.n_cores - 1 do
+    let n2 = topo.Topology.node_of_core c2 in
+    if n2 <> n0 then begin
+      v.Cost_model.owner <- Some c2;
+      v.Cost_model.home <- n2;
+      let l = Cost_model.op_latency topo Arch.Load ~requester:0 v in
+      if l < !best then best := l
+    end
+  done;
+  if !best = max_int then 64 else max 1 !best
+
+let create ?(faults = Fault.none) ?parking ?shards platform =
   let faults = Fault.validate faults in
   let parking =
     match parking with Some p -> p | None -> !parking_default
   in
+  let requested =
+    match shards with
+    | Some s ->
+        if s < 1 then invalid_arg "Sim.create: shards must be >= 1";
+        s
+    | None -> !default_shards
+  in
+  let trace = Trace.current () in
+  let topo = platform.Platform.topo in
+  (* Crash-stop schedules mutate global bookkeeping mid-run and traces
+     record engine-internal order: both are defined by the serial
+     engine, so they force one shard (identity with serial runs is then
+     trivially preserved rather than checked). *)
+  let nshards =
+    if
+      requested = 1
+      || Domain.DLS.get force_serial_key
+      || trace <> None
+      || faults.Fault.crashes <> []
+    then 1
+    else min requested topo.Topology.n_nodes
+  in
+  let mem = Memory.create platform in
+  Memory.set_slots mem nshards;
+  let shards =
+    Array.init nshards (fun sid ->
+        {
+          sid;
+          q = Event_queue.create ();
+          slot = Memory.slot mem sid;
+          popped = Event_queue.make_popped ();
+          s_now = 0;
+          s_window_end = max_int;
+          s_fuel = 0;
+          s_events = 0;
+          s_live = 0;
+          s_parks = 0;
+          s_wakeups = 0;
+          s_preempt = 0;
+          s_jitter = 0;
+          out = [];
+        })
+  in
   {
     platform;
-    mem = Memory.create platform;
-    events = Event_queue.create ();
-    now = 0;
-    live_threads = 0;
+    mem;
+    shards;
+    nshards;
+    use_domains = nshards > 1 && !shard_domains;
+    lookahead = (if nshards > 1 then lookahead_of platform else 0);
+    in_window = false;
+    abort = false;
+    res_hwm = 0;
     spawned = 0;
     faults;
     faults_active = not (Fault.is_none faults);
     faults_parkable = (not (Fault.is_none faults)) && Fault.parkable faults;
     parking;
     tstates = Hashtbl.create 64;
-    preempt_count = 0;
-    jitter_count = 0;
     crashed_tids = [];
-    events_run = 0;
-    parks = 0;
-    wakeups = 0;
     wall_ns = 0;
     cum = counters ();
     run_until = max_int;
-    direct_fuel = 0;
-    trace = Trace.current ();
+    trace;
   }
 
 let memory t = t.mem
 let platform t = t.platform
-let now_of t = t.now
+let shards_of t = t.nshards
+
+(* The simulation's clock: the furthest shard clock (serially, shard
+   0's).  Shard clocks are only meaningfully comparable between runs /
+   at barriers — which is when this is called. *)
+let now_of t =
+  let n = ref t.shards.(0).s_now in
+  for i = 1 to t.nshards - 1 do
+    if t.shards.(i).s_now > !n then n := t.shards.(i).s_now
+  done;
+  !n
+
+let ev_total t =
+  Array.fold_left (fun acc sh -> acc + sh.s_events) 0 t.shards
+
+let parks_total t =
+  Array.fold_left (fun acc sh -> acc + sh.s_parks) 0 t.shards
+
+let wakeups_total t =
+  Array.fold_left (fun acc sh -> acc + sh.s_wakeups) 0 t.shards
+
+let live_total t =
+  Array.fold_left (fun acc sh -> acc + sh.s_live) 0 t.shards
+
+let shard_for t core =
+  if t.nshards = 1 then t.shards.(0)
+  else
+    t.shards.(t.platform.Platform.topo.Topology.node_of_core core
+              mod t.nshards)
 
 (* Event-driven waiting applies without faults and under jitter-only
    specs.  Jitter draws happen per *real* memory op; an inert probe —
@@ -206,8 +412,20 @@ let now_of t = t.now
 let event_driven t =
   t.parking && ((not t.faults_active) || t.faults_parkable)
 
-let schedule t ~at run =
-  Event_queue.push t.events ~time:(max at t.now) run
+(* Every engine push targets a specific shard's queue at an absolute
+   time.  No clamp against the shard clock: all call sites push at or
+   after the affected thread's logical now, and the coordinator
+   legitimately pushes *behind* a shard's (post-window) clock — the
+   queue accepts regressing pushes. *)
+let sched_on sh ~at run = Event_queue.push sh.q ~time:at run
+
+(* Append a deferred cross-shard operation for the thread's own current
+   step: always called from the thread's own shard, inside a window. *)
+let defer st ~kind ~addr run =
+  let sh = st.sh in
+  sh.out <-
+    { o_time = sh.s_now; o_kind = kind; o_addr = addr; o_st = st; o_run = run }
+    :: sh.out
 
 (* ------------------------------------------------------------------ *)
 (* Operations available *inside* a simulated thread.  Calling them
@@ -319,7 +537,7 @@ let tid_crashed tid = Effect.perform (E_dead tid)
 let trace_fault t st kind cycles =
   match t.trace with
   | Some tr ->
-      Trace.emit tr ~ts:t.now
+      Trace.emit tr ~ts:st.sh.s_now
         (Trace.E_fault { tid = st.tid; kind; cycles })
   | None -> ()
 
@@ -327,20 +545,21 @@ let fault_extra t st ~mem_op =
   if not t.faults_active then 0
   else begin
     let f = t.faults in
+    let sh = st.sh in
     let extra = ref 0 in
     if mem_op && f.Fault.jitter_prob > 0.
        && Rng.float st.rng < f.Fault.jitter_prob
     then begin
       let cy = Fault.sample st.rng f.Fault.jitter_cycles in
       extra := !extra + cy;
-      t.jitter_count <- t.jitter_count + 1;
+      sh.s_jitter <- sh.s_jitter + 1;
       trace_fault t st Trace.Jitter cy
     end;
     if f.Fault.preempt_prob > 0. && Rng.float st.rng < f.Fault.preempt_prob
     then begin
       let cy = Fault.sample st.rng f.Fault.preempt_cycles in
       extra := !extra + cy;
-      t.preempt_count <- t.preempt_count + 1;
+      sh.s_preempt <- sh.s_preempt + 1;
       trace_fault t st Trace.Preempt cy
     end;
     !extra
@@ -352,19 +571,20 @@ let fault_extra t st ~mem_op =
    never-to-happen step would fall past the [until] backstop).  A
    crash-stopped thread is simply never resumed: no unwinding, no
    cleanup — whatever it holds stays held, which is what crash-stop
-   means. *)
+   means.  Crash schedules imply one shard (see [create]). *)
 let crash_sched t st ~at f =
+  let sh = st.sh in
   if st.crash_at >= 0 && (not st.crashed) && at >= st.crash_at then
-    schedule t ~at:(max t.now st.crash_at) (fun () ->
+    sched_on sh ~at:(max sh.s_now st.crash_at) (fun () ->
         if not st.crashed then begin
           st.crashed <- true;
           t.crashed_tids <- st.tid :: t.crashed_tids;
-          t.live_threads <- t.live_threads - 1;
+          sh.s_live <- sh.s_live - 1;
           trace_fault t st Trace.Crash 0
         end)
   else
-    schedule t ~at (fun () ->
-        st.last_progress <- t.now;
+    sched_on sh ~at (fun () ->
+        st.last_progress <- sh.s_now;
         f ())
 
 let resume : type a.
@@ -374,22 +594,28 @@ let resume : type a.
 
 (* Direct-run: a resumption may skip the event queue entirely and
    continue the thread synchronously when nothing can observe the
-   difference — no faults active (fault draws key off event shapes), the
-   completion time does not cross the run's [until] backstop (the queue
-   would have dropped it), and it falls *strictly* before every queued
-   event (so no other event could interleave, and same-time FIFO order
-   is preserved).  Timestamps, access order and results are exactly
-   those of the queued schedule; only the per-operation queue round
-   trip — and its event count — disappears.  [direct_fuel], reset at
-   every real event pop, bounds consecutive synchronous continues so an
-   event-free stretch cannot grow the native stack without limit. *)
+   difference — no faults active (fault draws key off event shapes),
+   the completion time does not cross the run's [until] backstop (the
+   queue would have dropped it) nor the shard's window end, and it
+   falls *strictly* before every event queued on the shard (so no
+   other event could interleave, and same-time FIFO order is
+   preserved).  Timestamps, access order and results are exactly those
+   of the queued schedule; only the per-operation queue round trip
+   disappears.  Both a queue pop and a direct-run continue count as
+   one logical resumption in [s_events], so the events counter is an
+   execution-strategy-independent measure — serial and sharded runs
+   report identical totals even though they make different direct-run
+   decisions.  [s_fuel], reset at every real event pop, bounds
+   consecutive synchronous continues so an event-free stretch cannot
+   grow the native stack without limit. *)
 let direct_fuel_max = 1000
 
-let can_direct t ~at =
+let can_direct t sh ~at =
   (not t.faults_active)
   && at <= t.run_until
-  && t.direct_fuel < direct_fuel_max
-  && at < Event_queue.next_time t.events
+  && at <= sh.s_window_end
+  && sh.s_fuel < direct_fuel_max
+  && at < Event_queue.next_time sh.q
 
 (* Hot-path resumptions: when the thread cannot crash, either continue
    it directly (see above) or park the continuation in its [pend_*]
@@ -402,49 +628,83 @@ let can_direct t ~at =
    so continuing synchronously cannot re-enter the memory model. *)
 let resume_int t st (k : (int, unit) Effect.Deep.continuation) ~at v =
   if st.crash_at >= 0 then resume t st k ~at v
-  else if can_direct t ~at then begin
-    t.direct_fuel <- t.direct_fuel + 1;
-    t.now <- at;
-    st.last_progress <- at;
-    Effect.Deep.continue k v
-  end
   else begin
-    st.pend_ik <- Some k;
-    st.pend_iv <- v;
-    schedule t ~at st.run_ik
+    let sh = st.sh in
+    if can_direct t sh ~at then begin
+      sh.s_fuel <- sh.s_fuel + 1;
+      sh.s_events <- sh.s_events + 1;
+      sh.s_now <- at;
+      st.last_progress <- at;
+      Effect.Deep.continue k v
+    end
+    else begin
+      st.pend_ik <- Some k;
+      st.pend_iv <- v;
+      sched_on sh ~at st.run_ik
+    end
   end
 
 (* Unit-typed completion of the thread's own step (pause): direct-run
    capable, like [resume_int]. *)
 let resume_unit_direct t st (k : (unit, unit) Effect.Deep.continuation) ~at =
   if st.crash_at >= 0 then resume t st k ~at ()
-  else if can_direct t ~at then begin
-    t.direct_fuel <- t.direct_fuel + 1;
-    t.now <- at;
-    st.last_progress <- at;
-    Effect.Deep.continue k ()
-  end
   else begin
-    st.pend_uk <- Some k;
-    schedule t ~at st.run_uk
+    let sh = st.sh in
+    if can_direct t sh ~at then begin
+      sh.s_fuel <- sh.s_fuel + 1;
+      sh.s_events <- sh.s_events + 1;
+      sh.s_now <- at;
+      st.last_progress <- at;
+      Effect.Deep.continue k ()
+    end
+    else begin
+      st.pend_uk <- Some k;
+      sched_on sh ~at st.run_uk
+    end
   end
 
 (* Wakeups issued on behalf of *other* threads (barriers, parkers):
    always scheduled, because the issuing handler may wake several
    threads at one captured timestamp — running one synchronously would
-   advance the clock under the others' feet. *)
+   advance the clock under the others' feet.  Sharded, these run only
+   at the coordinator (the issuing operations are deferred), so pushing
+   onto the target thread's shard queue never races. *)
 let resume_unit t st (k : (unit, unit) Effect.Deep.continuation) ~at =
   if st.crash_at >= 0 then resume t st k ~at ()
   else begin
     st.pend_uk <- Some k;
-    schedule t ~at st.run_uk
+    sched_on st.sh ~at st.run_uk
   end
 
 (* Schedule a preallocated engine-internal step ([f] updates
    [last_progress] itself at entry) without wrapping it in a fresh
    closure unless the crash path demands it. *)
-let sched_step t st ~at f =
-  if st.crash_at >= 0 then crash_sched t st ~at f else schedule t ~at f
+let sched_step _t st ~at f =
+  if st.crash_at >= 0 then crash_sched _t st ~at f else sched_on st.sh ~at f
+
+(* Sharded memory operation: defer to the coordinator when the line is
+   foreign-resident (the coordinator migrates it here), stamp-check
+   otherwise, then perform the access against this shard's slot.  Also
+   the body of coordinator-run deferred accesses — the coordinator sets
+   [st.sh.s_now] to the entry's captured time first, and [in_window] is
+   false there, so the access executes directly. *)
+let rec mem_sharded t st (k : (int, unit) Effect.Deep.continuation) op a
+    ~operand ~operand2 ~fetch =
+  let sh = st.sh in
+  if t.in_window && Memory.residency t.mem a <> sh.sid then
+    defer st ~kind:kind_mem ~addr:a (fun () ->
+        mem_sharded t st k op a ~operand ~operand2 ~fetch)
+  else if not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid) then
+    t.abort <- true
+  else begin
+    let latency =
+      Memory.access_lat_in t.mem ~slot:sh.slot ~core:st.core ~now:sh.s_now op
+        a ~operand ~operand2 ~fetch
+    in
+    let v = Memory.last_result_in sh.slot in
+    let latency = latency + fault_extra t st ~mem_op:true in
+    resume_int t st k ~at:(sh.s_now + latency) v
+  end
 
 (* The [E_spin] state machine.  Invoked with the thread suspended right
    after observing [while_]; the first probe issues at [now + poll],
@@ -455,61 +715,168 @@ let sched_step t st ~at f =
 let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
     ~operand2 ~while_ ~poll =
   let core = st.core in
+  let sh = st.sh in
   (* [probe] and [continue_spin] are allocated once per spin episode and
      update [last_progress] themselves, so the per-probe steps schedule
-     them directly ([sched_step]) with no wrapper closure. *)
+     them directly ([sched_step]) with no wrapper closure.  Both defer
+     themselves whole when the line is foreign-resident: the
+     coordinator re-runs the closure with [s_now] set to the deferral
+     time, so the captured [sh.s_now] reads stay correct. *)
   let rec probe () =
-    (* [t.now] is the probe's issue time *)
-    st.last_progress <- t.now;
-    (match t.trace with Some tr -> Trace.set_tid tr st.tid | None -> ());
-    (* Under a jitter-only spec an inert probe consumes no fault draw:
-       parking elides exactly the inert probes, so charging draws only
-       to non-inert probes keeps the per-thread draw sequence — and so
-       the whole schedule — identical parked or polled. *)
-    let inert =
-      t.faults_parkable
-      && Memory.probe_would_elide t.mem ~core op a ~operand ~operand2
-           ~while_
-    in
-    let latency =
-      Memory.access_lat t.mem ~core ~now:t.now op a ~operand ~operand2
-    in
-    let x = Memory.last_result t.mem in
-    let latency =
-      if inert then latency else latency + fault_extra t st ~mem_op:true
-    in
-    if x <> while_ then resume_int t st k ~at:(t.now + latency) x
-    else sched_step t st ~at:(t.now + latency) continue_spin
-  and continue_spin () =
-    (* [t.now] is the completion time of a probe that returned
-       [while_]; emulate [pause poll; probe] — or park. *)
-    st.last_progress <- t.now;
-    if
-      event_driven t
-      && Memory.try_park t.mem ~core ~now:t.now op a ~operand ~operand2
-           ~while_ ~poll ~replay:(fun at ->
-             t.wakeups <- t.wakeups + 1;
-             t.cum.c_wakeups <- t.cum.c_wakeups + 1;
-             (match t.trace with
-             | Some tr ->
-                 Trace.emit tr ~ts:at (Trace.E_wake { tid = st.tid; addr = a })
-             | None -> ());
-             sched_step t st ~at probe)
-    then begin
-      t.parks <- t.parks + 1;
-      t.cum.c_parks <- t.cum.c_parks + 1;
-      match t.trace with
-      | Some tr ->
-          Trace.emit tr ~ts:t.now (Trace.E_park { tid = st.tid; addr = a })
-      | None -> ()
-    end
-    else if poll = 0 then probe ()
+    if t.nshards > 1 && t.in_window && Memory.residency t.mem a <> sh.sid
+    then defer st ~kind:kind_mem ~addr:a probe
     else begin
-      let cy = max 1 poll + fault_extra t st ~mem_op:false in
-      sched_step t st ~at:(t.now + cy) probe
+      (* [sh.s_now] is the probe's issue time *)
+      st.last_progress <- sh.s_now;
+      (match t.trace with Some tr -> Trace.set_tid tr st.tid | None -> ());
+      if
+        t.nshards > 1
+        && not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid)
+      then t.abort <- true
+      else begin
+        (* Under a jitter-only spec an inert probe consumes no fault
+           draw: parking elides exactly the inert probes, so charging
+           draws only to non-inert probes keeps the per-thread draw
+           sequence — and so the whole schedule — identical parked or
+           polled. *)
+        let inert =
+          t.faults_parkable
+          && Memory.probe_would_elide t.mem ~core op a ~operand ~operand2
+               ~while_
+        in
+        let latency =
+          Memory.access_lat_in t.mem ~slot:sh.slot ~core ~now:sh.s_now op a
+            ~operand ~operand2
+        in
+        let x = Memory.last_result_in sh.slot in
+        let latency =
+          if inert then latency else latency + fault_extra t st ~mem_op:true
+        in
+        if x <> while_ then resume_int t st k ~at:(sh.s_now + latency) x
+        else sched_step t st ~at:(sh.s_now + latency) continue_spin
+      end
+    end
+  and continue_spin () =
+    if t.nshards > 1 && t.in_window && Memory.residency t.mem a <> sh.sid
+    then defer st ~kind:kind_mem ~addr:a continue_spin
+    else begin
+      (* [sh.s_now] is the completion time of a probe that returned
+         [while_]; emulate [pause poll; probe] — or park. *)
+      st.last_progress <- sh.s_now;
+      if
+        t.nshards > 1
+        && not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid)
+      then t.abort <- true
+      else if
+        event_driven t
+        && Memory.try_park_in t.mem ~slot:sh.slot ~core ~now:sh.s_now op a
+             ~operand ~operand2 ~while_ ~poll ~replay:(fun at ->
+               (* [replay] may fire from whichever shard's access
+                  disturbed the line: foreign wakes are deferred into
+                  the *executing* shard's outbox (its own counter takes
+                  the wakeup — totals match the serial count), the
+                  coordinator and same-shard wakes push directly. *)
+               if t.nshards > 1 && t.in_window then begin
+                 let esid = Memory.exec_sid () in
+                 if esid >= 0 && esid <> sh.sid then begin
+                   let esh = t.shards.(esid) in
+                   esh.s_wakeups <- esh.s_wakeups + 1;
+                   esh.out <-
+                     {
+                       o_time = at;
+                       o_kind = kind_wake;
+                       o_addr = -1;
+                       o_st = st;
+                       o_run = (fun () -> sched_step t st ~at probe);
+                     }
+                     :: esh.out
+                 end
+                 else begin
+                   sh.s_wakeups <- sh.s_wakeups + 1;
+                   sched_step t st ~at probe
+                 end
+               end
+               else begin
+                 sh.s_wakeups <- sh.s_wakeups + 1;
+                 (match t.trace with
+                 | Some tr ->
+                     Trace.emit tr ~ts:at
+                       (Trace.E_wake { tid = st.tid; addr = a })
+                 | None -> ());
+                 sched_step t st ~at probe
+               end)
+      then begin
+        sh.s_parks <- sh.s_parks + 1;
+        match t.trace with
+        | Some tr ->
+            Trace.emit tr ~ts:sh.s_now
+              (Trace.E_park { tid = st.tid; addr = a })
+        | None -> ()
+      end
+      else if poll = 0 then probe ()
+      else begin
+        let cy = max 1 poll + fault_extra t st ~mem_op:false in
+        sched_step t st ~at:(sh.s_now + cy) probe
+      end
     end
   in
   continue_spin ()
+
+(* Barrier arrival: runs in-window serially, at the coordinator when
+   sharded (so the shared barrier record is never mutated
+   concurrently).  The releasing arrival is the latest-timed one, so
+   executing arrivals in ascending time order wakes every waiter at the
+   serial release time. *)
+let barrier_arrive t st (k : (unit, unit) Effect.Deep.continuation) b =
+  let at = st.sh.s_now in
+  st.last_progress <- at;
+  b.arrived <- b.arrived + 1;
+  if b.arrived >= b.expected then begin
+    let to_wake = b.waiters in
+    b.waiters <- [];
+    b.arrived <- 0;
+    List.iter (fun (wst, w) -> resume_unit t wst w ~at) to_wake;
+    resume_unit t st k ~at
+  end
+  else b.waiters <- (st, k) :: b.waiters
+
+(* Parker seat/wake logic, shared by the serial path and the
+   coordinator-deferred one. *)
+let park_seat t st (k : (unit, unit) Effect.Deep.continuation) pk poll =
+  let sh = st.sh in
+  if event_driven t then begin
+    if pk.seat <> None then invalid_arg "Sim.park: parker already occupied";
+    pk.seat <- Some (st, k);
+    pk.seat_at <- sh.s_now;
+    pk.seat_poll <- poll;
+    sh.s_parks <- sh.s_parks + 1;
+    match t.trace with
+    | Some tr ->
+        Trace.emit tr ~ts:sh.s_now (Trace.E_park { tid = st.tid; addr = -1 })
+    | None -> ()
+  end
+  else begin
+    (* literal polling: one pause quantum, the caller's loop re-checks *)
+    let cy = max 1 poll + fault_extra t st ~mem_op:false in
+    resume_unit t st k ~at:(sh.s_now + cy)
+  end
+
+let unpark_wake t st pk =
+  match pk.seat with
+  | Some (wst, wk) ->
+      pk.seat <- None;
+      (* first poll-grid point after the state change *)
+      let dt = st.sh.s_now - pk.seat_at in
+      let steps = max 1 ((dt + pk.seat_poll - 1) / pk.seat_poll) in
+      st.sh.s_wakeups <- st.sh.s_wakeups + 1;
+      (match t.trace with
+      | Some tr ->
+          Trace.emit tr
+            ~ts:(pk.seat_at + (steps * pk.seat_poll))
+            (Trace.E_wake { tid = wst.tid; addr = -1 })
+      | None -> ());
+      resume_unit t wst wk ~at:(pk.seat_at + (steps * pk.seat_poll))
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -517,14 +884,16 @@ let spawn t ~core body =
   Topology.check t.platform.Platform.topo core;
   let tid = t.spawned in
   t.spawned <- tid + 1;
-  t.live_threads <- t.live_threads + 1;
+  let sh = shard_for t core in
+  sh.s_live <- sh.s_live + 1;
   let st =
     {
       tid;
       core;
+      sh;
       rng = Fault.stream t.faults ~tid;
       crash_at = Fault.crash_time t.faults ~tid;
-      last_progress = t.now;
+      last_progress = now_of t;
       finished = false;
       crashed = false;
       pend_ik = None;
@@ -536,7 +905,7 @@ let spawn t ~core body =
   in
   st.run_ik <-
     (fun () ->
-      st.last_progress <- t.now;
+      st.last_progress <- sh.s_now;
       match st.pend_ik with
       | Some k ->
           st.pend_ik <- None;
@@ -544,7 +913,7 @@ let spawn t ~core body =
       | None -> ());
   st.run_uk <-
     (fun () ->
-      st.last_progress <- t.now;
+      st.last_progress <- sh.s_now;
       match st.pend_uk with
       | Some k ->
           st.pend_uk <- None;
@@ -552,7 +921,7 @@ let spawn t ~core body =
       | None -> ());
   Hashtbl.replace t.tstates tid st;
   (match t.trace with
-  | Some tr -> Trace.emit tr ~ts:t.now (Trace.E_thread { tid; core })
+  | Some tr -> Trace.emit tr ~ts:sh.s_now (Trace.E_thread { tid; core })
   | None -> ());
   let open Effect.Deep in
   let handler : (unit, unit) handler =
@@ -560,8 +929,8 @@ let spawn t ~core body =
       retc =
         (fun () ->
           st.finished <- true;
-          st.last_progress <- t.now;
-          t.live_threads <- t.live_threads - 1);
+          st.last_progress <- sh.s_now;
+          sh.s_live <- sh.s_live - 1);
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -569,29 +938,40 @@ let spawn t ~core body =
           | E_mem (op, a, op1, op2) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  (match t.trace with
-                  | Some tr -> Trace.set_tid tr tid
-                  | None -> ());
-                  let latency =
-                    Memory.access_lat t.mem ~core ~now:t.now op a ~operand:op1
-                      ~operand2:op2
-                  in
-                  let v = Memory.last_result t.mem in
-                  let latency = latency + fault_extra t st ~mem_op:true in
-                  resume_int t st k ~at:(t.now + latency) v)
+                  if t.nshards = 1 then begin
+                    (match t.trace with
+                    | Some tr -> Trace.set_tid tr tid
+                    | None -> ());
+                    let latency =
+                      Memory.access_lat_in t.mem ~slot:sh.slot ~core
+                        ~now:sh.s_now op a ~operand:op1 ~operand2:op2
+                    in
+                    let v = Memory.last_result_in sh.slot in
+                    let latency = latency + fault_extra t st ~mem_op:true in
+                    resume_int t st k ~at:(sh.s_now + latency) v
+                  end
+                  else
+                    mem_sharded t st k op a ~operand:op1 ~operand2:op2
+                      ~fetch:false)
           | E_casf (a, expected, desired) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  (match t.trace with
-                  | Some tr -> Trace.set_tid tr tid
-                  | None -> ());
-                  let latency =
-                    Memory.access_lat t.mem ~core ~now:t.now Arch.Cas a
-                      ~operand:expected ~operand2:desired ~fetch:true
-                  in
-                  let v = Memory.last_result t.mem in
-                  let latency = latency + fault_extra t st ~mem_op:true in
-                  resume_int t st k ~at:(t.now + latency) v)
+                  if t.nshards = 1 then begin
+                    (match t.trace with
+                    | Some tr -> Trace.set_tid tr tid
+                    | None -> ());
+                    let latency =
+                      Memory.access_lat_in t.mem ~slot:sh.slot ~core
+                        ~now:sh.s_now Arch.Cas a ~operand:expected
+                        ~operand2:desired ~fetch:true
+                    in
+                    let v = Memory.last_result_in sh.slot in
+                    let latency = latency + fault_extra t st ~mem_op:true in
+                    resume_int t st k ~at:(sh.s_now + latency) v
+                  end
+                  else
+                    mem_sharded t st k Arch.Cas a ~operand:expected
+                      ~operand2:desired ~fetch:true)
           | E_spin (op, a, op1, op2, while_, poll) ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -601,71 +981,35 @@ let spawn t ~core body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   let cycles = max 1 cycles + fault_extra t st ~mem_op:false in
-                  resume_unit_direct t st k ~at:(t.now + cycles))
+                  resume_unit_direct t st k ~at:(sh.s_now + cycles))
           | E_now ->
-              Some (fun (k : (a, unit) continuation) -> continue k t.now)
+              Some (fun (k : (a, unit) continuation) -> continue k sh.s_now)
           | E_self ->
               Some (fun (k : (a, unit) continuation) -> continue k (core, tid))
           | E_barrier b ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  st.last_progress <- t.now;
-                  b.arrived <- b.arrived + 1;
-                  if b.arrived >= b.expected then begin
-                    let to_wake = b.waiters in
-                    b.waiters <- [];
-                    b.arrived <- 0;
-                    List.iter
-                      (fun (wst, w) -> resume_unit t wst w ~at:t.now)
-                      to_wake;
-                    resume_unit t st k ~at:t.now
-                  end
-                  else b.waiters <- (st, k) :: b.waiters)
+                  if t.nshards > 1 && t.in_window then
+                    defer st ~kind:kind_barrier ~addr:(-1) (fun () ->
+                        barrier_arrive t st k b)
+                  else barrier_arrive t st k b)
           | E_park (pk, poll) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  if event_driven t then begin
-                    if pk.seat <> None then
-                      invalid_arg "Sim.park: parker already occupied";
-                    pk.seat <- Some (st, k);
-                    pk.seat_at <- t.now;
-                    pk.seat_poll <- poll;
-                    t.parks <- t.parks + 1;
-                    t.cum.c_parks <- t.cum.c_parks + 1;
-                    match t.trace with
-                    | Some tr ->
-                        Trace.emit tr ~ts:t.now
-                          (Trace.E_park { tid = st.tid; addr = -1 })
-                    | None -> ()
-                  end
-                  else begin
-                    (* literal polling: one pause quantum, the caller's
-                       loop re-checks *)
-                    let cy = max 1 poll + fault_extra t st ~mem_op:false in
-                    resume_unit t st k ~at:(t.now + cy)
-                  end)
+                  if t.nshards > 1 && t.in_window then
+                    defer st ~kind:kind_parker ~addr:(-1) (fun () ->
+                        park_seat t st k pk poll)
+                  else park_seat t st k pk poll)
           | E_unpark pk ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  (match pk.seat with
-                  | Some (wst, wk) ->
-                      pk.seat <- None;
-                      (* first poll-grid point after the state change *)
-                      let dt = t.now - pk.seat_at in
-                      let steps =
-                        max 1 ((dt + pk.seat_poll - 1) / pk.seat_poll)
-                      in
-                      t.wakeups <- t.wakeups + 1;
-                      t.cum.c_wakeups <- t.cum.c_wakeups + 1;
-                      (match t.trace with
-                      | Some tr ->
-                          Trace.emit tr
-                            ~ts:(pk.seat_at + (steps * pk.seat_poll))
-                            (Trace.E_wake { tid = wst.tid; addr = -1 })
-                      | None -> ());
-                      resume_unit t wst wk
-                        ~at:(pk.seat_at + (steps * pk.seat_poll))
-                  | None -> ());
+                  (* the seat processing is deferred; the caller itself
+                     continues immediately — unpark is costless for it
+                     in either mode *)
+                  if t.nshards > 1 && t.in_window then
+                    defer st ~kind:kind_parker ~addr:(-1) (fun () ->
+                        unpark_wake t st pk)
+                  else unpark_wake t st pk;
                   continue k ())
           | E_evd ->
               Some
@@ -678,18 +1022,16 @@ let spawn t ~core body =
                     match Hashtbl.find_opt t.tstates qtid with
                     | Some qst ->
                         qst.crashed
-                        || (qst.crash_at >= 0 && t.now >= qst.crash_at)
+                        || (qst.crash_at >= 0 && sh.s_now >= qst.crash_at)
                     | None -> false
                   in
                   continue k dead)
           | _ -> None);
     }
   in
-  schedule t ~at:t.now (fun () ->
-      st.last_progress <- t.now;
+  sched_on sh ~at:(now_of t) (fun () ->
+      st.last_progress <- sh.s_now;
       match_with body () handler)
-
-exception Simulation_runaway of int
 
 (* ------------------------------------------------------------------ *)
 (* Run loop and watchdog. *)
@@ -748,42 +1090,262 @@ let most_stalled t =
   done;
   !best
 
-(* Run the simulation until no events remain.  [until] stops the run at
-   that virtual time (a backstop against threads that spin forever);
-   [max_events] bounds total event count.  Returns the final time plus a
-   structured health record: [Completed] when every thread returned,
-   [Stalled] when live threads remained — either because the [until]
-   backstop dropped their pending events or because the queue drained
-   with threads still blocked (a deadlock, e.g. a barrier that never
-   fills, a lock whose holder crash-stopped, or a parked waiter no
-   access will ever wake). *)
-let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
-  let wall_start = Unix.gettimeofday () in
-  let start_now = t.now in
-  let start_elided = (Memory.stats t.mem).Stats.elided_probes in
-  let executed = ref 0 in
-  let dropped = ref 0 in
+(* ----------------------- sharded run loop ------------------------- *)
+
+(* Drain one shard up to its window end.  Runs on a worker domain (or
+   the main one); touches only this shard's queue/clock/slot and
+   resident lines, so shards never race.  Any exception — a stamp
+   violation surfacing as [Memory.Sharded_violation], a mid-window
+   [Memory.Sharded_alloc], or user code failing — dooms the attempt;
+   the serial re-run reproduces (or avoids) it with serial
+   semantics. *)
+let drain_window t sh =
+  let p = sh.popped in
   let continue_run = ref true in
-  let p = Event_queue.make_popped () in
-  t.run_until <- until;
-  while !continue_run do
-    if not (Event_queue.pop_into t.events p) then continue_run := false
-    else if p.Event_queue.p_time > until then begin
-      (* the popped event plus everything still queued is discarded *)
-      dropped := 1 + Event_queue.length t.events;
+  while !continue_run && not t.abort do
+    if Event_queue.next_time sh.q > sh.s_window_end then continue_run := false
+    else begin
+      ignore (Event_queue.pop_into sh.q p);
+      sh.s_fuel <- 0;
+      sh.s_events <- sh.s_events + 1;
+      sh.s_now <- p.Event_queue.p_time;
+      p.Event_queue.p_run ()
+    end
+  done
+
+let drain_window_safe t sh =
+  Memory.set_exec_sid sh.sid;
+  (try drain_window t sh with _ -> t.abort <- true);
+  Memory.set_exec_sid (-1)
+
+(* A persistent worker-domain crew, one domain per shard beyond the
+   first, driven window-by-window over a mutex/condition pair (no busy
+   waiting: the host may have fewer cores than shards). *)
+type crew = {
+  cm : Mutex.t;
+  c_go : Condition.t;
+  c_done : Condition.t;
+  mutable c_epoch : int;
+  mutable c_done_n : int;
+  mutable c_quit : bool;
+}
+
+let crew_worker t cr sid () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock cr.cm;
+    while cr.c_epoch = !seen && not cr.c_quit do
+      Condition.wait cr.c_go cr.cm
+    done;
+    if cr.c_quit then begin
+      running := false;
+      Mutex.unlock cr.cm
+    end
+    else begin
+      seen := cr.c_epoch;
+      Mutex.unlock cr.cm;
+      drain_window_safe t t.shards.(sid);
+      Mutex.lock cr.cm;
+      cr.c_done_n <- cr.c_done_n + 1;
+      if cr.c_done_n = t.nshards - 1 then Condition.signal cr.c_done;
+      Mutex.unlock cr.cm
+    end
+  done
+
+let crew_window t cr =
+  Mutex.lock cr.cm;
+  cr.c_epoch <- cr.c_epoch + 1;
+  cr.c_done_n <- 0;
+  Condition.broadcast cr.c_go;
+  Mutex.unlock cr.cm;
+  drain_window_safe t t.shards.(0);
+  Mutex.lock cr.cm;
+  while cr.c_done_n < t.nshards - 1 do
+    Condition.wait cr.c_done cr.cm
+  done;
+  Mutex.unlock cr.cm
+
+(* Drain the outboxes between windows: merge all shards' deferred
+   entries into ascending time order (per-shard FIFO preserved — the
+   serial tie-break for one shard's same-time entries) and execute them
+   single-threaded against the full memory.  Migrates deferred-access
+   lines to the requesting shard, refuses lines the window peeked at
+   without an ordering key, and aborts on same-time parker operations
+   from different shards (their serial order was queue insertion order,
+   which no longer exists). *)
+let run_coordinator t =
+  let entries = ref [] in
+  for i = t.nshards - 1 downto 0 do
+    let sh = t.shards.(i) in
+    entries := List.rev_append sh.out !entries;
+    sh.out <- []
+  done;
+  let entries =
+    List.stable_sort (fun a b -> compare a.o_time b.o_time) !entries
+  in
+  let last_parker_t = ref (-1) in
+  let last_parker_sid = ref (-1) in
+  (try
+     List.iter
+       (fun e ->
+         if not t.abort then begin
+           if e.o_kind = kind_parker then begin
+             let sid = e.o_st.sh.sid in
+             if e.o_time = !last_parker_t && sid <> !last_parker_sid then
+               t.abort <- true;
+             last_parker_t := e.o_time;
+             last_parker_sid := sid
+           end;
+           if not t.abort then begin
+             if e.o_kind = kind_mem && e.o_addr >= 0 then begin
+               if Memory.peeked_this_window t.mem e.o_addr then
+                 t.abort <- true
+               else Memory.set_residency t.mem e.o_addr e.o_st.sh.sid
+             end;
+             if not t.abort then begin
+               e.o_st.sh.s_now <- e.o_time;
+               e.o_run ()
+             end
+           end
+         end)
+       entries
+   with _ -> t.abort <- true)
+
+let run_windows t cr ~until ~max_events ~ev_base ~dropped =
+  let continue_run = ref true in
+  while !continue_run && not t.abort do
+    let mn = ref max_int in
+    Array.iter
+      (fun sh ->
+        let nt = Event_queue.next_time sh.q in
+        if nt < !mn then mn := nt)
+      t.shards;
+    if !mn = max_int then continue_run := false
+    else if !mn > until then begin
+      Array.iter
+        (fun sh -> dropped := !dropped + Event_queue.length sh.q)
+        t.shards;
       continue_run := false
     end
     else begin
-      incr executed;
-      if !executed > max_events then raise (Simulation_runaway !executed);
-      t.direct_fuel <- 0;
-      t.now <- p.Event_queue.p_time;
-      p.Event_queue.p_run ()
+      let wend = if until - !mn <= t.lookahead then until else !mn + t.lookahead in
+      Array.iter (fun sh -> sh.s_window_end <- wend) t.shards;
+      t.in_window <- true;
+      Memory.freeze t.mem true;
+      (match cr with
+      | Some c -> crew_window t c
+      | None -> Array.iter (fun sh -> drain_window_safe t sh) t.shards);
+      t.in_window <- false;
+      Memory.freeze t.mem false;
+      (* [-1] disables direct-run while the coordinator executes *)
+      Array.iter (fun sh -> sh.s_window_end <- -1) t.shards;
+      if not t.abort then run_coordinator t;
+      if not t.abort then begin
+        t.res_hwm <-
+          Memory.assign_residency t.mem
+            ~shard_of_node:(fun n -> n mod t.nshards)
+            ~from:t.res_hwm;
+        if ev_total t - ev_base > max_events then t.abort <- true
+      end
     end
-  done;
-  t.events_run <- t.events_run + !executed;
-  t.cum.c_events <- t.cum.c_events + !executed;
-  t.cum.c_sim_cycles <- t.cum.c_sim_cycles + (t.now - start_now);
+  done
+
+(* Run the simulation until no events remain.  [until] stops the run at
+   that virtual time (a backstop against threads that spin forever);
+   [max_events] bounds total logical resumptions.  Returns the final
+   time plus a structured health record: [Completed] when every thread
+   returned, [Stalled] when live threads remained — either because the
+   [until] backstop dropped their pending events or because the queue
+   drained with threads still blocked (a deadlock, e.g. a barrier that
+   never fills, a lock whose holder crash-stopped, or a parked waiter
+   no access will ever wake). *)
+let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
+  let wall_start = Unix.gettimeofday () in
+  let start_now = now_of t in
+  let start_elided = (Memory.stats t.mem).Stats.elided_probes in
+  let ev_base = ev_total t in
+  let parks_base = parks_total t in
+  let wakeups_base = wakeups_total t in
+  let dropped = ref 0 in
+  t.run_until <- until;
+  if t.nshards = 1 then begin
+    let sh = t.shards.(0) in
+    let p = sh.popped in
+    let continue_run = ref true in
+    while !continue_run do
+      if not (Event_queue.pop_into sh.q p) then continue_run := false
+      else if p.Event_queue.p_time > until then begin
+        (* the popped event plus everything still queued is discarded *)
+        dropped := 1 + Event_queue.length sh.q;
+        continue_run := false
+      end
+      else begin
+        sh.s_events <- sh.s_events + 1;
+        if sh.s_events - ev_base > max_events then
+          raise (Simulation_runaway (sh.s_events - ev_base));
+        sh.s_fuel <- 0;
+        sh.s_now <- p.Event_queue.p_time;
+        p.Event_queue.p_run ()
+      end
+    done
+  end
+  else begin
+    (* workloads holding cross-thread state outside the simulated
+       memory (hardware message queues) declared themselves unshardable
+       at setup time — abort before doing any work *)
+    if Memory.serial_required t.mem then raise Shard_conflict;
+    Memory.clear_stamps t.mem;
+    t.abort <- false;
+    t.res_hwm <-
+      Memory.assign_residency t.mem
+        ~shard_of_node:(fun n -> n mod t.nshards)
+        ~from:0;
+    let cr =
+      if t.use_domains then begin
+        let c =
+          {
+            cm = Mutex.create ();
+            c_go = Condition.create ();
+            c_done = Condition.create ();
+            c_epoch = 0;
+            c_done_n = 0;
+            c_quit = false;
+          }
+        in
+        let doms =
+          Array.init (t.nshards - 1) (fun i ->
+              Domain.spawn (crew_worker t c (i + 1)))
+        in
+        Some (c, doms)
+      end
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (match cr with
+        | Some (c, doms) ->
+            Mutex.lock c.cm;
+            c.c_quit <- true;
+            Condition.broadcast c.c_go;
+            Mutex.unlock c.cm;
+            Array.iter Domain.join doms
+        | None -> ());
+        t.in_window <- false;
+        Memory.freeze t.mem false)
+      (fun () ->
+        run_windows t (Option.map fst cr) ~until ~max_events ~ev_base
+          ~dropped);
+    if t.abort then raise Shard_conflict;
+    (* the run is good: merge per-shard memory statistics into slot 0
+       so [Memory.stats] / [perf] report serial-identical totals *)
+    Memory.merge_slots t.mem
+  end;
+  let executed = ev_total t - ev_base in
+  t.cum.c_events <- t.cum.c_events + executed;
+  t.cum.c_parks <- t.cum.c_parks + (parks_total t - parks_base);
+  t.cum.c_wakeups <- t.cum.c_wakeups + (wakeups_total t - wakeups_base);
+  t.cum.c_sim_cycles <- t.cum.c_sim_cycles + (now_of t - start_now);
   t.cum.c_elided <-
     t.cum.c_elided
     + ((Memory.stats t.mem).Stats.elided_probes - start_elided);
@@ -793,7 +1355,7 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
   t.wall_ns <- t.wall_ns + wall_ns;
   t.cum.c_wall_ns <- t.cum.c_wall_ns + wall_ns;
   let verdict =
-    if t.live_threads <= 0 then Completed
+    if live_total t <= 0 then Completed
     else
       match most_stalled t with
       | Some st ->
@@ -801,12 +1363,14 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
             { tid = st.tid; core = st.core; last_progress = st.last_progress }
       | None -> Completed
   in
-  ( t.now,
+  ( now_of t,
     {
       verdict;
       crashed = List.rev t.crashed_tids;
-      preemptions = t.preempt_count;
-      jitter_events = t.jitter_count;
+      preemptions =
+        Array.fold_left (fun acc sh -> acc + sh.s_preempt) 0 t.shards;
+      jitter_events =
+        Array.fold_left (fun acc sh -> acc + sh.s_jitter) 0 t.shards;
       dropped_events = !dropped;
     } )
 
@@ -816,7 +1380,7 @@ let run ?until ?max_events t = fst (run_health ?until ?max_events t)
 (* Engine performance counters. *)
 
 type perf = {
-  events : int; (* events executed by the run loop *)
+  events : int; (* logical resumptions: event pops + direct-run continues *)
   parks : int; (* threads parked event-driven *)
   wakeups : int; (* parked threads woken by a real access *)
   elided_probes : int; (* inert spin probes accounted without an event *)
@@ -826,11 +1390,11 @@ type perf = {
 
 let perf t =
   {
-    events = t.events_run;
-    parks = t.parks;
-    wakeups = t.wakeups;
+    events = ev_total t;
+    parks = parks_total t;
+    wakeups = wakeups_total t;
     elided_probes = (Memory.stats t.mem).Stats.elided_probes;
-    sim_cycles = t.now;
+    sim_cycles = now_of t;
     wall_ns = t.wall_ns;
   }
 

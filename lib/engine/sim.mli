@@ -24,28 +24,78 @@
     spin primitives fall back to literal pause/probe stepping so every
     scheduling point draws from the per-thread fault streams in the
     original order; jitter-only specs keep the event-driven path, whose
-    elided inert probes consume no draws in either mode. *)
+    elided inert probes consume no draws in either mode.
+
+    {2 Sharded (PDES) execution}
+
+    [create ~shards:n] with [n > 1] runs conservative-window parallel
+    DES: threads and cache lines are partitioned into shards along
+    topology-node boundaries, each shard owns a private event queue,
+    and shards advance in lockstep through bounded time windows whose
+    width is the platform's minimum cross-node transfer latency.
+    Cross-shard interactions are deferred as timestamped messages and
+    executed by a single-threaded coordinator at window barriers.
+    Because the coherence model has zero true lookahead on shared
+    lines, soundness comes from conflict detection: every access
+    stamps its line with its (time, tid) key, and any ordering the
+    serial engine could not have produced aborts the whole attempt
+    with {!Shard_conflict}.  A sharded run therefore either produces
+    results byte-identical to the serial engine — same timestamps,
+    same access results, same perf counters — or aborts, in which case
+    {!serial_fallback} re-runs the (pure) job serially.  Tracing and
+    crash-stop fault schedules force one shard at creation. *)
 
 type t
 
 exception Simulation_runaway of int
+
+exception Shard_conflict
+(** A sharded run detected an interleaving it cannot order serially.
+    The simulation object is dead; re-run the job under
+    {!serial_fallback}. *)
 
 val parking_default : bool ref
 (** Default for [create]'s [?parking] (initially [true]); lets tests
     and benchmarks A/B event-driven waiting against literal polling
     without threading a flag through every harness layer. *)
 
+val default_shards : int ref
+(** Default for [create]'s [?shards] (initially [1]); set by the
+    benchmark driver's [--shards] flag so sharding reaches every
+    harness-built simulation without threading a parameter through the
+    figure pipelines. *)
+
+val shard_domains : bool ref
+(** Drain shards on worker domains (default: whether the host is
+    multicore)?  With [false], shards are drained sequentially on the
+    calling domain — byte-identical results, no parallelism; tests use
+    [true] to exercise the cross-domain machinery on any host. *)
+
+val serial_fallback : (unit -> 'a) -> 'a
+(** [serial_fallback job] runs [job ()]; if it raises {!Shard_conflict}
+    the job is re-run once with sharding forced off.  [job] must be
+    pure in the sense that it builds its own simulation/memory — true
+    of all harness-built workloads. *)
+
 val create :
-  ?faults:Fault.spec -> ?parking:bool -> Ssync_platform.Platform.t -> t
-(** [create ?faults ?parking p] builds a simulation on platform [p].
-    [faults] defaults to {!Fault.none}, which injects nothing and
+  ?faults:Fault.spec -> ?parking:bool -> ?shards:int ->
+  Ssync_platform.Platform.t -> t
+(** [create ?faults ?parking ?shards p] builds a simulation on platform
+    [p].  [faults] defaults to {!Fault.none}, which injects nothing and
     consumes no random draws — fault-free runs are bit-identical to the
     engine without the fault layer.  [parking] (default
     [!parking_default]) enables event-driven waiter wakeup; it is
     automatically disabled while schedule-reshaping faults (preemption,
     crash-stop) are active, but stays on under jitter-only specs, where
-    parking remains exact (see {!Fault.parkable}).  Raises
-    [Invalid_argument] on a malformed spec. *)
+    parking remains exact (see {!Fault.parkable}).  [shards] (default
+    [!default_shards]) requests sharded execution; the effective count
+    is capped at the platform's node count and forced to 1 while a
+    trace collector is installed, while the fault spec schedules
+    crash-stops, or inside the retry arm of {!serial_fallback}.  Raises
+    [Invalid_argument] on a malformed spec or [shards < 1]. *)
+
+val shards_of : t -> int
+(** Effective shard count (1 = serial). *)
 
 val memory : t -> Ssync_coherence.Memory.t
 val platform : t -> Ssync_platform.Platform.t
@@ -96,7 +146,12 @@ val run : ?until:int -> ?max_events:int -> t -> int
 (** {1 Engine performance counters} *)
 
 type perf = {
-  events : int;  (** events executed by the run loop *)
+  events : int;
+      (** logical thread resumptions: event-queue pops plus direct-run
+          continues.  Counting both makes the metric independent of the
+          engine's execution strategy — serial and sharded runs of the
+          same workload report identical totals even though they make
+          different direct-run decisions. *)
   parks : int;  (** threads parked event-driven *)
   wakeups : int;  (** parked threads woken by a real access *)
   elided_probes : int;

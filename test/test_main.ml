@@ -4,6 +4,7 @@ let () =
       ("platform", Test_platform.suite);
       ("coherence", Test_coherence.suite);
       ("engine", Test_engine.suite);
+      ("eventq", Test_eventq.suite);
       ("parking", Test_parking.suite);
       ("simlocks", Test_simlocks.suite);
       ("simmp", Test_simmp.suite);
@@ -19,4 +20,5 @@ let () =
       ("pool", Test_pool.suite);
       ("robust", Test_robust.suite);
       ("trace", Test_trace.suite);
+      ("shards", Test_shards.suite);
     ]

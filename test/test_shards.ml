@@ -1,0 +1,275 @@
+(* Sharded (PDES) execution: the engine's one observable contract is
+   byte-identity with the serial engine — same stdout, same virtual
+   timestamps, same perf counters (wall time excepted) at any shard
+   count — with [Shard_conflict] + [serial_fallback] as the escape
+   hatch for interleavings the conservative windows cannot order.
+
+   - a partitioned workload (per-node private lines) stays sharded and
+     reproduces the serial run exactly, sequentially and on a real
+     worker-domain crew;
+   - cross-shard contention on one line aborts deterministically and
+     [serial_fallback] recovers the serial result;
+   - fig3 / fig9 / fig11 render byte-identical output with
+     [default_shards = 4], with identical aggregated engine counters;
+   - crash-stop fault schedules force one shard at creation, so faulty
+     runs are trivially identical;
+   - a traced run's Chrome export is byte-identical with sharding
+     requested (tracing also forces one shard). *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+open Ssync_bench
+module Trace = Ssync_trace.Trace
+module Chrome = Ssync_trace.Chrome
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_shards n f =
+  let saved = !Sim.default_shards in
+  Sim.default_shards := n;
+  Fun.protect ~finally:(fun () -> Sim.default_shards := saved) f
+
+let with_domains b f =
+  let saved = !Sim.shard_domains in
+  Sim.shard_domains := b;
+  Fun.protect ~finally:(fun () -> Sim.shard_domains := saved) f
+
+let no_wall p = { p with Sim.wall_ns = 0 }
+
+(* ------------------- partitioned direct workload ------------------- *)
+
+(* One thread per node, each hammering its own node-homed lines (plus
+   local pauses): shards never interact, so the run must stay sharded
+   end-to-end and still reproduce the serial schedule exactly. *)
+let partitioned ?shards () =
+  let p = Platform.get Arch.Opteron in
+  let topo = p.Platform.topo in
+  let sim = Sim.create ?shards p in
+  let mem = Sim.memory sim in
+  (* first core of each of the first 4 nodes *)
+  let core_of_node = Array.make topo.Topology.n_nodes (-1) in
+  for c = topo.Topology.n_cores - 1 downto 0 do
+    core_of_node.(topo.Topology.node_of_core c) <- c
+  done;
+  let nodes = 4 in
+  let lines =
+    Array.init nodes (fun i -> Memory.alloc ~home_core:core_of_node.(i) mem)
+  in
+  let finals = Array.make nodes 0 in
+  for i = 0 to nodes - 1 do
+    let a = lines.(i) in
+    Sim.spawn sim ~core:core_of_node.(i) (fun () ->
+        for _ = 1 to 400 do
+          let v = Sim.load a in
+          Sim.store a (v + 1);
+          ignore (Sim.fai a);
+          Sim.pause (50 + (i * 13))
+        done;
+        finals.(i) <- Sim.load a)
+  done;
+  let final_t, health = Sim.run_health sim in
+  (sim, final_t, health, Array.to_list finals, Sim.perf sim)
+
+let test_partitioned_identical () =
+  let _, t1, h1, f1, p1 = partitioned ~shards:1 () in
+  let sim4, t4, h4, f4, p4 = partitioned ~shards:4 () in
+  check_int "run actually sharded" 4 (Sim.shards_of sim4);
+  check_int "final virtual time" t1 t4;
+  check_bool "verdicts match" true (h1 = h4);
+  check_bool "final line values match" true (f1 = f4);
+  check_bool "perf counters match (minus wall)" true
+    (no_wall p1 = no_wall p4)
+
+let test_partitioned_identical_on_domains () =
+  (* same workload, but force a real worker-domain crew even on a
+     single-core host: results must not depend on who drains a shard *)
+  let _, t1, h1, f1, p1 = partitioned ~shards:1 () in
+  let sim4, t4, h4, f4, p4 =
+    with_domains true (fun () -> partitioned ~shards:4 ())
+  in
+  check_int "run actually sharded" 4 (Sim.shards_of sim4);
+  check_int "final virtual time" t1 t4;
+  check_bool "verdicts match" true (h1 = h4);
+  check_bool "final line values match" true (f1 = f4);
+  check_bool "perf counters match (minus wall)" true
+    (no_wall p1 = no_wall p4)
+
+(* --------------------- conflict and fallback ----------------------- *)
+
+(* Two threads on different nodes hammering one shared line: the
+   window machinery cannot order this serially and must abort. *)
+let contended ?shards () =
+  let p = Platform.get Arch.Opteron in
+  let topo = p.Platform.topo in
+  let sim = Sim.create ?shards p in
+  let mem = Sim.memory sim in
+  let a = Memory.alloc ~home_core:0 mem in
+  let far =
+    let rec find c =
+      if topo.Topology.node_of_core c <> topo.Topology.node_of_core 0 then c
+      else find (c + 1)
+    in
+    find 1
+  in
+  List.iter
+    (fun core ->
+      Sim.spawn sim ~core (fun () ->
+          for _ = 1 to 200 do
+            ignore (Sim.fai a);
+            Sim.pause 30
+          done))
+    [ 0; far ];
+  let t, _ = Sim.run_health sim in
+  (t, Memory.peek mem a, no_wall (Sim.perf sim))
+
+let test_conflict_aborts_and_fallback_recovers () =
+  let serial = contended ~shards:1 () in
+  (match contended ~shards:4 () with
+  | _ -> Alcotest.fail "expected Shard_conflict on cross-shard contention"
+  | exception Sim.Shard_conflict -> ());
+  let recovered = Sim.serial_fallback (fun () -> contended ~shards:4 ()) in
+  check_bool "serial_fallback reproduces the serial run" true
+    (serial = recovered)
+
+(* ----------------- harness-level byte identity --------------------- *)
+
+let capture_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "ssync_shards" ".out" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (match f () with
+  | () -> restore ()
+  | exception e ->
+      restore ();
+      Sys.remove tmp;
+      raise e);
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+(* Run a figure section start to finish (jobs then render) and return
+   the rendered bytes plus the engine-counter delta of the jobs. *)
+let run_section mk =
+  let before = Sim.cumulative_perf () in
+  let s = mk () in
+  Array.iter (fun job -> job ()) s.Section.jobs;
+  let perf = Sim.perf_diff (Sim.cumulative_perf ()) before in
+  (capture_stdout (fun () -> s.Section.render ()), no_wall perf)
+
+let check_section name mk =
+  let out1, perf1 = run_section mk in
+  let out4, perf4 = with_shards 4 (fun () -> run_section mk) in
+  check_bool (name ^ ": rendered something") true (String.length out1 > 100);
+  check_string (name ^ ": stdout byte-identical with --shards 4") out1 out4;
+  check_bool (name ^ ": engine counters identical (minus wall)") true
+    (perf1 = perf4)
+
+let test_fig3_identical () =
+  check_section "fig3" (fun () -> Figures.fig3 ~duration:100_000 ())
+
+let test_fig9_identical () = check_section "fig9" (fun () -> Figures.fig9 ())
+
+let test_fig11_identical () =
+  check_section "fig11" (fun () -> Figures_app.fig11 ~duration:20_000 ())
+
+(* ----------------------- faults and tracing ------------------------ *)
+
+let faulty_workload () =
+  let p = Platform.get Arch.Xeon in
+  Harness.run p ~threads:6 ~duration:120_000
+    ~faults:(Fault.crash_stop ~seed:5 [ (1, 30_000); (3, 55_000) ])
+    ~setup:(fun mem -> Memory.alloc ~home_core:0 mem)
+    ~body:(fun a _mem ~tid ~deadline ->
+      let n = ref 0 in
+      while Sim.now () < deadline do
+        ignore (Sim.fai a);
+        Sim.pause (70 + (tid * 11));
+        incr n
+      done;
+      !n)
+
+let fingerprint (r : Harness.result) =
+  ( Array.to_list r.Harness.ops,
+    Array.to_list r.Harness.completed,
+    r.Harness.total_ops,
+    r.Harness.health,
+    no_wall r.Harness.perf )
+
+let test_crash_faults_force_serial () =
+  let faults = Fault.crash_stop ~seed:5 [ (1, 30_000) ] in
+  let sim =
+    Sim.create ~faults ~shards:4 (Platform.get Arch.Xeon)
+  in
+  check_int "crash schedules force one shard" 1 (Sim.shards_of sim);
+  let serial = fingerprint (faulty_workload ()) in
+  let sharded = with_shards 4 (fun () -> fingerprint (faulty_workload ())) in
+  check_bool "faulty run identical with --shards 4" true (serial = sharded)
+
+let traced_export () =
+  let tr = Trace.start () in
+  let run () =
+    let p = Platform.get Arch.Opteron in
+    ignore
+      (Harness.run p ~threads:8 ~duration:100_000
+         ~setup:(fun mem ->
+           Ssync_simlocks.Simlock.create ~home_core:0 mem p ~n_threads:8
+             Ssync_simlocks.Simlock.Ticket)
+         ~body:(fun lock _mem ~tid ~deadline ->
+           let n = ref 0 in
+           while Sim.now () < deadline do
+             lock.Ssync_simlocks.Lock_type.acquire ~tid;
+             Sim.pause 60;
+             lock.Ssync_simlocks.Lock_type.release ~tid;
+             Sim.pause 100;
+             incr n
+           done;
+           !n))
+  in
+  (match run () with
+  | () -> ignore (Trace.stop ())
+  | exception e ->
+      ignore (Trace.stop ());
+      raise e);
+  Chrome.export_string [ ("job/0", tr) ]
+
+let test_traced_export_identical () =
+  let serial = traced_export () in
+  let sharded = with_shards 4 (fun () -> traced_export ()) in
+  check_bool "export non-trivial" true (String.length serial > 1_000);
+  check_string "chrome export byte-identical with --shards 4" serial sharded
+
+let suite =
+  [
+    Alcotest.test_case "partitioned workload: sharded == serial" `Quick
+      test_partitioned_identical;
+    Alcotest.test_case "partitioned workload: domain crew == serial" `Quick
+      test_partitioned_identical_on_domains;
+    Alcotest.test_case "contention aborts; serial_fallback recovers" `Quick
+      test_conflict_aborts_and_fallback_recovers;
+    Alcotest.test_case "fig3 byte-identical with --shards 4" `Quick
+      test_fig3_identical;
+    Alcotest.test_case "fig9 byte-identical with --shards 4" `Quick
+      test_fig9_identical;
+    Alcotest.test_case "fig11 (quick) byte-identical with --shards 4" `Quick
+      test_fig11_identical;
+    Alcotest.test_case "crash-stop faults force serial" `Quick
+      test_crash_faults_force_serial;
+    Alcotest.test_case "traced chrome export byte-identical" `Quick
+      test_traced_export_identical;
+  ]
