@@ -412,3 +412,55 @@ let fig10 ?(duration = 250_000) () =
           in
           print_endline (Series.table ~x_label:"clients" series))
         paper_platforms)
+
+(* ----------------------- False sharing --------------------------- *)
+
+(* Padded vs packed layouts of per-thread words (Fs_bench): the
+   workload has zero logical contention, so every gap between the two
+   curves is pure false sharing — line-granular coherence plus
+   interconnect occupancy, which single-word lines could not express. *)
+let false_sharing ?(duration = 200_000) () =
+  let fs_thread_points = [ 2; 4; 8 ] in
+  let combos =
+    List.concat_map
+      (fun pid ->
+        List.concat_map
+          (fun w ->
+            List.concat_map
+              (fun l ->
+                List.map
+                  (fun threads -> (pid, w, l, threads))
+                  fs_thread_points)
+              Ssync_ccbench.Fs_bench.all_layouts)
+          Ssync_ccbench.Fs_bench.all_workloads)
+      paper_platforms
+  in
+  let jobs, got =
+    Section.sweep combos (fun (pid, w, l, threads) ->
+        (Ssync_ccbench.Fs_bench.throughput ~duration pid w l ~threads)
+          .Ssync_engine.Harness.mops)
+  in
+  Section.make ~jobs (fun () ->
+      hr
+        "False sharing: private per-thread words, padded vs packed lines \
+         (Mops/s)";
+      let next = Section.cursor got in
+      List.iter
+        (fun pid ->
+          Printf.printf "\n-- %s --\n" (Arch.platform_name pid);
+          let series =
+            List.concat_map
+              (fun w ->
+                List.map
+                  (fun l ->
+                    Series.of_fn
+                      (Printf.sprintf "%s %s"
+                         (Ssync_ccbench.Fs_bench.workload_name w)
+                         (Ssync_ccbench.Fs_bench.layout_name l))
+                      fs_thread_points
+                      (fun _ -> next ()))
+                  Ssync_ccbench.Fs_bench.all_layouts)
+              Ssync_ccbench.Fs_bench.all_workloads
+          in
+          print_endline (Series.table ~x_label:"threads" series))
+        paper_platforms)

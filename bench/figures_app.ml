@@ -301,6 +301,7 @@ let extra_small_platforms () =
               owner = Some holder;
               sharers = Ssync_platform.Coreset.of_list [];
               home = topo.Topology.mem_node_of_core holder;
+              llc_dirty = false;
             }
           in
           let intra = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in

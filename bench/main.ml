@@ -105,6 +105,9 @@ let sections : (string * string * (quick:bool -> Section.t)) list =
     ("extra_stm", "Section 8: TM2C lock-based vs message-passing",
      fun ~quick ->
        Figures_app.extra_stm ~duration:(if quick then 60_000 else 150_000) ());
+    ("false-sharing", "False sharing: padded vs packed per-thread words",
+     fun ~quick ->
+       Figures.false_sharing ~duration:(if quick then 60_000 else 200_000) ());
     ("table1", "Table 1: platform characteristics",
      fun ~quick:_ -> Figures.table1 ());
     ("preemption", "Fault injection: lock throughput vs preemption rate",

@@ -1,0 +1,96 @@
+(* False-sharing microbenchmark (the layout experiment the multi-word
+   memory model exists for): every thread hammers a word that no other
+   thread ever touches, under two layouts of the same word array.
+
+   - [Padded]: one word per cache line ({!Memory.alloc_n}) — the layout
+     every paper benchmark uses.  After the first exclusive acquisition
+     each thread's line stays Modified in its own cache, so the steady
+     state is all local hits whatever the thread count.
+
+   - [Packed]: [Topology.line_words] words per line
+     ({!Memory.alloc_packed}).  The data is still thread-private, but
+     the *lines* are shared: every update invalidates the other
+     residents of the line and queues on the line's occupancy and the
+     interconnect, so logically contention-free code degrades exactly
+     like a contended shared counter — false sharing.
+
+   Two per-thread workloads, both write-only on their own word:
+   [Counter] is one atomic increment per iteration (a CAS retry loop on
+   the Niagara, which has no hardware FAI — the loop resolves in one
+   attempt since nobody else writes the word); [Spinlock] is a private
+   TAS lock's acquire/release pair, the classic victim of a lock table
+   packed without padding. *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+
+type layout = Padded | Packed
+
+let layout_name = function Padded -> "padded" | Packed -> "packed"
+let all_layouts = [ Padded; Packed ]
+
+type workload = Counter | Spinlock
+
+let workload_name = function Counter -> "counter" | Spinlock -> "lock"
+let all_workloads = [ Counter; Spinlock ]
+
+(* One increment of the thread's own counter: hardware FAI where it
+   exists, the CAS loop where it does not (section 5.4). *)
+let increment pid a =
+  match pid with
+  | Arch.Niagara ->
+      let rec retry old =
+        let seen = Sim.cas_fetch a ~expected:old ~desired:(old + 1) in
+        if seen <> old then retry seen
+      in
+      retry (Sim.load a)
+  | _ -> ignore (Sim.fai a)
+
+let throughput pid workload layout ~threads ~duration : Harness.result =
+  let p = Platform.get pid in
+  let local_work = Platform.local_work_for p ~threads in
+  Harness.run p ~threads ~duration
+    ~setup:(fun mem ->
+      let home_core = Platform.place p 0 in
+      match layout with
+      | Padded -> Memory.alloc_n ~home_core mem threads
+      | Packed -> Memory.alloc_packed ~home_core mem threads)
+    ~body:(fun base _mem ~tid ~deadline ->
+      let a = base + tid in
+      let n = ref 0 in
+      let frame = max 2 (local_work / 8) in
+      while Sim.now () < deadline do
+        (match workload with
+        | Counter -> increment pid a
+        | Spinlock ->
+            (* private lock: the TAS wins unless a false-sharing
+               transfer is in flight, but under [Packed] winning still
+               costs the line round trip *)
+            while not (Sim.tas a) do
+              Sim.pause 2
+            done;
+            Sim.pause 5;
+            Sim.store a 0);
+        Sim.pause frame;
+        incr n
+      done;
+      !n)
+
+(* The full sweep: for each workload, padded-vs-packed throughput
+   (Mops/s) at each thread count. *)
+let sweep ?(duration = 200_000) pid ~thread_counts :
+    (workload * layout * (int * float) list) list =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun layout ->
+          ( workload,
+            layout,
+            List.map
+              (fun threads ->
+                let r = throughput pid workload layout ~threads ~duration in
+                (threads, r.Harness.mops))
+              thread_counts ))
+        all_layouts)
+    all_workloads

@@ -2,13 +2,29 @@
    line, the protocol transitions applied by loads/stores/atomics, and
    the virtual-time cost of each access.
 
-   Granularity is one word per cache line — the paper's benchmarks pad
-   shared words to a cache line each, so this loses nothing relevant.
+   Addresses are *word*-granular; coherence is *line*-granular.  A
+   cache line holds up to [Topology.line_words] words: its protocol
+   state, occupancy, parked waiters, conflict stamps and PDES residency
+   all belong to the line, while each word keeps its own value.  The
+   default allocator ([alloc]) still pads every word to its own line —
+   the paper's benchmarks pad shared words to a line each, so every
+   paper-derived workload is unchanged — but [alloc_packed] co-locates
+   consecutive words on shared lines, which makes false sharing
+   expressible: a store to one word invalidates every other word's
+   holders on the same line.
+
    Costs come from the platform's calibrated cost model; contention is
-   modeled by line occupancy: an exclusive transaction keeps the line
-   (its directory entry / home-tile slot) busy for its duration, so
-   concurrent writers serialize and latencies grow under contention,
-   exactly the mechanism behind the paper's Figures 4 and 5.
+   modeled by two kinds of occupancy:
+   - *line* occupancy: an exclusive transaction keeps the line (its
+     directory entry / home-tile slot) busy for its serialized phase,
+     so concurrent requests to one line serialize — the mechanism
+     behind the paper's Figures 4 and 5;
+   - *resource* occupancy: the transfer also holds the home node's
+     directory/memory controller and every interconnect link it
+     crosses ([Cost_model.fill_path]) for a service time, so pipelined
+     traffic between the same nodes queues even across different lines
+     — the interconnect-bandwidth term the paper's two-hop
+     message-passing latencies exhibit.
 
    Lines additionally carry a wait list of parked spinners (see
    [try_park]): a thread whose spin loop has reached a steady state —
@@ -18,15 +34,22 @@
    poll loop would have issued before the access are bulk-accounted,
    and waiters whose next probe would no longer be inert are woken to
    replay it for real, on the exact virtual-time grid the poll loop
-   would have used.  The mechanism is therefore invisible in simulated
-   time; it only collapses O(poll iterations) events into O(1).
+   would have used.  Waiters park on the line but spin on their own
+   word, so a real access to a *different* word of a packed line
+   disturbs them exactly like the false sharing it models.
 
    For sharded (PDES) execution the mutable per-access scratch state —
    the cost-model view, the [last_result] out-parameter and the running
    [Stats.t] — lives in *slots*, one per shard, so concurrent shards
    never race on it; lines themselves are partitioned by a residency
    tag and cross-shard accesses are deferred by the engine (see
-   [Sim]).  Serial execution uses slot 0 throughout and is unchanged. *)
+   [Sim]).  Interconnect resources are not partitioned by residency,
+   so under sharded execution each is owned by the shard of its
+   (lowest) node and any in-window access whose path crosses a foreign
+   shard's resource aborts to the serial path; resource busy-times are
+   additionally stamped like lines so coordinator-run accesses detect
+   out-of-order use.  Serial execution uses slot 0 throughout and pays
+   none of this. *)
 
 open Ssync_platform
 module Trace = Ssync_trace.Trace
@@ -38,13 +61,23 @@ type line = {
   mutable owner : int option;   (* core holding Modified/Owned/Exclusive *)
   sharers : Coreset.t;          (* cores holding Shared copies *)
   home : int;                   (* home node (directory / home tile / memory) *)
-  mutable value : int;
   mutable busy_until : int;     (* virtual time the line is occupied until *)
   mutable pfw_owner : int option;
       (* core holding an exclusive-prefetch reservation (section 5.3):
          set by a prefetchw probe, cleared by any other real access.
          While a foreign reservation holds, other prefetchw probes
          degrade to directed read snoops that steal nothing. *)
+  mutable cas_pending : int;
+      (* core whose CAS just lost on this line (-1 = none): its request
+         stays posted at the line and wins the next grant, so its retry
+         skips the queue instead of observing a value one full transfer
+         stale (hardware pending-request arbitration, the fix for
+         CAS-based FAI over-degrading in Figure 4).  Replaced by later
+         losers; consumed by the pending core's next access. *)
+  mutable llc_dirty : bool;
+      (* the last write drained through the store buffer into the
+         inclusive LLC (posted store): a same-die fetch of this
+         Modified line is an LLC hit, not an owner round trip (Xeon) *)
   mutable waiters : waiter list; (* parked spinners, FIFO *)
 }
 (* Sharded-execution bookkeeping (residency tags, conflict stamps,
@@ -60,6 +93,7 @@ type line = {
    the probe for real. *)
 and waiter = {
   w_core : int;
+  w_addr : addr;                (* the word the spin loop polls *)
   w_op : Arch.memop;
   w_operand : int;
   w_operand2 : int;
@@ -74,11 +108,13 @@ and waiter = {
 }
 
 (* Per-shard mutable scratch: reused cost-model view, the
-   [last_result] out-parameter and this shard's share of the access
-   statistics.  Serial code uses slot 0; a sharded engine gives each
-   shard its own slot and merges the stats at the end of the run. *)
+   [last_result] out-parameter, the resource-path scratch and this
+   shard's share of the access statistics.  Serial code uses slot 0; a
+   sharded engine gives each shard its own slot and merges the stats at
+   the end of the run. *)
 type slot = {
   scratch : Cost_model.view;    (* reused for every op_latency call *)
+  path : int array;             (* reused resource-path scratch *)
   mutable last_result : int;
       (* result value of the most recent [access_lat] — an out-parameter
          that spares the engine's hot path one tuple allocation per
@@ -88,14 +124,26 @@ type slot = {
 
 type t = {
   platform : Platform.t;
-  mutable lines : line array;
+  mutable lines : line array;   (* indexed by line id *)
   mutable n_lines : int;
-  (* per-line sharding tags, indexed by address alongside [lines] *)
+  mutable values : int array;   (* indexed by word address *)
+  mutable word2line : int array; (* word address -> line id *)
+  mutable n_words : int;
+  (* per-line sharding tags, indexed by line id alongside [lines] *)
   mutable res : int array;      (* resident shard, -1 = unassigned/serial *)
   mutable stamp_t : int array;  (* latest access key on the line: time... *)
   mutable stamp_tid : int array; (* ...and the accessing thread *)
   mutable peek_gens : int array; (* window generation of the last in-window
                                     peek/poke (cost-free debug access) *)
+  (* finite-bandwidth interconnect resources, indexed by resource id
+     (home directories then links, see [Cost_model.fill_path]) *)
+  rbusy : int array;            (* virtual time each resource is held until *)
+  rstamp_t : int array;         (* sharded-run conflict stamps: time... *)
+  rstamp_core : int array;      (* ...and core (resources are touched by at
+                                   most one thread per core in a window) *)
+  mutable sharding : bool;
+      (* a sharded run is in progress on this memory: resource accesses
+         must be ownership-checked and stamped (serial runs skip both) *)
   mutable slots : slot array;   (* slots.(0) always exists *)
   mutable frozen : bool;
       (* a sharded window is executing: structural mutation (alloc)
@@ -119,9 +167,10 @@ exception Sharded_alloc
 
 exception Sharded_violation
 (* raised by [peek]/[poke] from inside a sharded window when the line
-   is resident on another shard: the cost-free debug accessors bypass
-   the engine's residency routing, so a cross-shard one cannot be
-   deferred — the attempt aborts and re-runs serially *)
+   is resident on another shard, and by any access whose interconnect
+   path crosses a foreign shard's resource (or uses one out of stamp
+   order): neither can be deferred through the engine's residency
+   routing, so the attempt aborts and re-runs serially *)
 
 (* Which shard the calling domain is currently draining (-1 = none:
    serial execution, or the coordinator between windows).  Domain-local
@@ -132,13 +181,15 @@ let exec_sid () = Domain.DLS.get exec_sid_key
 
 let dummy_line =
   { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home = 0;
-    value = 0; busy_until = 0; pfw_owner = None; waiters = [] }
+    busy_until = 0; pfw_owner = None; cas_pending = -1; llc_dirty = false;
+    waiters = [] }
 
 let make_slot () =
   {
     scratch =
       { Cost_model.state = Arch.Invalid; owner = None;
-        sharers = Coreset.create (); home = 0 };
+        sharers = Coreset.create (); home = 0; llc_dirty = false };
+    path = Array.make Cost_model.max_path_len 0;
     last_result = 0;
     stats = Stats.create ();
   }
@@ -152,14 +203,22 @@ let create platform =
       Trace.new_epoch tr;
       Trace.set_platform tr platform.Platform.name
   | None -> ());
+  let n_res = Cost_model.n_resources platform.Platform.topo in
   {
     platform;
     lines = Array.make 1024 dummy_line;
     n_lines = 0;
+    values = Array.make 1024 0;
+    word2line = Array.make 1024 0;
+    n_words = 0;
     res = Array.make 1024 (-1);
     stamp_t = Array.make 1024 (-1);
     stamp_tid = Array.make 1024 (-1);
     peek_gens = Array.make 1024 (-1);
+    rbusy = Array.make n_res 0;
+    rstamp_t = Array.make n_res (-1);
+    rstamp_core = Array.make n_res (-1);
+    sharding = false;
     slots = [| make_slot () |];
     frozen = false;
     gen = 0;
@@ -173,6 +232,8 @@ let serial_required t = t.serial_only
 let platform t = t.platform
 let stats t = t.slots.(0).stats
 let n_lines t = t.n_lines
+let n_words t = t.n_words
+let line_words t = t.platform.Platform.topo.Topology.line_words
 
 (* ------------------------- sharding support ------------------------ *)
 
@@ -211,10 +272,8 @@ let freeze t b =
   if b then t.gen <- t.gen + 1;
   t.frozen <- b
 
-let alloc ?(home_core = 0) ?(value = 0) t : addr =
-  if t.frozen then raise Sharded_alloc;
-  Topology.check t.platform.Platform.topo home_core;
-  let home = t.platform.Platform.topo.Topology.mem_node_of_core home_core in
+(* Append one line homed at node [home]; returns its line id. *)
+let new_line t ~home =
   if t.n_lines = Array.length t.lines then begin
     let cap = 2 * Array.length t.lines in
     let bigger = Array.make cap dummy_line in
@@ -230,12 +289,38 @@ let alloc ?(home_core = 0) ?(value = 0) t : addr =
     t.stamp_tid <- grow_tags t.stamp_tid;
     t.peek_gens <- grow_tags t.peek_gens
   end;
-  let a = t.n_lines in
-  t.lines.(a) <-
+  let li = t.n_lines in
+  t.lines.(li) <-
     { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home;
-      value; busy_until = 0; pfw_owner = None; waiters = [] };
-  t.n_lines <- a + 1;
+      busy_until = 0; pfw_owner = None; cas_pending = -1; llc_dirty = false;
+      waiters = [] };
+  t.n_lines <- li + 1;
+  li
+
+(* Append one word on line [li]; returns its (word) address. *)
+let new_word t ~line:li ~value =
+  if t.n_words = Array.length t.values then begin
+    let cap = 2 * Array.length t.values in
+    let grow src init =
+      let b = Array.make cap init in
+      Array.blit src 0 b 0 t.n_words;
+      b
+    in
+    t.values <- grow t.values 0;
+    t.word2line <- grow t.word2line 0
+  end;
+  let a = t.n_words in
+  t.values.(a) <- value;
+  t.word2line.(a) <- li;
+  t.n_words <- a + 1;
   a
+
+let alloc ?(home_core = 0) ?(value = 0) t : addr =
+  if t.frozen then raise Sharded_alloc;
+  Topology.check t.platform.Platform.topo home_core;
+  let home = t.platform.Platform.topo.Topology.mem_node_of_core home_core in
+  let li = new_line t ~home in
+  new_word t ~line:li ~value
 
 let alloc_n ?(home_core = 0) ?(value = 0) t n : addr =
   if n <= 0 then invalid_arg "Memory.alloc_n: n must be positive";
@@ -245,10 +330,39 @@ let alloc_n ?(home_core = 0) ?(value = 0) t n : addr =
   done;
   base
 
-let line t a =
-  if a < 0 || a >= t.n_lines then
+(* Allocate [n] consecutive words *packed* onto as few lines as the
+   platform's line size allows (ceil(n / line_words) lines, all homed
+   at [home_core]'s node); returns the first address.  Words of one
+   line share coherence state, occupancy and waiters — this is the
+   allocator that makes false sharing happen. *)
+let alloc_packed ?(home_core = 0) ?(value = 0) t n : addr =
+  if n <= 0 then invalid_arg "Memory.alloc_packed: n must be positive";
+  if t.frozen then raise Sharded_alloc;
+  Topology.check t.platform.Platform.topo home_core;
+  let home = t.platform.Platform.topo.Topology.mem_node_of_core home_core in
+  let wpl = t.platform.Platform.topo.Topology.line_words in
+  let base = ref (-1) in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let li = new_line t ~home in
+    let k = min wpl !remaining in
+    for _ = 1 to k do
+      let a = new_word t ~line:li ~value in
+      if !base < 0 then base := a
+    done;
+    remaining := !remaining - k
+  done;
+  !base
+
+let line_id t a =
+  if a < 0 || a >= t.n_words then
     invalid_arg (Printf.sprintf "Memory.line: address %d out of range" a);
-  t.lines.(a)
+  t.word2line.(a)
+
+let line t a = t.lines.(line_id t a)
+
+(* Do two addresses share a cache line? (tests/metrics) *)
+let same_line t a b = line_id t a = line_id t b
 
 (* Shard residency: every line belongs to one shard; only that shard's
    threads may touch it inside a window (the engine defers everything
@@ -256,16 +370,16 @@ let line t a =
    the requester). *)
 (* Engine-internal callers pass addresses straight out of [alloc], so
    these rely on the array bounds check alone. *)
-let residency t a = t.res.(a)
-let set_residency t a s = t.res.(a) <- s
+let residency t a = t.res.(t.word2line.(a))
+let set_residency t a s = t.res.(t.word2line.(a)) <- s
 
 (* Assign residency for lines [from, n_lines) by their home node;
    returns the new high-water mark.  Called by the coordinator between
    windows, so lines allocated by deferred (coordinator-run) code get
    tagged before the next window starts. *)
 let assign_residency t ~shard_of_node ~from =
-  for a = from to t.n_lines - 1 do
-    t.res.(a) <- shard_of_node t.lines.(a).home
+  for li = from to t.n_lines - 1 do
+    t.res.(li) <- shard_of_node t.lines.(li).home
   done;
   t.n_lines
 
@@ -275,19 +389,30 @@ let assign_residency t ~shard_of_node ~from =
    accesses by *different* threads are ambiguous (their serial order
    was insertion order, which sharded execution cannot reconstruct), so
    they conservatively fail.  Returns [false] on violation; the engine
-   aborts the sharded attempt and re-runs serially. *)
+   aborts the sharded attempt and re-runs serially.  Stamps are
+   line-granular: two packed words on one line conflict exactly like
+   one shared word. *)
 let stamp t a ~time ~tid =
-  let st = t.stamp_t.(a) in
-  if st > time || (st = time && t.stamp_tid.(a) <> tid) then false
+  let li = t.word2line.(a) in
+  let st = t.stamp_t.(li) in
+  if st > time || (st = time && t.stamp_tid.(li) <> tid) then false
   else begin
-    t.stamp_t.(a) <- time;
-    t.stamp_tid.(a) <- tid;
+    t.stamp_t.(li) <- time;
+    t.stamp_tid.(li) <- tid;
     true
   end
 
 let clear_stamps t =
   Array.fill t.stamp_t 0 t.n_lines (-1);
-  Array.fill t.stamp_tid 0 t.n_lines (-1)
+  Array.fill t.stamp_tid 0 t.n_lines (-1);
+  let nr = Array.length t.rstamp_t in
+  Array.fill t.rstamp_t 0 nr (-1);
+  Array.fill t.rstamp_core 0 nr (-1);
+  (* a sharded run is starting: from here on, resource accesses must be
+     ownership-checked and stamped.  The flag stays set for the memory's
+     lifetime — an aborted attempt is re-run on a fresh serial memory
+     ([Sim.serial_fallback]), never on this one. *)
+  t.sharding <- true
 
 (* ------------------------------------------------------------------ *)
 
@@ -300,30 +425,28 @@ let clear_stamps t =
    the same window ([peeked_this_window]) — a peek carries no (time,
    tid) key, so the ordinary stamp check cannot order it against
    deferred cross-shard work. *)
-let guard_debug_access t a =
+let guard_debug_access t li =
   if t.frozen then begin
     let s = Domain.DLS.get exec_sid_key in
     if s >= 0 then
-      if t.res.(a) <> s then raise Sharded_violation
-      else t.peek_gens.(a) <- t.gen
+      if t.res.(li) <> s then raise Sharded_violation
+      else t.peek_gens.(li) <- t.gen
   end
 
 let peek t a =
-  let l = line t a in
-  guard_debug_access t a;
-  l.value
+  let li = line_id t a in
+  guard_debug_access t li;
+  t.values.(a)
 
 let poke t a v =
-  let l = line t a in
-  guard_debug_access t a;
-  l.value <- v
+  let li = line_id t a in
+  guard_debug_access t li;
+  t.values.(a) <- v
 
 (* Was the line peeked/poked during the current (just-finished) window?
    Checked by the coordinator before executing a deferred access on the
    line. *)
-let peeked_this_window t a =
-  ignore (line t a);
-  t.peek_gens.(a) = t.gen
+let peeked_this_window t a = t.peek_gens.(line_id t a) = t.gen
 
 (* Refill the slot's scratch view from [l]; [sharers] aliases the
    line's set, which the cost model only reads. *)
@@ -333,6 +456,7 @@ let view_of_line (sl : slot) (l : line) : Cost_model.view =
   v.Cost_model.owner <- l.owner;
   v.Cost_model.sharers <- l.sharers;
   v.Cost_model.home <- l.home;
+  v.Cost_model.llc_dirty <- l.llc_dirty;
   v
 
 let holds l core = l.owner = Some core || Coreset.mem l.sharers core
@@ -367,6 +491,7 @@ let foreign_reservation (l : line) ~core op ~operand ~operand2 =
    instead of stalling the thread (the transfer itself still runs in
    the background: transition, invalidations, occupancy). *)
 let store_buffer_retire = 12
+
 
 (* What the next probe of this spin would cost, and whether it is a
    foreign-reservation directed read.  Shared between [access],
@@ -437,17 +562,17 @@ let transition t (l : line) core (op : Arch.memop) =
       Coreset.clear l.sharers;
       killed
 
-(* Apply the operation's data semantics; returns the result value
-   delivered to the requester. *)
-let apply_data (l : line) (op : Arch.memop) ~operand ~operand2 =
+(* Apply the operation's data semantics to word [a]; returns the result
+   value delivered to the requester. *)
+let apply_data t (a : addr) (op : Arch.memop) ~operand ~operand2 =
   match op with
-  | Arch.Load -> l.value
+  | Arch.Load -> t.values.(a)
   | Arch.Store ->
-      l.value <- operand;
+      t.values.(a) <- operand;
       0
   | Arch.Cas ->
-      if l.value = operand then begin
-        l.value <- operand2;
+      if t.values.(a) = operand then begin
+        t.values.(a) <- operand2;
         1
       end
       else 0
@@ -455,33 +580,33 @@ let apply_data (l : line) (op : Arch.memop) ~operand ~operand2 =
       (* fetch-and-add: [operand] is the increment; 0 turns it into an
          atomic read that still acquires the line exclusively (the
          building block of the prefetchw-style probes) *)
-      let old = l.value in
-      l.value <- old + operand;
+      let old = t.values.(a) in
+      t.values.(a) <- old + operand;
       old
   | Arch.Tas ->
-      let old = l.value in
-      l.value <- 1;
+      let old = t.values.(a) in
+      t.values.(a) <- 1;
       old
   | Arch.Swap ->
-      let old = l.value in
-      l.value <- operand;
+      let old = t.values.(a) in
+      t.values.(a) <- operand;
       old
 
 (* ---------------------------- parking ---------------------------- *)
 
-(* Would a probe of [op] by [core] observing this line be *inert* —
-   a local cache hit whose transition and data update change nothing
-   and whose result keeps the spin loop going?  Such a probe affects
-   nothing but the prober's own schedule, so it can be elided and
-   bulk-accounted later. *)
-let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2
+(* Would a probe of [op] by [core] observing word [value] on this line
+   be *inert* — a local cache hit whose transition and data update
+   change nothing and whose result keeps the spin loop going?  Such a
+   probe affects nothing but the prober's own schedule, so it can be
+   elided and bulk-accounted later. *)
+let probe_inert (l : line) ~value ~core (op : Arch.memop) ~operand ~operand2
     ~while_ =
   (match op with
-  | Arch.Load -> l.value = while_
-  | Arch.Tas -> while_ = 1 && l.value = 1
-  | Arch.Cas -> while_ = 0 && l.value <> operand
-  | Arch.Fai -> operand = 0 && l.value = while_
-  | Arch.Swap -> l.value = operand && l.value = while_
+  | Arch.Load -> value = while_
+  | Arch.Tas -> while_ = 1 && value = 1
+  | Arch.Cas -> while_ = 0 && value <> operand
+  | Arch.Fai -> operand = 0 && value = while_
+  | Arch.Swap -> value = operand && value = while_
   | Arch.Store -> false)
   &&
   match op with
@@ -503,12 +628,15 @@ let probe_inert (l : line) ~core (op : Arch.memop) ~operand ~operand2
 let try_park_in t ~slot:sl ~core ~now (op : Arch.memop) (a : addr) ~operand
     ~operand2 ~while_ ~poll ~replay : bool =
   let l = line t a in
-  if not (probe_inert l ~core op ~operand ~operand2 ~while_) then false
+  if not (probe_inert l ~value:t.values.(a) ~core op ~operand ~operand2
+            ~while_)
+  then false
   else begin
     let foreign, hit = probe_cost t sl l ~core op ~operand ~operand2 in
     let w =
       {
         w_core = core;
+        w_addr = a;
         w_op = op;
         w_operand = operand;
         w_operand2 = operand2;
@@ -533,7 +661,8 @@ let waiter_count t a = List.length (line t a).waiters
 
 let probe_would_elide t ~core (op : Arch.memop) (a : addr) ~operand ~operand2
     ~while_ =
-  probe_inert (line t a) ~core op ~operand ~operand2 ~while_
+  probe_inert (line t a) ~value:t.values.(a) ~core op ~operand ~operand2
+    ~while_
 
 (* Phase 1, before the access mutates the line: account every elided
    probe that would have issued strictly before [now] under the state
@@ -559,7 +688,12 @@ let settle_elided t (sl : slot) (l : line) ~now =
    replays one probe for real and re-parks).  [w_next] is now the first
    grid point >= [now]; a probe landing exactly on the access time
    observes the post-access state (the access wins the tie).  Wake
-   order is park order, so same-time replays are deterministic. *)
+   order is park order, so same-time replays are deterministic.  A
+   waiter parked on one word of a packed line is revalidated by an
+   access to *any* word of the line: its own value may be untouched
+   (the probe stays inert and it stays parked), but the line state the
+   probe relies on may have changed under it — false sharing hits
+   parked spinners too. *)
 let wake_disturbed t (sl : slot) (l : line) =
   match l.waiters with
   | [] -> ()
@@ -567,8 +701,8 @@ let wake_disturbed t (sl : slot) (l : line) =
       let still, woken =
         List.partition
           (fun w ->
-            probe_inert l ~core:w.w_core w.w_op ~operand:w.w_operand
-              ~operand2:w.w_operand2 ~while_:w.w_while
+            probe_inert l ~value:t.values.(w.w_addr) ~core:w.w_core w.w_op
+              ~operand:w.w_operand ~operand2:w.w_operand2 ~while_:w.w_while
             && snd
                  (probe_cost t sl l ~core:w.w_core w.w_op ~operand:w.w_operand
                     ~operand2:w.w_operand2)
@@ -587,6 +721,37 @@ let dist_of t (sl : slot) ~core (l : line) : Arch.distance =
   match Cost_model.source_core topo ~requester:core (view_of_line sl l) with
   | Some src -> Cost_model.class_to_core topo ~requester:core src
   | None -> Cost_model.class_to_home topo ~requester:core (view_of_line sl l)
+
+(* Sharded-execution guard for the resource path in [sl.path]:
+   - inside a window, only the shard owning a resource (the shard of
+     its lowest node, matching the engine's node-to-shard map) may
+     touch it — one owner per window means the stamp and busy arrays
+     are never raced;
+   - any toucher (in-window or coordinator) must use resources in
+     non-decreasing time order, same-time reuse by a different core
+     being ambiguous exactly like line stamps.  Keys are cores, not
+     tids: every sharded workload runs at most one thread per core, and
+     the engine's line stamps (tid-keyed) already guard the lines
+     themselves.
+   Violations raise [Sharded_violation]; the engine aborts the attempt
+   and re-runs serially, so the partial mutations of a doomed attempt
+   are discarded wholesale. *)
+let guard_resources t (sl : slot) ~core ~now npath =
+  let n_nodes = t.platform.Platform.topo.Topology.n_nodes in
+  let nslots = Array.length t.slots in
+  let sid = Domain.DLS.get exec_sid_key in
+  for i = 0 to npath - 1 do
+    let r = sl.path.(i) in
+    if t.frozen && sid >= 0 then begin
+      let owner_node = if r < n_nodes then r else (r - n_nodes) / n_nodes in
+      if owner_node mod nslots <> sid then raise Sharded_violation
+    end;
+    let st = t.rstamp_t.(r) in
+    if st > now || (st = now && t.rstamp_core.(r) <> core) then
+      raise Sharded_violation;
+    t.rstamp_t.(r) <- now;
+    t.rstamp_core.(r) <- core
+  done
 
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
    (completion latency in cycles, result value).  For [Cas], [operand]
@@ -615,8 +780,8 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
       t.platform.Platform.op_latency Arch.Load ~requester:core
         (view_of_line sl l)
     in
-    Stats.record sl.stats op ~latency:service ~queued:0 ~local:false
-      ~invalidated:0;
+    Stats.record sl.stats op ~latency:service ~queued:0 ~rqueued:0
+      ~local:false ~invalidated:0;
     (match t.trace with
     | Some tr ->
         Trace.emit tr ~ts:now
@@ -625,7 +790,7 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
                post = l.state; dist = dist_of t sl ~core l; lat = service;
                service; queued = 0 })
     | None -> ());
-    sl.last_result <- l.value;
+    sl.last_result <- t.values.(a);
     service
   end
   else begin
@@ -634,14 +799,41 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
     let posted = op = Arch.Store && operand2 = 1 in
     let cost_op = cost_op_of op ~operand ~operand2 in
     let local = is_local_hit l core op in
+    (* a favored CAS retry's request is still posted at the line from
+       the attempt it just lost: it wins the next grant without
+       re-queueing (pending-request arbitration) *)
+    let favored = op = Arch.Cas && l.cas_pending = core && not local in
     (* an exclusive-prefetch probe rides the in-flight transfer's data
        return instead of queueing behind its serialized phase *)
-    let start = if local || is_pfw then now else max now l.busy_until in
-    let queued = start - now in
+    let bypass = local || is_pfw || favored in
+    let start_line = if bypass then now else max now l.busy_until in
     let service =
       t.platform.Platform.op_latency cost_op ~requester:core
         (view_of_line sl l)
     in
+    (* the interconnect resources this transfer crosses: queue behind
+       them (unless bypassing) and hold them for the transfer's service
+       below *)
+    let topo = t.platform.Platform.topo in
+    let npath =
+      if local then 0
+      else Cost_model.fill_path topo ~requester:core (view_of_line sl l)
+          sl.path
+    in
+    if t.sharding && npath > 0 then guard_resources t sl ~core ~now npath;
+    let start =
+      if bypass then now
+      else begin
+        let s = ref start_line in
+        for i = 0 to npath - 1 do
+          let b = t.rbusy.(sl.path.(i)) in
+          if b > !s then s := b
+        done;
+        !s
+      end
+    in
+    let queued = start - now in
+    let rqueued = start - start_line in
     let pre_state = l.state in
     (* pre-transition: the source/sharer set the request actually hit *)
     let tr_dist =
@@ -649,22 +841,45 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
       | Some _ when not local -> dist_of t sl ~core l
       | _ -> Arch.Same_core
     in
-    if not local then
+    if not local then begin
       l.busy_until <-
         max l.busy_until
           (start
           + t.platform.Platform.occupancy cost_op ~state:pre_state
               ~latency:service);
+      for i = 0 to npath - 1 do
+        let r = sl.path.(i) in
+        let held =
+          start + Cost_model.resource_hold topo cost_op ~latency:service r
+        in
+        if held > t.rbusy.(r) then t.rbusy.(r) <- held
+      done
+    end;
     let invalidated = transition t l core op in
-    let observed = l.value in
-    let result = apply_data l op ~operand ~operand2 in
+    let observed = t.values.(a) in
+    let result = apply_data t a op ~operand ~operand2 in
     let result = if fetch && op = Arch.Cas then observed else result in
     l.pfw_owner <- (if is_pfw then Some core else None);
+    (* pending-request arbitration: this access satisfies any request
+       [core] had posted; a CAS that just lost (non-locally) posts its
+       requester for the next grant.  The first posted loser keeps the
+       slot until consumed — its request is already sitting in the
+       line's MSHR, so later losers queue behind it. *)
+    if l.cas_pending = core then l.cas_pending <- -1;
+    if op = Arch.Cas && observed <> operand && not local && l.cas_pending < 0
+    then l.cas_pending <- core;
+    (* store-buffer writes drain through the inclusive LLC; any other
+       write leaves the only valid data in the owner's cache *)
+    (match op with
+    | Arch.Store -> l.llc_dirty <- posted
+    | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> l.llc_dirty <- false
+    | Arch.Load -> ());
     let latency =
       if posted then min service store_buffer_retire else queued + service
     in
     Stats.record sl.stats op ~latency
       ~queued:(if posted then 0 else queued)
+      ~rqueued:(if posted then 0 else rqueued)
       ~local ~invalidated;
     (match t.trace with
     | Some tr ->
@@ -699,6 +914,14 @@ let probe_latency t ~core (op : Arch.memop) (a : addr) : int =
   t.platform.Platform.op_latency op ~requester:core
     (view_of_line t.slots.(0) l)
 
+(* Time resource [r] (a [Cost_model] resource id) is held until
+   (tests/metrics). *)
+let resource_busy t r = t.rbusy.(r)
+
+(* Drop all interconnect-resource occupancy (benchmark setup, mirrors
+   [reset_busy] for lines). *)
+let reset_resources t = Array.fill t.rbusy 0 (Array.length t.rbusy) 0
+
 (* Test/bench helper: drive a line into a wanted state via real protocol
    transitions, like the real ccbench does ("brings the cache line in
    the desired state and then accesses it").  [holder] is the core that
@@ -711,27 +934,33 @@ let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
   Coreset.clear l.sharers;
   l.busy_until <- 0;
   l.pfw_owner <- None;
+  l.cas_pending <- -1;
+  l.llc_dirty <- false;
+  reset_resources t;
   let second =
     if second >= 0 then second
     else (holder + 1) mod t.platform.Platform.topo.Topology.n_cores
   in
-  match st with
+  (match st with
   | Arch.Invalid -> ()
   | Arch.Exclusive ->
       ignore (access t ~core:holder ~now:0 Arch.Load a)
   | Arch.Modified ->
-      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:l.value)
+      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:t.values.(a))
   | Arch.Shared | Arch.Forward ->
       ignore (access t ~core:holder ~now:0 Arch.Load a);
       ignore (access t ~core:second ~now:0 Arch.Load a);
       l.state <- Arch.Shared
   | Arch.Owned ->
       (* dirty at holder, then loaded by another core (MOESI only) *)
-      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:l.value);
+      ignore (access t ~core:holder ~now:0 Arch.Store a ~operand:t.values.(a));
       ignore (access t ~core:second ~now:0 Arch.Load a);
       (match t.platform.Platform.id with
       | Arch.Opteron | Arch.Opteron2 -> ()
       | _ -> invalid_arg "Memory.force_state: Owned requires MOESI");
-      l.busy_until <- 0
+      l.busy_until <- 0);
+  reset_resources t
 
-let reset_busy t a = (line t a).busy_until <- 0
+let reset_busy t a =
+  (line t a).busy_until <- 0;
+  reset_resources t

@@ -2,12 +2,24 @@
     protocol transitions applied by loads/stores/atomics, and the
     virtual-time cost of each access.
 
-    Granularity is one word per cache line (the paper's benchmarks pad
-    shared words to a line each).  Contention is modeled by line
-    occupancy: an exclusive transaction keeps the line's directory
-    entry / home-tile slot busy for its duration, so concurrent
-    requests serialize — the mechanism behind the paper's contention
-    results.
+    Addresses are word-granular; coherence is line-granular.  A line
+    holds up to [Topology.line_words] words: protocol state, occupancy,
+    parked waiters, conflict stamps and PDES residency belong to the
+    line, values to the words.  {!alloc} pads every word to its own
+    line (the paper's benchmarks pad shared words to a line each, so
+    all paper-derived workloads are unchanged); {!alloc_packed}
+    co-locates consecutive words on shared lines, which makes false
+    sharing expressible.
+
+    Contention is modeled by two kinds of occupancy: *line* occupancy
+    (an exclusive transaction keeps the line's directory entry /
+    home-tile slot busy for its serialized phase, so concurrent
+    requests to one line serialize — the paper's contention results)
+    and *resource* occupancy (the transfer also holds the home node's
+    directory and every interconnect link it crosses, so pipelined
+    traffic between the same nodes queues even across different lines —
+    the interconnect-bandwidth term of the two-hop message-passing
+    latencies).
 
     Lines also carry a wait list of parked spinners ({!try_park}):
     threads whose spin probes have become inert local hits are
@@ -24,25 +36,36 @@ type line = {
   mutable owner : int option;  (** core holding Modified/Owned/Exclusive *)
   sharers : Coreset.t;  (** cores holding Shared copies *)
   home : int;  (** home node (directory / home tile / memory) *)
-  mutable value : int;
   mutable busy_until : int;  (** virtual time the line is occupied until *)
   mutable pfw_owner : int option;
       (** core holding the exclusive-prefetch reservation: set by a
           prefetchw probe, cleared by any other real access; foreign
           prefetchw probes degrade to directed read snoops meanwhile *)
+  mutable cas_pending : int;
+      (** core whose CAS just lost on this line ([-1] = none): its
+          request stays posted at the line and wins the next grant
+          (hardware pending-request arbitration), so its retry skips
+          the queue instead of observing a value one transfer stale *)
+  mutable llc_dirty : bool;
+      (** the last write drained through the store buffer into the
+          inclusive LLC: a same-die fetch of this Modified line is an
+          LLC hit, not an owner round trip (Xeon) *)
   mutable waiters : waiter list;  (** parked spinners, FIFO *)
 }
 (** Sharded-execution bookkeeping (residency, conflict stamps, peek
-    generations) is held in side arrays indexed by address — see
+    generations) is held in side arrays indexed by line — see
     {!residency}, {!stamp}, {!peeked_this_window} — so serial runs pay
     nothing for it in line-record size. *)
 
 (** A parked spinner of the loop [probe; while result = w_while: pause
     w_poll; probe]: elided probes sit on the virtual-time grid
     [w_next + i * w_step]; [w_replay] receives the issue time of the
-    first probe that must run for real. *)
+    first probe that must run for real.  A waiter parks on the line but
+    polls one word ([w_addr]); an access to any word of the line
+    revalidates it. *)
 and waiter = {
   w_core : int;
+  w_addr : addr;  (** the word the spin loop polls *)
   w_op : Arch.memop;
   w_operand : int;
   w_operand2 : int;
@@ -68,14 +91,19 @@ val stats : t -> Stats.t
     accumulates directly. *)
 
 val n_lines : t -> int
+val n_words : t -> int
+
+val line_words : t -> int
+(** Words per cache line on this memory's platform. *)
 
 (** {1 Sharded (PDES) execution support}
 
     A sharded engine partitions lines across shards by a residency tag
     and gives each shard its own {!slot} — the mutable per-access
-    scratch (cost-model view, {!last_result} out-parameter, running
-    stats) that concurrent shards must not share.  Serial execution
-    uses slot 0 throughout.  See [Sim] for the execution model. *)
+    scratch (cost-model view, {!last_result} out-parameter,
+    resource-path scratch, running stats) that concurrent shards must
+    not share.  Serial execution uses slot 0 throughout.  See [Sim] for
+    the execution model. *)
 
 type slot
 (** Per-shard scratch + stats; obtained from {!slot}. *)
@@ -88,9 +116,10 @@ exception Sharded_alloc
 
 exception Sharded_violation
 (** Raised by {!peek}/{!poke} from inside a sharded window when the
-    line is resident on another shard — the cost-free accessors bypass
-    the engine's deferral machinery, so a cross-shard one forces an
-    abort to the serial path. *)
+    line is resident on another shard, and by any access whose
+    interconnect path crosses a foreign shard's resource or uses one
+    out of stamp order — neither can be deferred through the engine's
+    residency routing, so the attempt aborts to the serial path. *)
 
 val require_serial : t -> unit
 (** Declare that the workload holds cross-thread state the memory model
@@ -134,18 +163,21 @@ val set_residency : t -> addr -> int -> unit
 
 val assign_residency : t -> shard_of_node:(int -> int) -> from:int -> int
 (** Tag lines [\[from, n_lines)] with the shard of their home node;
-    returns the new high-water mark. *)
+    returns the new high-water mark (a line count). *)
 
 val stamp : t -> addr -> time:int -> tid:int -> bool
-(** Conflict check + stamp: record that the line served an access with
-    key [(time, tid)].  Returns [false] — without stamping — when the
-    line has already served a later-keyed access (or a same-time access
-    by a different thread, whose serial order is unreconstructable):
-    the sharded schedule has diverged from the serial one and the
-    engine must abort and re-run serially. *)
+(** Conflict check + stamp: record that [addr]'s line served an access
+    with key [(time, tid)].  Returns [false] — without stamping — when
+    the line has already served a later-keyed access (or a same-time
+    access by a different thread, whose serial order is
+    unreconstructable): the sharded schedule has diverged from the
+    serial one and the engine must abort and re-run serially.  Stamps
+    are line-granular: packed words on one line conflict exactly like
+    one shared word. *)
 
 val clear_stamps : t -> unit
-(** Reset every line's touched stamp (start of a sharded run). *)
+(** Reset every line and resource stamp (start of a sharded run); also
+    arms the resource ownership/stamp guards for this memory. *)
 
 val access_lat_in :
   ?operand:int -> ?operand2:int -> ?fetch:bool -> t -> slot:slot ->
@@ -161,10 +193,19 @@ val try_park_in :
 (** {!try_park} against an explicit shard slot. *)
 
 val alloc : ?home_core:int -> ?value:int -> t -> addr
-(** Allocate one line homed at [home_core]'s memory node (first-touch). *)
+(** Allocate one word padded to its own line, homed at [home_core]'s
+    memory node (first-touch). *)
 
 val alloc_n : ?home_core:int -> ?value:int -> t -> int -> addr
-(** Allocate [n] consecutive lines; returns the first address. *)
+(** Allocate [n] consecutive padded words (one line each); returns the
+    first address. *)
+
+val alloc_packed : ?home_core:int -> ?value:int -> t -> int -> addr
+(** Allocate [n] consecutive words packed onto as few lines as the
+    platform's line size allows (ceil(n / {!line_words}) lines, all
+    homed at [home_core]'s node); returns the first address.  Words of
+    one line share coherence state, occupancy and waiters — the
+    allocator that makes false sharing happen. *)
 
 val access :
   ?operand:int -> ?operand2:int -> ?fetch:bool -> t -> core:int -> now:int ->
@@ -220,7 +261,18 @@ val probe_latency : t -> core:int -> Arch.memop -> addr -> int
 (** Expected service latency of [op] right now, without performing it. *)
 
 val line : t -> addr -> line
-(** Raw line state (tests/debug). *)
+(** The line holding word [a] (tests/debug).  Two addresses alias the
+    same line iff [line t a == line t b]; see also {!same_line}. *)
+
+val same_line : t -> addr -> addr -> bool
+(** Do two addresses share a cache line? (tests/metrics) *)
+
+val resource_busy : t -> int -> int
+(** Virtual time interconnect resource [r] (a [Cost_model] resource id)
+    is held until (tests/metrics). *)
+
+val reset_resources : t -> unit
+(** Drop all interconnect-resource occupancy (benchmark setup). *)
 
 val peek : t -> addr -> int
 (** Read a value with no cost and no protocol transition. *)
@@ -232,7 +284,10 @@ val force_state :
   t -> holder:int -> ?second:int -> Arch.cstate -> addr -> unit
 (** Drive a line into a state via real protocol transitions, as the
     original ccbench does; [holder] ends up holding the line, [second]
-    is the extra sharer used for [Shared]/[Owned]. *)
+    is the extra sharer used for [Shared]/[Owned].  Also clears all
+    interconnect-resource occupancy so isolated latency probes see an
+    idle machine. *)
 
 val reset_busy : t -> addr -> unit
-(** Clear the line's occupancy (benchmark setup). *)
+(** Clear the line's occupancy and all interconnect-resource occupancy
+    (benchmark setup). *)

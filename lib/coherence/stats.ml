@@ -11,7 +11,11 @@ type t = {
   atomics : counter;
   mutable local_hits : int;
   mutable invalidations : int; (* copies killed by exclusive requests *)
-  mutable queued_cycles : int; (* cycles spent waiting on busy lines *)
+  mutable queued_cycles : int; (* cycles spent waiting on busy lines,
+                                  including the resource wait below *)
+  mutable link_queued_cycles : int;
+      (* the part of [queued_cycles] spent waiting on busy interconnect
+         links / home directories rather than the target line itself *)
   mutable elided_probes : int; (* inert spin probes accounted in bulk *)
 }
 
@@ -23,6 +27,7 @@ let create () =
     local_hits = 0;
     invalidations = 0;
     queued_cycles = 0;
+    link_queued_cycles = 0;
     elided_probes = 0;
   }
 
@@ -32,13 +37,14 @@ let counter_for t (op : Ssync_platform.Arch.memop) =
   | Store -> t.stores
   | Cas | Fai | Tas | Swap -> t.atomics
 
-let record t op ~latency ~queued ~local ~invalidated =
+let record t op ~latency ~queued ~rqueued ~local ~invalidated =
   let c = counter_for t op in
   c.count <- c.count + 1;
   c.cycles <- c.cycles + latency;
   if local then t.local_hits <- t.local_hits + 1;
   t.invalidations <- t.invalidations + invalidated;
-  t.queued_cycles <- t.queued_cycles + queued
+  t.queued_cycles <- t.queued_cycles + queued;
+  t.link_queued_cycles <- t.link_queued_cycles + rqueued
 
 (* Bulk accounting for [count] elided spin probes of [latency] cycles
    each — exactly what [count] calls of [record] with [~queued:0
@@ -66,6 +72,7 @@ let add dst src =
   dst.local_hits <- dst.local_hits + src.local_hits;
   dst.invalidations <- dst.invalidations + src.invalidations;
   dst.queued_cycles <- dst.queued_cycles + src.queued_cycles;
+  dst.link_queued_cycles <- dst.link_queued_cycles + src.link_queued_cycles;
   dst.elided_probes <- dst.elided_probes + src.elided_probes
 
 (* Zero every field in place — used to reset a shard slot's stats after
@@ -81,6 +88,7 @@ let reset t =
   t.local_hits <- 0;
   t.invalidations <- 0;
   t.queued_cycles <- 0;
+  t.link_queued_cycles <- 0;
   t.elided_probes <- 0
 
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count
@@ -92,7 +100,7 @@ let mean_latency c =
 let pp ppf t =
   Format.fprintf ppf
     "loads=%d (avg %.1f cy) stores=%d (avg %.1f cy) atomics=%d (avg %.1f cy) \
-     local-hits=%d invalidations=%d queued=%d cy"
+     local-hits=%d invalidations=%d queued=%d cy (links/dirs %d cy)"
     t.loads.count (mean_latency t.loads) t.stores.count (mean_latency t.stores)
     t.atomics.count (mean_latency t.atomics) t.local_hits t.invalidations
-    t.queued_cycles
+    t.queued_cycles t.link_queued_cycles

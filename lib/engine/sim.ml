@@ -284,6 +284,7 @@ let lookahead_of (platform : Platform.t) =
       owner = None;
       sharers = Coreset.create ();
       home = 0;
+      llc_dirty = false;
     }
   in
   let n0 = topo.Topology.node_of_core 0 in
@@ -297,7 +298,14 @@ let lookahead_of (platform : Platform.t) =
       if l < !best then best := l
     end
   done;
-  if !best = max_int then 64 else max 1 !best
+  let scan = if !best = max_int then 64 else max 1 !best in
+  (* Interconnect resources queue at finer grain than whole transfers:
+     the earliest a shard can hold a resource another shard reads is
+     one minimum resource hold after window start, so the window must
+     not be wider than that either. *)
+  match Cost_model.min_resource_hold topo with
+  | Some h -> max 1 (min scan h)
+  | None -> scan
 
 let create ?(faults = Fault.none) ?parking ?shards platform =
   let faults = Fault.validate faults in

@@ -20,6 +20,11 @@ type view = {
   mutable owner : int option;
   mutable sharers : Coreset.t;
   mutable home : int;
+  mutable llc_dirty : bool;
+      (* the last write drained through a store buffer, so on an
+         inclusive-LLC machine (Xeon) the home LLC already holds the
+         dirty data: a same-die fetch is an LLC hit, not an owner-cache
+         round trip.  Cleared by any non-posted write. *)
 }
 
 let uncached v = v.owner = None && Coreset.is_empty v.sharers
@@ -214,6 +219,14 @@ let xeon_row3 (d : Arch.distance) (v : int array) =
   | Two_hops | Max_hops -> v.(2)
 
 let x_load_modified = [| 109; 289; 400 |]
+
+(* Same-die fetch of a Modified line whose data already drained to the
+   inclusive LLC through the owner's store buffer: served as an LLC hit
+   plus the back-invalidate of the owner's L1/L2 copy, not the full
+   directory-mediated owner round trip.  (The Table 2 calibration path
+   dirties lines with ordinary fenced stores, which never set
+   [llc_dirty], so the 109-cycle cell above is untouched.) *)
+let x_load_modified_llc_hit = 83
 let x_load_exclusive = [| 92; 273; 383 |]
 let x_load_shared = [| 44; 223; 334 |]
 let x_fill = [| 355; 492; 601 |]
@@ -238,7 +251,10 @@ let xeon_latency (t : Topology.t) (op : Arch.memop) ~requester v =
       if holds v requester then 5 (* L1 hit *)
       else
         match v.state with
-        | Arch.Modified -> xeon_row3 class_of_source x_load_modified
+        | Arch.Modified ->
+            if v.llc_dirty && rank_of_class class_of_source <= 1 then
+              x_load_modified_llc_hit
+            else xeon_row3 class_of_source x_load_modified
         | Arch.Exclusive -> xeon_row3 class_of_source x_load_exclusive
         | Arch.Shared | Arch.Forward | Arch.Owned -> xeon_row3 class_of_source x_load_shared
         | Arch.Invalid -> xeon_row3 class_of_source x_fill)
@@ -396,7 +412,8 @@ let scaled_small big_latency (t : Topology.t) ratio op ~requester v =
       if Some m <> fake_owner then Coreset.add fake_sharers m)
     v.sharers;
   let fake =
-    { state = v.state; owner = fake_owner; sharers = fake_sharers; home = 0 }
+    { state = v.state; owner = fake_owner; sharers = fake_sharers; home = 0;
+      llc_dirty = v.llc_dirty }
   in
   let intra = big_latency op ~requester:0 fake in
   let rnode = t.node_of_core requester in
@@ -502,3 +519,175 @@ let occupancy (t : Topology.t) (op : Arch.memop) ~(state : Arch.cstate)
   | (Arch.Niagara, _) -> min latency 60
   | (Arch.Tilera, Arch.Load) -> min latency 12
   | (Arch.Tilera, _) -> min latency 90
+
+(* ------------------------------------------------------------------ *)
+(* Finite-bandwidth interconnect & directory resources.
+
+   Line occupancy above serializes requests *to one line*; these
+   resources serialize the shared hardware a message crosses on the
+   way: the home node's directory / memory controller (the Opteron's
+   probe filter, a Xeon LLC slice + home agent, a Tilera home tile's
+   L2 slice controller) and each interconnect link on the route from
+   the requester to the data source (HyperTransport hops, QPI hops,
+   mesh links).  A transfer holds every resource on its path for a
+   platform-specific service time; a later message whose path shares a
+   resource starts only once it is free.  This is pure queueing: an
+   isolated access still costs exactly [op_latency], so the Table 2/3
+   calibration is unchanged — what changes is pipelined traffic
+   (message passing, lock handoffs, false sharing across lines with a
+   common home), which now pays for bandwidth the old model treated as
+   infinite.
+
+   The Niagara has no modeled resources: its crossbar is uniform and
+   its LLC is banked by address, so the per-line occupancy already is
+   the shared-resource bottleneck (and with a single memory node, a
+   home-directory resource would serialize the whole machine in a way
+   the real part does not).
+
+   Resource ids are dense ints so the memory model can keep busy-until
+   times in flat arrays: [0, n_nodes) are home directories, the rest
+   unordered node-pair links. *)
+
+let n_resources (t : Topology.t) = t.n_nodes + (t.n_nodes * t.n_nodes)
+
+let link_resource (t : Topology.t) a b =
+  let lo = min a b and hi = max a b in
+  t.n_nodes + (lo * t.n_nodes) + hi
+
+(* A path is at most: home directory + 10 mesh links (opposite Tilera
+   corners). *)
+let max_path_len = 12
+
+let has_resources (t : Topology.t) =
+  match t.id with Arch.Niagara -> false | _ -> true
+
+(* Fill [path] with the resources crossed by [requester]'s non-local
+   access on a line described by [v]: the home directory plus each
+   link on a deterministic route from the requester's node to the data
+   source's node (the home node when the line is uncached).  Returns
+   the number of entries written.  Fully node-local transfers (home
+   and data source both on the requester's node) cross no finite
+   resource: on-die bandwidth to the local controller is an order of
+   magnitude above the cross-node fabric's, so only traffic that
+   leaves the node queues.  Routes are deterministic so the same
+   access always queues on the same hardware: one direct link per hop
+   on the multi-sockets (2-hop pairs route through the lowest
+   intermediate node minimizing the detour), dimension-ordered
+   X-then-Y on the Tilera mesh. *)
+let fill_path (t : Topology.t) ~requester (v : view) (path : int array) : int =
+  match t.id with
+  | Arch.Niagara -> 0
+  | Arch.Tilera ->
+      let rnode = t.node_of_core requester in
+      let dst = v.home in
+      if rnode = dst then 0
+      else begin
+      path.(0) <- dst;
+      let n = ref 1 in
+      let dim = Topology.tilera_dim in
+      let x = ref (rnode mod dim) and y = ref (rnode / dim) in
+      let dx = dst mod dim and dy = dst / dim in
+      let cur = ref rnode in
+      while !x <> dx do
+        let nx = if dx > !x then !x + 1 else !x - 1 in
+        let nxt = (!y * dim) + nx in
+        path.(!n) <- link_resource t !cur nxt;
+        incr n;
+        cur := nxt;
+        x := nx
+      done;
+      while !y <> dy do
+        let ny = if dy > !y then !y + 1 else !y - 1 in
+        let nxt = (ny * dim) + !x in
+        path.(!n) <- link_resource t !cur nxt;
+        incr n;
+        cur := nxt;
+        y := ny
+      done;
+      !n
+      end
+  | Arch.Opteron | Arch.Opteron2 | Arch.Xeon | Arch.Xeon2 ->
+      let rnode = t.node_of_core requester in
+      let snode =
+        match source_core t ~requester v with
+        | Some c -> t.node_of_core c
+        | None -> v.home
+      in
+      if rnode = snode && rnode = v.home then 0
+      else begin
+      path.(0) <- v.home;
+      let n = ref 1 in
+      let h = t.node_hops rnode snode in
+      if h = 1 then begin
+        path.(1) <- link_resource t rnode snode;
+        n := 2
+      end
+      else if h >= 2 then begin
+        let best = ref rnode and best_cost = ref max_int in
+        for m = 0 to t.n_nodes - 1 do
+          if m <> rnode && m <> snode then begin
+            let c = t.node_hops rnode m + t.node_hops m snode in
+            if c < !best_cost then begin
+              best_cost := c;
+              best := m
+            end
+          end
+        done;
+        path.(1) <- link_resource t rnode !best;
+        path.(2) <- link_resource t !best snode;
+        n := 3
+      end;
+      !n
+      end
+
+(* How long one message holds a home directory: a lookup/update slot in
+   the probe filter (Opteron), LLC slice home agent (Xeon) or home
+   tile's slice controller (Tilera). *)
+let dir_hold (t : Topology.t) (_op : Arch.memop) : int =
+  match t.id with
+  | Arch.Niagara -> 0
+  | Arch.Opteron | Arch.Opteron2 | Arch.Xeon | Arch.Xeon2 | Arch.Tilera -> 1
+
+(* How long one message holds each link it crosses.  Exclusive
+   transfers (stores, atomics) carry the full line payload plus the
+   invalidation/ack traffic, so they occupy the path for a large
+   fraction of their service latency; read transfers pipeline their
+   data return harder.  The floor is the link's per-message
+   serialization cost (header + payload flits). *)
+let link_hold (t : Topology.t) (op : Arch.memop) ~latency:_ : int =
+  match t.id with
+  | Arch.Niagara -> 0
+  | Arch.Opteron | Arch.Opteron2 -> (
+      match op with
+      | Arch.Load -> 16
+      | Arch.Store | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> 24)
+  | Arch.Xeon | Arch.Xeon2 -> (
+      match op with
+      | Arch.Load -> 12
+      | Arch.Store | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> 18)
+  | Arch.Tilera -> (
+      (* the DDC hashes homes across tiles on the real machine; with
+         every allocation homed on one tile here, full-size mesh holds
+         would overcharge the two links into that tile *)
+      match op with
+      | Arch.Load -> 2
+      | Arch.Store | Arch.Cas | Arch.Fai | Arch.Tas | Arch.Swap -> 3)
+
+let resource_hold (t : Topology.t) (op : Arch.memop) ~latency r : int =
+  if r < t.n_nodes then dir_hold t op else link_hold t op ~latency
+
+(* Smallest positive hold any message can impose on a shared resource —
+   the floor a PDES lookahead window must respect now that one shard's
+   traffic can delay another's through a shared link or directory.
+   [None] on platforms with no modeled resources. *)
+let min_resource_hold (t : Topology.t) : int option =
+  if not (has_resources t) then None
+  else
+    let m = ref max_int in
+    List.iter
+      (fun (op : Arch.memop) ->
+        let d = dir_hold t op and l = link_hold t op ~latency:1 in
+        if d > 0 && d < !m then m := d;
+        if l > 0 && l < !m then m := l)
+      [ Arch.Load; Arch.Store; Arch.Cas ];
+    if !m = max_int then None else Some !m

@@ -15,6 +15,11 @@ type t = {
   node_hops : int -> int -> int;  (* hop distance between two nodes *)
   place : int -> int;     (* thread index -> core id *)
   mem_node_of_core : int -> int;  (* memory/home node used for first-touch allocation *)
+  line_words : int;
+  (* Words per cache line (64-byte lines, 8-byte words, on all four
+     platforms — Table 1).  Padded allocations still place one word per
+     line; packed allocations co-locate up to [line_words] words on one
+     line, which is what makes false sharing expressible. *)
   clock_ghz : float;
   local_work_cycles : int;
   (* Cycles a simulated thread spends on the core-local part of a
@@ -67,6 +72,7 @@ let opteron =
     node_hops = opteron_die_hops;
     place = (fun i -> i);  (* fill die 0 first, then die 1, ... *)
     mem_node_of_core = (fun c -> c / 6);
+    line_words = 8;
     clock_ghz = 2.1;
     local_work_cycles = 40;
   }
@@ -106,6 +112,7 @@ let xeon =
     node_hops = xeon_socket_hops;
     place = (fun i -> i);
     mem_node_of_core = (fun c -> c / 10);
+    line_words = 8;
     clock_ghz = 2.13;
     local_work_cycles = 40;
   }
@@ -139,6 +146,7 @@ let niagara =
     node_hops = (fun n1 n2 -> if n1 = n2 then 0 else 1);
     place = (fun i -> i);  (* context i lives on physical core i mod 8 *)
     mem_node_of_core = (fun _ -> 0);  (* single memory node (Table 1) *)
+    line_words = 8;
     clock_ghz = 1.2;
     local_work_cycles = 240;
   }
@@ -164,6 +172,7 @@ let tilera =
     node_hops = tilera_tile_hops;
     place = (fun i -> i);
     mem_node_of_core = (fun c -> c);  (* home tile = allocating tile *)
+    line_words = 8;
     clock_ghz = 1.2;
     local_work_cycles = 120;
   }

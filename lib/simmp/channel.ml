@@ -44,10 +44,15 @@ type t = {
 
 (* The T2's fences/atomics make its libssmp path comparatively heavy
    (Figure 9: 181 cycles one-way for two contexts of one core whose raw
-   line transfer costs ~24). *)
-let platform_sw_pause (p : Platform.t) =
+   line transfer costs ~24).  The overhead is distance-classed: two
+   contexts of one physical core share the L1 and the pipeline's store
+   path, so the flag checks and fences around each message resolve
+   faster than when the endpoints cross the crossbar. *)
+let platform_sw_pause (p : Platform.t) ~sender_core ~receiver_core =
   match p.Platform.id with
-  | Arch.Niagara -> 85
+  | Arch.Niagara ->
+      if Topology.same_node p.Platform.topo sender_core receiver_core then 75
+      else 85
   | Arch.Tilera -> 20
   | Arch.Opteron | Arch.Xeon | Arch.Opteron2 | Arch.Xeon2 -> 0
 
@@ -73,7 +78,9 @@ let create ?(prefetchw = false) ?(use_hw = true) mem (platform : Platform.t)
         Coherence { buf = Memory.alloc ~home_core:receiver_core mem; prefetchw }
   in
   let sw_pause =
-    match impl with Hardware _ -> 0 | Coherence _ -> platform_sw_pause platform
+    match impl with
+    | Hardware _ -> 0
+    | Coherence _ -> platform_sw_pause platform ~sender_core ~receiver_core
   in
   let trace =
     match Trace.current () with

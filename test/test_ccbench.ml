@@ -86,6 +86,33 @@ let test_figure4_multi_socket_collapse () =
     (Printf.sprintf "Niagara TAS (%.1f) > CAS-based FAI (%.1f)" n16 nfai)
     true (n16 > nfai)
 
+(* F4: a CAS that loses keeps its request posted at the line and wins
+   the next grant (pending-request arbitration), so its retry is not
+   doomed by an expected value one full transfer stale.  The bands lock
+   in the arbitration's moderate-contention throughput and the paper's
+   extreme-contention collapse shape. *)
+let test_figure4_niagara_cas_fai_band () =
+  let fai threads =
+    (Atomic_bench.throughput ~duration:300_000 Arch.Niagara
+       Atomic_bench.Op_cas_fai ~threads)
+      .Ssync_engine.Harness.mops
+  in
+  let t8 = fai 8 and t16 = fai 16 and t64 = fai 64 in
+  check_bool
+    (Printf.sprintf "8t holds with arbitration (%.2f >= 4.5)" t8)
+    true (t8 >= 4.5);
+  check_bool
+    (Printf.sprintf "16t holds with arbitration (%.2f >= 2.2)" t16)
+    true (t16 >= 2.2);
+  check_bool
+    (Printf.sprintf "64t degrades no harder than the paper (%.2f >= 0.45)" t64)
+    true (t64 >= 0.45);
+  check_bool
+    (Printf.sprintf "extreme contention still collapses (%.2f < %.2f / 4)" t64
+       t8)
+    true
+    (t64 < t8 /. 4.)
+
 let test_figure4_single_thread_fast_on_x86 () =
   let fai pid =
     (Atomic_bench.throughput ~duration:200_000 pid Atomic_bench.Op_fai
@@ -173,6 +200,8 @@ let suite =
     Alcotest.test_case "Opteron worst-case directory (section 5.2)" `Quick
       test_opteron_worst_case_directory;
     Alcotest.test_case "Figure 4 shapes" `Slow test_figure4_multi_socket_collapse;
+    Alcotest.test_case "Figure 4: Niagara CAS-FAI arbitration band" `Slow
+      test_figure4_niagara_cas_fai_band;
     Alcotest.test_case "Figure 4: x86 single-thread fast" `Slow
       test_figure4_single_thread_fast_on_x86;
     Alcotest.test_case "Figure 6: distance monotonic on Opteron" `Quick

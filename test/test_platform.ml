@@ -100,13 +100,14 @@ let view_for topo ~holder ?(second = None) (st : Arch.cstate) :
   let home = topo.Topology.mem_node_of_core holder in
   match st with
   | Arch.Modified | Arch.Exclusive ->
-      { state = st; owner = Some holder; sharers = Coreset.of_list []; home }
+      { state = st; owner = Some holder; sharers = Coreset.of_list []; home; llc_dirty = false }
   | Arch.Owned ->
       {
         state = st;
         owner = Some holder;
         sharers = Coreset.of_list (match second with Some s -> [ s ] | None -> []);
         home;
+        llc_dirty = false;
       }
   | Arch.Shared | Arch.Forward ->
       {
@@ -116,8 +117,9 @@ let view_for topo ~holder ?(second = None) (st : Arch.cstate) :
           Coreset.of_list
             (holder :: (match second with Some s -> [ s ] | None -> []));
         home;
+        llc_dirty = false;
       }
-  | Arch.Invalid -> { state = st; owner = None; sharers = Coreset.of_list []; home }
+  | Arch.Invalid -> { state = st; owner = None; sharers = Coreset.of_list []; home; llc_dirty = false }
 
 let tolerance_ok ~expected ~actual =
   let e = float_of_int expected and a = float_of_int actual in
@@ -175,6 +177,7 @@ let test_local_hits_cheap () =
           owner = Some 0;
           sharers = Coreset.of_list [];
           home = topo.Topology.mem_node_of_core 0;
+          llc_dirty = false;
         }
       in
       let lat = Cost_model.op_latency topo Arch.Load ~requester:0 v in
@@ -189,10 +192,10 @@ let test_opteron_store_shared_broadcast () =
   let topo = Topology.opteron in
   let home = 0 in
   let shared : Cost_model.view =
-    { state = Arch.Shared; owner = None; sharers = Coreset.of_list [ 1; 2 ]; home }
+    { state = Arch.Shared; owner = None; sharers = Coreset.of_list [ 1; 2 ]; home; llc_dirty = false }
   in
   let excl : Cost_model.view =
-    { state = Arch.Exclusive; owner = Some 1; sharers = Coreset.of_list []; home }
+    { state = Arch.Exclusive; owner = Some 1; sharers = Coreset.of_list []; home; llc_dirty = false }
   in
   let s_lat = Cost_model.op_latency topo Arch.Store ~requester:0 shared in
   let e_lat = Cost_model.op_latency topo Arch.Store ~requester:0 excl in
@@ -209,6 +212,7 @@ let test_xeon_intra_socket_locality () =
       owner = None;
       sharers = Coreset.of_list [ holder ];
       home = topo.Topology.mem_node_of_core holder;
+      llc_dirty = false;
     }
   in
   let local = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
@@ -222,10 +226,10 @@ let test_opteron_directory_penalty () =
      2-hop transfer grows from 252 toward ~312 cycles. *)
   let topo = Topology.opteron in
   let best : Cost_model.view =
-    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 3 }
+    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 3; llc_dirty = false }
   in
   let worst : Cost_model.view =
-    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 5 }
+    { state = Arch.Modified; owner = Some 18; sharers = Coreset.of_list []; home = 5; llc_dirty = false }
   in
   (* requester 0 is die 0; owner 18 is die 3; die 5 is 2 hops from die 0 *)
   let b = Cost_model.op_latency topo Arch.Load ~requester:0 best in
@@ -239,7 +243,7 @@ let test_niagara_uniformity () =
   List.iter
     (fun sharers ->
       let v : Cost_model.view =
-        { state = Arch.Shared; owner = None; sharers = Coreset.of_list sharers; home = 0 }
+        { state = Arch.Shared; owner = None; sharers = Coreset.of_list sharers; home = 0; llc_dirty = false }
       in
       check_int "niagara store" 24
         (Cost_model.op_latency topo Arch.Store ~requester:3 v))
@@ -248,7 +252,7 @@ let test_niagara_uniformity () =
 let test_tilera_distance_sensitivity () =
   let topo = Topology.tilera in
   let mk home : Cost_model.view =
-    { state = Arch.Modified; owner = Some home; sharers = Coreset.of_list []; home }
+    { state = Arch.Modified; owner = Some home; sharers = Coreset.of_list []; home; llc_dirty = false }
   in
   let near = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in
   let far = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 35) in
@@ -268,6 +272,7 @@ let test_small_platform_ratios () =
           owner = Some holder;
           sharers = Coreset.of_list [];
           home = topo.Topology.mem_node_of_core holder;
+          llc_dirty = false;
         }
       in
       let intra = Cost_model.op_latency topo Arch.Load ~requester:0 (mk 1) in

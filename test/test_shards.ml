@@ -188,6 +188,12 @@ let test_fig9_identical () = check_section "fig9" (fun () -> Figures.fig9 ())
 let test_fig11_identical () =
   check_section "fig11" (fun () -> Figures_app.fig11 ~duration:20_000 ())
 
+let test_false_sharing_identical () =
+  (* packed lines are the workload most likely to straddle shards:
+     line-granular stamps must keep the sharded run byte-identical *)
+  check_section "false-sharing" (fun () ->
+      Figures.false_sharing ~duration:20_000 ())
+
 (* ----------------------- faults and tracing ------------------------ *)
 
 let faulty_workload () =
@@ -268,6 +274,8 @@ let suite =
       test_fig9_identical;
     Alcotest.test_case "fig11 (quick) byte-identical with --shards 4" `Quick
       test_fig11_identical;
+    Alcotest.test_case "false-sharing byte-identical with --shards 4" `Quick
+      test_false_sharing_identical;
     Alcotest.test_case "crash-stop faults force serial" `Quick
       test_crash_faults_force_serial;
     Alcotest.test_case "traced chrome export byte-identical" `Quick

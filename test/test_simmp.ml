@@ -130,28 +130,31 @@ let test_mp_distance_sensitivity () =
    distances of each coherence-based platform must land within 30% of
    the paper's measurement.  These pin the overlapped-transfer channel
    model (posted stores, exclusive-probe receives) to absolute numbers,
-   not just orderings. *)
+   not just orderings.  Two cells carry a 10% band: the Opteron
+   two-hop (the interconnect-occupancy calibration point — links and
+   directories queued per hop) and the Xeon same-die (the
+   dirty-LLC-hit fetch of a Modified line). *)
 let test_figure9_endpoints () =
   let cases =
     [
-      ("Opteron same-die", Arch.Opteron, Arch.Same_die, 262.);
-      ("Opteron two-hops", Arch.Opteron, Arch.Two_hops, 660.);
-      ("Xeon same-die", Arch.Xeon, Arch.Same_die, 214.);
-      ("Xeon two-hops", Arch.Xeon, Arch.Two_hops, 1167.);
-      ("Niagara same-core", Arch.Niagara, Arch.Same_core, 181.);
-      ("Niagara same-die", Arch.Niagara, Arch.Same_die, 249.);
+      ("Opteron same-die", Arch.Opteron, Arch.Same_die, 262., 0.30);
+      ("Opteron two-hops", Arch.Opteron, Arch.Two_hops, 660., 0.10);
+      ("Xeon same-die", Arch.Xeon, Arch.Same_die, 214., 0.10);
+      ("Xeon two-hops", Arch.Xeon, Arch.Two_hops, 1167., 0.30);
+      ("Niagara same-core", Arch.Niagara, Arch.Same_core, 181., 0.30);
+      ("Niagara same-die", Arch.Niagara, Arch.Same_die, 249., 0.30);
     ]
   in
   List.iter
-    (fun (label, pid, distance, paper) ->
+    (fun (label, pid, distance, paper, tolerance) ->
       match Ssync_ccbench.Mp_bench.one_to_one pid distance with
       | None -> Alcotest.fail (label ^ ": no core pair at that distance")
       | Some r ->
           let err = abs_float (r.one_way -. paper) /. paper in
           check_bool
-            (Printf.sprintf "%s one-way %.0f within 30%% of paper %.0f" label
-               r.one_way paper)
-            true (err <= 0.30))
+            (Printf.sprintf "%s one-way %.0f within %.0f%% of paper %.0f"
+               label r.one_way (100. *. tolerance) paper)
+            true (err <= tolerance))
     cases
 
 let test_prefetchw_speedup () =
