@@ -138,11 +138,14 @@ let perf_json_fields sp =
   let p = sp.sp_perf in
   Printf.sprintf
     "\"cpu_s\":%.3f,\"events\":%d,\"parks\":%d,\"wakeups\":%d,\
-     \"elided_probes\":%d,\"sim_cycles\":%d,\"sim_mcycles_per_s\":%.1f"
+     \"elided_probes\":%d,\"sim_cycles\":%d,\"sim_mcycles_per_s\":%.1f,\
+     \"speculative_replays\":%d,\"serial_escalations\":%d"
     sp.sp_cpu_s p.Ssync_engine.Sim.events p.Ssync_engine.Sim.parks
     p.Ssync_engine.Sim.wakeups p.Ssync_engine.Sim.elided_probes
     p.Ssync_engine.Sim.sim_cycles
     (sim_mcps ~cpu_s:sp.sp_cpu_s ~sim_cycles:p.Ssync_engine.Sim.sim_cycles)
+    p.Ssync_engine.Sim.speculative_replays
+    p.Ssync_engine.Sim.serial_escalations
 
 let write_perf_json ~quick ~jobs ~shards ~total_wall sps =
   let oc = open_out "BENCH_PERF.json" in
@@ -221,9 +224,10 @@ let section_time line =
 
 type file_perf = {
   fp_mode : string;
-  fp_sections : (string * float * float option * float option) list;
-      (* section -> cpu_s (or wall_s), events and sim Mcy/s when the
-         format has them *)
+  fp_sections :
+    (string * float * float option * float option * float option) list;
+      (* section -> cpu_s (or wall_s), then events, sim Mcy/s and
+         sim_cycles when the format has them *)
   fp_events : float;
   fp_mcps : float; (* simulated Mcycles per cpu second *)
 }
@@ -255,8 +259,11 @@ let perf_summary path =
             match section_time l with
             | Some t ->
                 Some
-                  (name, t, field_num l "events",
-                   field_num l "sim_mcycles_per_s")
+                  ( name,
+                    t,
+                    field_num l "events",
+                    field_num l "sim_mcycles_per_s",
+                    field_num l "sim_cycles" )
             | None -> None)
         | _ -> None)
       lines
@@ -304,12 +311,12 @@ let compare_perf baseline_path fresh_path =
   if f.fp_mcps < 0.75 *. b.fp_mcps then
     fail "simulated cycles per cpu second dropped >25%% (hot-path slowdown?)";
   List.iter
-    (fun (name, ft, fev, fmcps) ->
+    (fun (name, ft, fev, fmcps, fscy) ->
       match
-        List.find_opt (fun (n, _, _, _) -> n = name) b.fp_sections
+        List.find_opt (fun (n, _, _, _, _) -> n = name) b.fp_sections
       with
       | None -> ()
-      | Some (_, bt, bev, bmcps) ->
+      | Some (_, bt, bev, bmcps, _) ->
           (* Per-section cpu time, with a deliberately generous
              threshold: the numbers are one-shot wall measurements on a
              possibly noisy host, so only flag a section that both blew
@@ -340,14 +347,27 @@ let compare_perf baseline_path fresh_path =
              that pays it.  Only sections with a non-trivial baseline
              cpu budget are judged — tiny sections' one-shot timings
              are mostly noise. *)
-          (match (bmcps, fmcps) with
-          | Some bm, Some fm when bt >= 0.5 && bm > 0. && fm < 0.75 *. bm ->
+          (* Sections that run no simulated cycles (native-execution
+             tables, render-only extras) have no simulator throughput
+             to judge — cpu time there is dominated by host execution,
+             so a Mcy/s ratio would be 0/0 noise.  Say so out loud
+             rather than leaving a silent hole in the report. *)
+          match fscy with
+          | Some 0. ->
               Printf.printf
-                "  section %-22s %8.1f -> %8.1f sim Mcy/s  (limit -25%%)\n"
-                name bm fm;
-              fail "section %s: sim Mcy/s %.1f -> %.1f (limit -25%%)" name bm
-                fm
-          | _ -> ()))
+                "  section %-22s (sim_cycles 0: native section, throughput \
+                 check skipped)\n"
+                name
+          | _ -> (
+              match (bmcps, fmcps) with
+              | Some bm, Some fm when bt >= 0.5 && bm > 0. && fm < 0.75 *. bm
+                ->
+                  Printf.printf
+                    "  section %-22s %8.1f -> %8.1f sim Mcy/s  (limit -25%%)\n"
+                    name bm fm;
+                  fail "section %s: sim Mcy/s %.1f -> %.1f (limit -25%%)" name
+                    bm fm
+              | _ -> ()))
     f.fp_sections;
   match List.rev !failures with
   | [] -> Printf.printf "OK: within budget\n"

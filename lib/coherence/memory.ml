@@ -60,7 +60,9 @@ type line = {
   mutable state : Arch.cstate;
   mutable owner : int option;   (* core holding Modified/Owned/Exclusive *)
   sharers : Coreset.t;          (* cores holding Shared copies *)
-  home : int;                   (* home node (directory / home tile / memory) *)
+  mutable home : int;           (* home node (directory / home tile / memory);
+                                   mutable only so disposed memories can
+                                   recycle line records in place *)
   mutable busy_until : int;     (* virtual time the line is occupied until *)
   mutable pfw_owner : int option;
       (* core holding an exclusive-prefetch reservation (section 5.3):
@@ -122,6 +124,42 @@ type slot = {
   stats : Stats.t;
 }
 
+(* Undo-journal checkpoint for speculative replay ([Sim]): the engine
+   checkpoints once at virtual time 0 (after workload setup, before any
+   thread is spawned) and, when a sharded attempt aborts on a conflict,
+   [restore]s and replays instead of rebuilding the whole job serially.
+   The journal records the *pre-image* of every line and word first
+   touched since the checkpoint (first-touch epochs in [jline_gen]/
+   [jword_gen] keep it O(dirty set)); the small resource arrays and the
+   slot-0 stats are snapshotted wholesale.  Lines/words allocated after
+   the checkpoint are simply truncated away on restore — replays
+   re-execute the same deterministic bodies, so they re-allocate the
+   same ids. *)
+type jline = {
+  jl_li : int;
+  jl_state : Arch.cstate;
+  jl_owner : int option;
+  jl_sharers : Coreset.t;       (* private copy *)
+  jl_busy : int;
+  jl_pfw : int option;
+  jl_casp : int;
+  jl_llc : bool;
+  jl_stamp_t : int;
+  jl_stamp_tid : int;
+}
+
+type checkpoint = {
+  c_n_lines : int;
+  c_n_words : int;
+  mutable c_jlines : jline list;        (* pre-images, newest first *)
+  mutable c_jwords : (int * int) list;  (* (addr, pre-image value) *)
+  c_rbusy : int array;
+  c_rstamp_t : int array;
+  c_rstamp_core : int array;
+  c_rstamp_line : int array;
+  c_stats : Stats.t;                    (* slot-0 stats at checkpoint *)
+}
+
 type t = {
   platform : Platform.t;
   mutable lines : line array;   (* indexed by line id *)
@@ -141,6 +179,10 @@ type t = {
   rstamp_t : int array;         (* sharded-run conflict stamps: time... *)
   rstamp_core : int array;      (* ...and core (resources are touched by at
                                    most one thread per core in a window) *)
+  rstamp_line : int array;      (* ...and the line whose transfer last
+                                   stamped it (-1 = none): lets a resource
+                                   conflict name the lines to promote on
+                                   speculative replay *)
   mutable sharding : bool;
       (* a sharded run is in progress on this memory: resource accesses
          must be ownership-checked and stamped (serial runs skip both) *)
@@ -156,6 +198,18 @@ type t = {
       (* a workload component declared state the memory model cannot
          see (e.g. a hardware message queue held in native OCaml data):
          the line stamps cannot order it, so sharded runs must abort *)
+  mutable solo : bool;
+      (* the current window runs on exactly one shard (solo fast path):
+         no concurrent shard exists, so the resource *ownership* check
+         is moot and skipped — the monotonic stamp check still runs,
+         keeping conflict detection identical *)
+  mutable ckpt : checkpoint option;
+  mutable jepoch : int;
+      (* journal epoch, bumped by [checkpoint] and [restore]; an entry
+         of [jline_gen]/[jword_gen] equal to [jepoch] means the
+         pre-image is already journaled this epoch *)
+  mutable jline_gen : int array;  (* indexed by line id *)
+  mutable jword_gen : int array;  (* indexed by word address *)
   trace : Trace.t option;
       (* the domain's trace sink, cached at creation time so the
          untraced hot path pays exactly one option match per access *)
@@ -165,12 +219,15 @@ exception Sharded_alloc
 (* raised by [alloc] while [frozen]: the engine catches it, aborts the
    sharded attempt and re-runs serially *)
 
-exception Sharded_violation
+exception Sharded_violation of int list
 (* raised by [peek]/[poke] from inside a sharded window when the line
    is resident on another shard, and by any access whose interconnect
    path crosses a foreign shard's resource (or uses one out of stamp
    order): neither can be deferred through the engine's residency
-   routing, so the attempt aborts and re-runs serially *)
+   routing, so the attempt aborts — the engine replays speculatively
+   with the payload's lines promoted to coordinator-mediated access, or
+   re-runs serially when the payload is empty (conflict not
+   attributable to lines) *)
 
 (* Which shard the calling domain is currently draining (-1 = none:
    serial execution, or the coordinator between windows).  Domain-local
@@ -194,6 +251,32 @@ let make_slot () =
     stats = Stats.create ();
   }
 
+(* Domain-local recycling pool.  A benchmark harness creates one memory
+   per job and thousands of jobs per section; the line records and the
+   line/word-indexed side arrays dominate each job's setup allocation
+   (and the minor-GC promotion traffic that goes with it), so
+   [dispose]d memories donate them to the next [create] on the same
+   domain.  [new_line]/[new_word] initialise every recycled cell
+   explicitly, so a pooled array needs no cleaning here.  Domain-local
+   (no lock): job fan-out runs whole jobs per domain, and the engine's
+   shard crew never allocates memories. *)
+type recycled = {
+  r_lines : line array;
+  r_values : int array;
+  r_word2line : int array;
+  r_res : int array;
+  r_stamp_t : int array;
+  r_stamp_tid : int array;
+  r_peek_gens : int array;
+  r_jline_gen : int array;
+  r_jword_gen : int array;
+}
+
+let pool_key : recycled list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let pool_max = 4
+
 let create platform =
   let trace = Trace.current () in
   (match trace with
@@ -204,27 +287,77 @@ let create platform =
       Trace.set_platform tr platform.Platform.name
   | None -> ());
   let n_res = Cost_model.n_resources platform.Platform.topo in
+  let pool = Domain.DLS.get pool_key in
+  let lines, values, word2line, res, stamp_t, stamp_tid, peek_gens,
+      jline_gen, jword_gen =
+    match !pool with
+    | r :: rest ->
+        pool := rest;
+        ( r.r_lines, r.r_values, r.r_word2line, r.r_res, r.r_stamp_t,
+          r.r_stamp_tid, r.r_peek_gens, r.r_jline_gen, r.r_jword_gen )
+    | [] ->
+        ( Array.make 1024 dummy_line, Array.make 1024 0, Array.make 1024 0,
+          Array.make 1024 (-1), Array.make 1024 (-1), Array.make 1024 (-1),
+          Array.make 1024 (-1), Array.make 1024 0, Array.make 1024 0 )
+  in
   {
     platform;
-    lines = Array.make 1024 dummy_line;
+    lines;
     n_lines = 0;
-    values = Array.make 1024 0;
-    word2line = Array.make 1024 0;
+    values;
+    word2line;
     n_words = 0;
-    res = Array.make 1024 (-1);
-    stamp_t = Array.make 1024 (-1);
-    stamp_tid = Array.make 1024 (-1);
-    peek_gens = Array.make 1024 (-1);
+    res;
+    stamp_t;
+    stamp_tid;
+    peek_gens;
     rbusy = Array.make n_res 0;
     rstamp_t = Array.make n_res (-1);
     rstamp_core = Array.make n_res (-1);
+    rstamp_line = Array.make n_res (-1);
     sharding = false;
     slots = [| make_slot () |];
     frozen = false;
     gen = 0;
     serial_only = false;
+    solo = false;
+    ckpt = None;
+    jepoch = 0;
+    jline_gen;
+    jword_gen;
     trace;
   }
+
+(* Return the memory's recyclable arrays to the domain pool.  The
+   caller promises no live simulation references [t] any more; [t]
+   itself becomes unusable (word/line counts are zeroed so any stale
+   access trips the bounds checks).  Waiter lists are cleared eagerly —
+   parked-probe replay closures can retain an entire dead simulation. *)
+let dispose t =
+  for li = 0 to t.n_lines - 1 do
+    let l = t.lines.(li) in
+    l.waiters <- [];
+    l.owner <- None;
+    l.pfw_owner <- None
+  done;
+  t.ckpt <- None;
+  t.n_lines <- 0;
+  t.n_words <- 0;
+  let pool = Domain.DLS.get pool_key in
+  if List.length !pool < pool_max then
+    pool :=
+      {
+        r_lines = t.lines;
+        r_values = t.values;
+        r_word2line = t.word2line;
+        r_res = t.res;
+        r_stamp_t = t.stamp_t;
+        r_stamp_tid = t.stamp_tid;
+        r_peek_gens = t.peek_gens;
+        r_jline_gen = t.jline_gen;
+        r_jword_gen = t.jword_gen;
+      }
+      :: !pool
 
 let require_serial t = t.serial_only <- true
 let serial_required t = t.serial_only
@@ -272,7 +405,11 @@ let freeze t b =
   if b then t.gen <- t.gen + 1;
   t.frozen <- b
 
-(* Append one line homed at node [home]; returns its line id. *)
+(* Append one line homed at node [home]; returns its line id.  Every
+   per-line cell — the record and each side-array entry — is
+   initialised explicitly: the arrays may be recycled from a disposed
+   memory ([dispose]) or hold truncated-away state after a checkpoint
+   [restore], so nothing may rely on allocation-time fills. *)
 let new_line t ~home =
   if t.n_lines = Array.length t.lines then begin
     let cap = 2 * Array.length t.lines in
@@ -287,13 +424,33 @@ let new_line t ~home =
     t.res <- grow_tags t.res;
     t.stamp_t <- grow_tags t.stamp_t;
     t.stamp_tid <- grow_tags t.stamp_tid;
-    t.peek_gens <- grow_tags t.peek_gens
+    t.peek_gens <- grow_tags t.peek_gens;
+    t.jline_gen <- grow_tags t.jline_gen
   end;
   let li = t.n_lines in
-  t.lines.(li) <-
-    { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home;
-      busy_until = 0; pfw_owner = None; cas_pending = -1; llc_dirty = false;
-      waiters = [] };
+  let l = t.lines.(li) in
+  if l == dummy_line then
+    t.lines.(li) <-
+      { state = Arch.Invalid; owner = None; sharers = Coreset.create (); home;
+        busy_until = 0; pfw_owner = None; cas_pending = -1; llc_dirty = false;
+        waiters = [] }
+  else begin
+    (* recycled record: reset in place, sparing the allocation *)
+    l.state <- Arch.Invalid;
+    l.owner <- None;
+    Coreset.clear l.sharers;
+    l.home <- home;
+    l.busy_until <- 0;
+    l.pfw_owner <- None;
+    l.cas_pending <- -1;
+    l.llc_dirty <- false;
+    l.waiters <- []
+  end;
+  t.res.(li) <- -1;
+  t.stamp_t.(li) <- -1;
+  t.stamp_tid.(li) <- -1;
+  t.peek_gens.(li) <- -1;
+  t.jline_gen.(li) <- 0;
   t.n_lines <- li + 1;
   li
 
@@ -307,11 +464,13 @@ let new_word t ~line:li ~value =
       b
     in
     t.values <- grow t.values 0;
-    t.word2line <- grow t.word2line 0
+    t.word2line <- grow t.word2line 0;
+    t.jword_gen <- grow t.jword_gen 0
   end;
   let a = t.n_words in
   t.values.(a) <- value;
   t.word2line.(a) <- li;
+  t.jword_gen.(a) <- 0;
   t.n_words <- a + 1;
   a
 
@@ -373,6 +532,129 @@ let same_line t a b = line_id t a = line_id t b
 let residency t a = t.res.(t.word2line.(a))
 let set_residency t a s = t.res.(t.word2line.(a)) <- s
 
+(* Promotion entry point: tag a line (by id, as carried in conflict
+   payloads) with an arbitrary residency — the engine uses a sentinel
+   no shard matches, so every access to the line defers to the
+   coordinator. *)
+let set_line_residency t li s = t.res.(li) <- s
+let line_residency t li = t.res.(li)
+
+let set_solo t b = t.solo <- b
+
+(* --------------- checkpoint / rollback (speculative replay) -------- *)
+
+let journal_line_slow t (c : checkpoint) li =
+  t.jline_gen.(li) <- t.jepoch;
+  if li < c.c_n_lines then begin
+    let l = t.lines.(li) in
+    c.c_jlines <-
+      {
+        jl_li = li;
+        jl_state = l.state;
+        jl_owner = l.owner;
+        jl_sharers = Coreset.copy l.sharers;
+        jl_busy = l.busy_until;
+        jl_pfw = l.pfw_owner;
+        jl_casp = l.cas_pending;
+        jl_llc = l.llc_dirty;
+        jl_stamp_t = t.stamp_t.(li);
+        jl_stamp_tid = t.stamp_tid.(li);
+      }
+      :: c.c_jlines
+  end
+  (* lines allocated after the checkpoint need no pre-image: restore
+     truncates them away *)
+
+let[@inline] journal_line t li =
+  match t.ckpt with
+  | None -> ()
+  | Some c -> if t.jline_gen.(li) <> t.jepoch then journal_line_slow t c li
+
+let journal_word_slow t (c : checkpoint) a =
+  t.jword_gen.(a) <- t.jepoch;
+  if a < c.c_n_words then c.c_jwords <- (a, t.values.(a)) :: c.c_jwords
+
+let[@inline] journal_word t a =
+  match t.ckpt with
+  | None -> ()
+  | Some c -> if t.jword_gen.(a) <> t.jepoch then journal_word_slow t c a
+
+(* Arm (or re-arm) the rollback point.  Precondition: no parked waiters
+   — the engine checkpoints at virtual time 0, after workload setup and
+   before any thread is spawned, so nothing is mid-spin and the
+   replay's re-spawn rebuilds all queued work from scratch (which is
+   also why the shard event queues need no snapshot: they are empty
+   here and fully reconstructed by the replay). *)
+let checkpoint t =
+  for li = 0 to t.n_lines - 1 do
+    if t.lines.(li).waiters <> [] then
+      invalid_arg "Memory.checkpoint: parked waiters present"
+  done;
+  t.ckpt <-
+    Some
+      {
+        c_n_lines = t.n_lines;
+        c_n_words = t.n_words;
+        c_jlines = [];
+        c_jwords = [];
+        c_rbusy = Array.copy t.rbusy;
+        c_rstamp_t = Array.copy t.rstamp_t;
+        c_rstamp_core = Array.copy t.rstamp_core;
+        c_rstamp_line = Array.copy t.rstamp_line;
+        c_stats = Stats.copy t.slots.(0).stats;
+      };
+  t.jepoch <- t.jepoch + 1
+
+(* Roll every observable back to the checkpoint: journaled pre-images
+   for lines/words, wholesale blits for the (small) resource arrays and
+   slot-0 stats, truncation for post-checkpoint allocations.  The
+   checkpoint stays armed (journals emptied, epoch bumped), so a replay
+   that conflicts again can restore again. *)
+let restore t =
+  match t.ckpt with
+  | None -> invalid_arg "Memory.restore: no checkpoint"
+  | Some c ->
+      List.iter
+        (fun j ->
+          let l = t.lines.(j.jl_li) in
+          l.state <- j.jl_state;
+          l.owner <- j.jl_owner;
+          Coreset.assign l.sharers j.jl_sharers;
+          l.busy_until <- j.jl_busy;
+          l.pfw_owner <- j.jl_pfw;
+          l.cas_pending <- j.jl_casp;
+          l.llc_dirty <- j.jl_llc;
+          l.waiters <- [];
+          t.stamp_t.(j.jl_li) <- j.jl_stamp_t;
+          t.stamp_tid.(j.jl_li) <- j.jl_stamp_tid)
+        c.c_jlines;
+      List.iter (fun (a, v) -> t.values.(a) <- v) c.c_jwords;
+      c.c_jlines <- [];
+      c.c_jwords <- [];
+      (* drop post-checkpoint allocations; clear their waiter lists so
+         truncated records don't retain dead replay closures *)
+      for li = c.c_n_lines to t.n_lines - 1 do
+        t.lines.(li).waiters <- []
+      done;
+      t.n_lines <- c.c_n_lines;
+      t.n_words <- c.c_n_words;
+      Array.blit c.c_rbusy 0 t.rbusy 0 (Array.length c.c_rbusy);
+      Array.blit c.c_rstamp_t 0 t.rstamp_t 0 (Array.length c.c_rstamp_t);
+      Array.blit c.c_rstamp_core 0 t.rstamp_core 0
+        (Array.length c.c_rstamp_core);
+      Array.blit c.c_rstamp_line 0 t.rstamp_line 0
+        (Array.length c.c_rstamp_line);
+      Stats.assign t.slots.(0).stats c.c_stats;
+      for i = 1 to Array.length t.slots - 1 do
+        Stats.reset t.slots.(i).stats
+      done;
+      Array.fill t.peek_gens 0 t.n_lines (-1);
+      t.solo <- false;
+      t.frozen <- false;
+      t.jepoch <- t.jepoch + 1
+
+let has_checkpoint t = t.ckpt <> None
+
 (* Assign residency for lines [from, n_lines) by their home node;
    returns the new high-water mark.  Called by the coordinator between
    windows, so lines allocated by deferred (coordinator-run) code get
@@ -397,6 +679,10 @@ let stamp t a ~time ~tid =
   let st = t.stamp_t.(li) in
   if st > time || (st = time && t.stamp_tid.(li) <> tid) then false
   else begin
+    (* journal before the write: the stamp is part of the line's
+       rollback image, and this is the line's first touch on most
+       access paths *)
+    journal_line t li;
     t.stamp_t.(li) <- time;
     t.stamp_tid.(li) <- tid;
     true
@@ -408,6 +694,7 @@ let clear_stamps t =
   let nr = Array.length t.rstamp_t in
   Array.fill t.rstamp_t 0 nr (-1);
   Array.fill t.rstamp_core 0 nr (-1);
+  Array.fill t.rstamp_line 0 nr (-1);
   (* a sharded run is starting: from here on, resource accesses must be
      ownership-checked and stamped.  The flag stays set for the memory's
      lifetime — an aborted attempt is re-run on a fresh serial memory
@@ -429,7 +716,11 @@ let guard_debug_access t li =
   if t.frozen then begin
     let s = Domain.DLS.get exec_sid_key in
     if s >= 0 then
-      if t.res.(li) <> s then raise Sharded_violation
+      if t.res.(li) <> s then
+        (* empty payload: a peek carries no ordering key, so promoting
+           the line cannot legalise it — the engine must not retry
+           speculatively on this conflict *)
+        raise (Sharded_violation [])
       else t.peek_gens.(li) <- t.gen
   end
 
@@ -441,6 +732,7 @@ let peek t a =
 let poke t a v =
   let li = line_id t a in
   guard_debug_access t li;
+  journal_word t a;
   t.values.(a) <- v
 
 (* Was the line peeked/poked during the current (just-finished) window?
@@ -627,11 +919,15 @@ let probe_inert (l : line) ~value ~core (op : Arch.memop) ~operand ~operand2
    non-elided probe once a real access disturbs the line. *)
 let try_park_in t ~slot:sl ~core ~now (op : Arch.memop) (a : addr) ~operand
     ~operand2 ~while_ ~poll ~replay : bool =
-  let l = line t a in
+  let li = line_id t a in
+  let l = t.lines.(li) in
   if not (probe_inert l ~value:t.values.(a) ~core op ~operand ~operand2
             ~while_)
   then false
   else begin
+    (* parking mutates the waiter list: journal so a rollback drops the
+       parked spinner with the rest of the attempt *)
+    journal_line t li;
     let foreign, hit = probe_cost t sl l ~core op ~operand ~operand2 in
     let w =
       {
@@ -733,24 +1029,36 @@ let dist_of t (sl : slot) ~core (l : line) : Arch.distance =
      tids: every sharded workload runs at most one thread per core, and
      the engine's line stamps (tid-keyed) already guard the lines
      themselves.
-   Violations raise [Sharded_violation]; the engine aborts the attempt
-   and re-runs serially, so the partial mutations of a doomed attempt
-   are discarded wholesale. *)
-let guard_resources t (sl : slot) ~core ~now npath =
+   Violations raise [Sharded_violation] carrying the implicated line
+   ids — the line whose transfer tripped the guard plus the previous
+   stamper's line — so the engine can roll back and replay with those
+   lines promoted to coordinator-mediated access (or abort to the
+   serial path), discarding the doomed attempt's partial mutations
+   either way.  A solo window (exactly one shard active, see
+   [set_solo]) skips the ownership check — there is no concurrent
+   shard to race — but keeps the stamp monotonicity check, so
+   conflict detection is unchanged. *)
+let guard_resources t (sl : slot) ~core ~now ~line:li npath =
   let n_nodes = t.platform.Platform.topo.Topology.n_nodes in
   let nslots = Array.length t.slots in
   let sid = Domain.DLS.get exec_sid_key in
+  let conflict r =
+    let prev = t.rstamp_line.(r) in
+    raise
+      (Sharded_violation (if prev >= 0 && prev <> li then [ li; prev ]
+                          else [ li ]))
+  in
   for i = 0 to npath - 1 do
     let r = sl.path.(i) in
-    if t.frozen && sid >= 0 then begin
+    if t.frozen && sid >= 0 && not t.solo then begin
       let owner_node = if r < n_nodes then r else (r - n_nodes) / n_nodes in
-      if owner_node mod nslots <> sid then raise Sharded_violation
+      if owner_node mod nslots <> sid then conflict r
     end;
     let st = t.rstamp_t.(r) in
-    if st > now || (st = now && t.rstamp_core.(r) <> core) then
-      raise Sharded_violation;
+    if st > now || (st = now && t.rstamp_core.(r) <> core) then conflict r;
     t.rstamp_t.(r) <- now;
-    t.rstamp_core.(r) <- core
+    t.rstamp_core.(r) <- core;
+    t.rstamp_line.(r) <- li
   done
 
 (* Perform [op] on [a] from [core] at virtual time [now]; returns
@@ -768,7 +1076,8 @@ let guard_resources t (sl : slot) ~core ~now npath =
 let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
     ~slot:(sl : slot) ~core ~now (op : Arch.memop) (a : addr) : int =
   Topology.check t.platform.Platform.topo core;
-  let l = line t a in
+  let li = line_id t a in
+  let l = t.lines.(li) in
   if foreign_reservation l ~core op ~operand ~operand2 then begin
     (* Directed read under another waiter's exclusive-prefetch
        reservation: a non-binding snoop of the current copy that rides
@@ -794,6 +1103,11 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
     service
   end
   else begin
+    (* rollback pre-images before any mutation below (the directed-read
+       branch above mutates nothing but stats, which the checkpoint
+       snapshots wholesale) *)
+    journal_line t li;
+    journal_word t a;
     if l.waiters <> [] then settle_elided t sl l ~now;
     let is_pfw = is_pfw_probe op ~operand ~operand2 in
     let posted = op = Arch.Store && operand2 = 1 in
@@ -820,7 +1134,8 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
       else Cost_model.fill_path topo ~requester:core (view_of_line sl l)
           sl.path
     in
-    if t.sharding && npath > 0 then guard_resources t sl ~core ~now npath;
+    if t.sharding && npath > 0 then
+      guard_resources t sl ~core ~now ~line:li npath;
     let start =
       if bypass then now
       else begin
@@ -927,6 +1242,7 @@ let reset_resources t = Array.fill t.rbusy 0 (Array.length t.rbusy) 0
    the desired state and then accesses it").  [holder] is the core that
    ends up holding the line. *)
 let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
+  journal_line t (line_id t a);
   let l = line t a in
   (* wipe: back to invalid *)
   l.state <- Arch.Invalid;
@@ -962,5 +1278,6 @@ let force_state t ~holder ?(second = -1) (st : Arch.cstate) (a : addr) =
   reset_resources t
 
 let reset_busy t a =
+  journal_line t (line_id t a);
   (line t a).busy_until <- 0;
   reset_resources t

@@ -35,7 +35,9 @@ type line = {
   mutable state : Arch.cstate;
   mutable owner : int option;  (** core holding Modified/Owned/Exclusive *)
   sharers : Coreset.t;  (** cores holding Shared copies *)
-  home : int;  (** home node (directory / home tile / memory) *)
+  mutable home : int;
+      (** home node (directory / home tile / memory); mutable only so
+          disposed memories can recycle line records in place *)
   mutable busy_until : int;  (** virtual time the line is occupied until *)
   mutable pfw_owner : int option;
       (** core holding the exclusive-prefetch reservation: set by a
@@ -114,12 +116,18 @@ exception Sharded_alloc
     shards cannot do concurrently, so the engine aborts the sharded
     attempt and re-runs serially. *)
 
-exception Sharded_violation
+exception Sharded_violation of int list
 (** Raised by {!peek}/{!poke} from inside a sharded window when the
     line is resident on another shard, and by any access whose
     interconnect path crosses a foreign shard's resource or uses one
     out of stamp order — neither can be deferred through the engine's
-    residency routing, so the attempt aborts to the serial path. *)
+    residency routing, so the attempt aborts.  The payload names the
+    implicated line ids (the conflicting transfer's line and the
+    previous stamper's): the engine rolls back to its {!checkpoint}
+    and replays with those lines promoted to coordinator-mediated
+    access.  An empty payload means the conflict is not attributable
+    to lines (e.g. a cross-shard peek, which carries no ordering key)
+    and the attempt must fall back to the serial path instead. *)
 
 val require_serial : t -> unit
 (** Declare that the workload holds cross-thread state the memory model
@@ -160,6 +168,61 @@ val freeze : t -> bool -> unit
 
 val residency : t -> addr -> int
 val set_residency : t -> addr -> int -> unit
+
+val line_id : t -> addr -> int
+(** The id of the line holding word [a] — the currency of
+    {!Sharded_violation} payloads and {!set_line_residency}. *)
+
+val line_residency : t -> int -> int
+(** Residency tag of a line, by line id. *)
+
+val set_line_residency : t -> int -> int -> unit
+(** Set a line's residency tag by line id.  The engine promotes
+    conflicting lines by tagging them with a sentinel no shard
+    matches, so every access defers to the inter-window coordinator
+    (serial-within-window execution). *)
+
+val set_solo : t -> bool -> unit
+(** Declare that the current window runs on exactly one shard: the
+    resource *ownership* guard is skipped (no concurrent shard can
+    race it) while the stamp-monotonicity guard still runs, so
+    conflict detection is unchanged.  Cleared automatically by
+    {!restore}; the engine clears it at each window boundary. *)
+
+(** {2 Checkpoint / rollback (speculative replay)}
+
+    The engine checkpoints once per job at virtual time 0 — after
+    workload setup, before any thread is spawned — and, when a sharded
+    attempt aborts on a conflict, restores and replays with the
+    conflicting lines promoted instead of rebuilding the job serially.
+    The checkpoint is an undo journal: the first post-checkpoint touch
+    of a line or word records its pre-image (O(dirty set) space and
+    restore time); the small interconnect-resource arrays and slot-0
+    stats are snapshotted wholesale; lines/words allocated after the
+    checkpoint are truncated away on restore. *)
+
+val checkpoint : t -> unit
+(** Arm (or re-arm) the rollback point.  Precondition: no parked
+    waiters (raises [Invalid_argument] otherwise) — nothing may be
+    mid-spin, which also makes event-queue snapshots unnecessary: the
+    replay's re-spawn rebuilds all queued work. *)
+
+val restore : t -> unit
+(** Roll all observable state back to the checkpoint: line protocol
+    state, owners/sharers, busy-untils, pfw/cas-pending/llc flags,
+    word values, line and resource conflict stamps, resource
+    busy-times and slot-0 stats (shard-slot stats are zeroed).  The
+    checkpoint stays armed for further restores.  Raises
+    [Invalid_argument] if no checkpoint is armed. *)
+
+val has_checkpoint : t -> bool
+
+val dispose : t -> unit
+(** Return the memory's line records and side arrays to a domain-local
+    recycling pool and invalidate [t] (subsequent accesses trip bounds
+    checks).  Call once no live simulation references the memory; the
+    next {!create} on this domain reuses the arrays, sparing the
+    per-job setup allocation churn. *)
 
 val assign_residency : t -> shard_of_node:(int -> int) -> from:int -> int
 (** Tag lines [\[from, n_lines)] with the shard of their home node;

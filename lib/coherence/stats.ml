@@ -91,6 +91,19 @@ let reset t =
   t.link_queued_cycles <- 0;
   t.elided_probes <- 0
 
+(* Snapshot/restore pair used by [Memory]'s speculative-replay
+   checkpoint: [copy] captures an independent snapshot, [assign]
+   overwrites [dst] with [src]'s fields (leaving [src] intact, so one
+   snapshot can be restored repeatedly). *)
+let copy t =
+  let c = create () in
+  add c t;
+  c
+
+let assign dst src =
+  reset dst;
+  add dst src
+
 let total_ops t = t.loads.count + t.stores.count + t.atomics.count
 let total_cycles t = t.loads.cycles + t.stores.cycles + t.atomics.cycles
 

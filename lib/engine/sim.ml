@@ -58,13 +58,33 @@
    different-thread pairs, whose serial tie-break order (queue
    insertion order) is unreconstructable across shards — aborts the
    entire attempt with [Shard_conflict].  Jobs are pure (they build
-   their own [Sim.t]/[Memory.t]), so the engine simply re-runs the job
-   serially ([serial_fallback]); the serial run is the semantics, and
-   a sharded run either produces byte-identical results or aborts.
+   their own [Sim.t]/[Memory.t]), so the serial run is the semantics,
+   and a sharded run either produces byte-identical results or aborts.
    Workloads whose threads genuinely share hot lines (lock contention
-   sweeps) abort immediately and degrade to serial cost; partitioned
-   workloads (per-node data, message passing between windows longer
-   than the lookahead) keep their shards independent and scale.
+   sweeps) conflict in nearly every window; partitioned workloads
+   (per-node data, message passing between windows longer than the
+   lookahead) keep their shards independent and scale.
+
+   {2 Speculative replay}
+
+   An abort no longer condemns the whole job to a serial re-run
+   unconditionally.  Conflicts are *attributed*: a line-stamp failure
+   records the conflicting line, a resource violation carries the
+   implicated lines in its [Memory.Sharded_violation] payload, and the
+   harness ([Harness.run]) rolls the memory back to a checkpoint taken
+   at virtual time 0 (see [Memory.checkpoint]) and replays the attempt
+   with those lines *promoted* — tagged with a residency sentinel no
+   shard matches, so every access to them defers to the inter-window
+   coordinator and executes in ascending global time, serial-within-
+   window.  Replays are deterministic (jobs are pure, allocation order
+   is fixed, the rollback restores every observable), so a replay
+   either survives with the enlarged promoted set or surfaces the next
+   conflict; after K failed replays — or on a conflict with no line
+   attribution (cross-shard peek, same-time parker tie, mid-window
+   alloc, runaway) — the attempt *escalates*: [Shard_conflict]
+   propagates to [serial_fallback], which re-runs the job serially.
+   [perf] reports the whole story per run: [windows],
+   [speculative_replays], [promoted_lines], [serial_escalations].
 
    Tracing and crash-stop fault injection force [shards = 1] at
    creation: traces record engine-internal event order, and the
@@ -123,6 +143,13 @@ and shard = {
   mutable s_preempt : int;
   mutable s_jitter : int;
   mutable out : outentry list; (* deferred cross-shard work, reversed *)
+  mutable s_conflicts : int list;
+      (* line ids implicated in conflicts this shard detected in the
+         current attempt (per-shard so worker domains never race) *)
+  mutable s_hard : bool;
+      (* this shard hit a non-attributable conflict (peek, alloc,
+         user-code exception): the attempt must escalate to serial
+         instead of replaying speculatively *)
 }
 
 (* A deferred cross-shard operation: executed by the coordinator at the
@@ -156,6 +183,14 @@ type counters = {
   mutable c_elided : int;
   mutable c_sim_cycles : int;
   mutable c_wall_ns : int;
+  mutable c_windows : int;
+  mutable c_replays : int;
+  mutable c_promoted : int;
+  mutable c_escalations : int;
+      (* the speculation story: windows completes only on successful
+         sharded runs; replays/promotions are booked as they happen (so
+         an attempt that eventually escalates still shows its cost);
+         escalations are booked by [serial_fallback] *)
 }
 
 let counters_key : counters Domain.DLS.key =
@@ -167,6 +202,10 @@ let counters_key : counters Domain.DLS.key =
         c_elided = 0;
         c_sim_cycles = 0;
         c_wall_ns = 0;
+        c_windows = 0;
+        c_replays = 0;
+        c_promoted = 0;
+        c_escalations = 0;
       })
 
 let counters () = Domain.DLS.get counters_key
@@ -180,6 +219,23 @@ type t = {
   lookahead : int; (* window width: min cross-node transfer latency *)
   mutable in_window : bool;
   mutable abort : bool; (* a conflict was detected; attempt is doomed *)
+  mutable solo_run : bool;
+      (* the current window runs exactly one shard (all other queues
+         empty): line deferral and the resource ownership check are
+         skipped — nothing runs concurrently — while all stamp checks
+         stay on, so conflict detection is unchanged *)
+  mutable stamps_armed : bool;
+      (* window fusing: a previous [run_health] on this sim already
+         cleared the stamps and derived residency; subsequent runs
+         reuse both instead of re-deriving per call *)
+  mutable promoted : int list;
+      (* lines promoted to coordinator-mediated access (residency
+         sentinel), accumulated across speculative replays *)
+  mutable t_conflicts : int list; (* coordinator-detected conflict lines *)
+  mutable t_hard : bool; (* coordinator-detected non-attributable abort *)
+  mutable n_windows : int;
+  mutable n_replays : int;
+  mutable n_promoted : int;
   mutable res_hwm : int; (* lines below this have residency assigned *)
   mutable spawned : int;
   faults : Fault.spec;
@@ -261,51 +317,83 @@ let shard_domains = ref (Domain.recommended_domain_count () > 1)
 let force_serial_key : bool Domain.DLS.key =
   Domain.DLS.new_key (fun () -> false)
 
-let serial_fallback f =
-  try f ()
-  with Shard_conflict ->
-    Domain.DLS.set force_serial_key true;
-    Fun.protect
-      ~finally:(fun () -> Domain.DLS.set force_serial_key false)
-      f
+(* Jobs that escalated once, remembered by caller-supplied key: a
+   benchmark sweep re-runs the same structurally-serial job (in-window
+   allocation, hardware channels) dozens of times, and without memory
+   each run pays a doomed sharded attempt before its serial re-run.
+   Domain-local like the perf counters, so pool workers learn
+   independently rather than taking a lock. *)
+let serial_jobs_key : (string, unit) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let run_forced_serial f =
+  Domain.DLS.set force_serial_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set force_serial_key false) f
+
+let serial_fallback ?policy_key f =
+  let known_serial =
+    match policy_key with
+    | Some k -> Hashtbl.mem (Domain.DLS.get serial_jobs_key) k
+    | None -> false
+  in
+  if known_serial then run_forced_serial f
+  else
+    try f ()
+    with Shard_conflict ->
+      (* speculative replay (if any) is exhausted: book the escalation
+         and re-run the whole job serially *)
+      let c = counters () in
+      c.c_escalations <- c.c_escalations + 1;
+      (match policy_key with
+      | Some k -> Hashtbl.replace (Domain.DLS.get serial_jobs_key) k ()
+      | None -> ());
+      run_forced_serial f
 
 (* The window width: the smallest latency at which one shard's action
    can affect another, i.e. the platform's minimum cross-node transfer
    cost.  Sampled as a dirty-line read from core 0 against every
    foreign-node owner — on all four topologies node 0 has a
    minimum-distance neighbour, so the scan reaches the global minimum.
-   Width is a batching heuristic only; correctness comes from the line
-   stamps (see the header comment). *)
+   Width is a *batching heuristic only*: every line and resource
+   access is stamp-checked in both the window and coordinator phases,
+   so a too-wide window can only raise the abort rate, never miss a
+   conflict — which is why no clamp to the minimum resource hold is
+   needed (earlier engines clamped the width to 1 cycle on every
+   non-Niagara platform, paying a window barrier per simulated cycle).
+   Cached per platform: the scan costs ~n_cores cost-model calls and
+   [create] runs once per job. *)
+let lookahead_cache : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
 let lookahead_of (platform : Platform.t) =
-  let topo = platform.Platform.topo in
-  let v =
-    {
-      Cost_model.state = Arch.Modified;
-      owner = None;
-      sharers = Coreset.create ();
-      home = 0;
-      llc_dirty = false;
-    }
-  in
-  let n0 = topo.Topology.node_of_core 0 in
-  let best = ref max_int in
-  for c2 = 0 to topo.Topology.n_cores - 1 do
-    let n2 = topo.Topology.node_of_core c2 in
-    if n2 <> n0 then begin
-      v.Cost_model.owner <- Some c2;
-      v.Cost_model.home <- n2;
-      let l = Cost_model.op_latency topo Arch.Load ~requester:0 v in
-      if l < !best then best := l
-    end
-  done;
-  let scan = if !best = max_int then 64 else max 1 !best in
-  (* Interconnect resources queue at finer grain than whole transfers:
-     the earliest a shard can hold a resource another shard reads is
-     one minimum resource hold after window start, so the window must
-     not be wider than that either. *)
-  match Cost_model.min_resource_hold topo with
-  | Some h -> max 1 (min scan h)
-  | None -> scan
+  let cache = Domain.DLS.get lookahead_cache in
+  match Hashtbl.find_opt cache platform.Platform.name with
+  | Some w -> w
+  | None ->
+      let topo = platform.Platform.topo in
+      let v =
+        {
+          Cost_model.state = Arch.Modified;
+          owner = None;
+          sharers = Coreset.create ();
+          home = 0;
+          llc_dirty = false;
+        }
+      in
+      let n0 = topo.Topology.node_of_core 0 in
+      let best = ref max_int in
+      for c2 = 0 to topo.Topology.n_cores - 1 do
+        let n2 = topo.Topology.node_of_core c2 in
+        if n2 <> n0 then begin
+          v.Cost_model.owner <- Some c2;
+          v.Cost_model.home <- n2;
+          let l = Cost_model.op_latency topo Arch.Load ~requester:0 v in
+          if l < !best then best := l
+        end
+      done;
+      let scan = if !best = max_int then 64 else max 1 !best in
+      Hashtbl.replace cache platform.Platform.name scan;
+      scan
 
 let create ?(faults = Fault.none) ?parking ?shards platform =
   let faults = Fault.validate faults in
@@ -353,6 +441,8 @@ let create ?(faults = Fault.none) ?parking ?shards platform =
           s_preempt = 0;
           s_jitter = 0;
           out = [];
+          s_conflicts = [];
+          s_hard = false;
         })
   in
   {
@@ -364,6 +454,14 @@ let create ?(faults = Fault.none) ?parking ?shards platform =
     lookahead = (if nshards > 1 then lookahead_of platform else 0);
     in_window = false;
     abort = false;
+    solo_run = false;
+    stamps_armed = false;
+    promoted = [];
+    t_conflicts = [];
+    t_hard = false;
+    n_windows = 0;
+    n_replays = 0;
+    n_promoted = 0;
     res_hwm = 0;
     spawned = 0;
     faults;
@@ -409,6 +507,104 @@ let shard_for t core =
   else
     t.shards.(t.platform.Platform.topo.Topology.node_of_core core
               mod t.nshards)
+
+(* --------------------- speculative-replay support ------------------ *)
+
+(* Residency sentinel for promoted lines: matches no shard id, so every
+   in-window access to a promoted line defers to the coordinator, which
+   executes deferred work in ascending global time — serial-within-
+   window semantics for exactly the lines that conflicted. *)
+let promoted_residency = -2
+
+(* Re-tag the promoted set after any [Memory.assign_residency] pass
+   (which tags by home node and would otherwise reclaim them). *)
+let apply_promotions t =
+  List.iter
+    (fun li -> Memory.set_line_residency t.mem li promoted_residency)
+    t.promoted
+
+(* Enlarge the promoted set (idempotent per line) and apply it.  Books
+   each newly promoted line in the per-run and cumulative counters. *)
+let promote t lines =
+  List.iter
+    (fun li ->
+      if not (List.mem li t.promoted) then begin
+        t.promoted <- li :: t.promoted;
+        t.n_promoted <- t.n_promoted + 1;
+        t.cum.c_promoted <- t.cum.c_promoted + 1
+      end;
+      Memory.set_line_residency t.mem li promoted_residency)
+    lines
+
+let promoted_lines t = t.promoted
+
+(* The lines implicated in the aborted attempt's conflicts (deduped,
+   all shards + coordinator).  Empty means no conflict was attributable
+   to a line — the attempt must escalate to serial. *)
+let conflict_lines t =
+  let acc = ref t.t_conflicts in
+  Array.iter
+    (fun sh -> List.iter (fun li -> acc := li :: !acc) sh.s_conflicts)
+    t.shards;
+  List.sort_uniq compare !acc
+
+(* Did the aborted attempt hit a conflict speculation cannot fix —
+   a cross-shard peek, a same-time parker tie, a mid-window alloc, an
+   event-budget blowout or a user-code exception? *)
+let hard_aborted t =
+  t.t_hard || Array.exists (fun sh -> sh.s_hard) t.shards
+
+let record_replay t =
+  t.n_replays <- t.n_replays + 1;
+  t.cum.c_replays <- t.cum.c_replays + 1
+
+(* Window fusing on/off (tests A/B it): when on, repeated [run_health]
+   calls on one sim reuse the stamp clear and residency derivation of
+   the first call. *)
+let window_fusing = ref true
+
+(* Reset the engine (not the memory — [Memory.restore] handles that)
+   for a speculative replay of the same job: every shard queue, clock
+   and per-attempt counter returns to its post-[create] state, the
+   thread table empties so the harness can re-spawn, and the fused
+   stamp/residency state is dropped (the rollback reverted migrations,
+   so residency must be re-derived).  The promoted set and the
+   replay/promotion tallies survive — they are the point. *)
+let reset_for_replay t =
+  Array.iter
+    (fun sh ->
+      Event_queue.clear sh.q;
+      sh.s_now <- 0;
+      sh.s_window_end <- max_int;
+      sh.s_fuel <- 0;
+      sh.s_events <- 0;
+      sh.s_live <- 0;
+      sh.s_parks <- 0;
+      sh.s_wakeups <- 0;
+      sh.s_preempt <- 0;
+      sh.s_jitter <- 0;
+      sh.out <- [];
+      sh.s_conflicts <- [];
+      sh.s_hard <- false)
+    t.shards;
+  Hashtbl.reset t.tstates;
+  t.spawned <- 0;
+  t.crashed_tids <- [];
+  t.in_window <- false;
+  t.abort <- false;
+  t.solo_run <- false;
+  t.stamps_armed <- false;
+  t.t_conflicts <- [];
+  t.t_hard <- false;
+  t.res_hwm <- 0
+
+(* Book a conflict detected while draining shard [sh] (worker domain:
+   only this shard's fields are written). *)
+let shard_conflict t sh lines =
+  (match lines with
+  | [] -> sh.s_hard <- true
+  | ls -> sh.s_conflicts <- ls @ sh.s_conflicts);
+  t.abort <- true
 
 (* Event-driven waiting applies without faults and under jitter-only
    specs.  Jitter draws happen per *real* memory op; an inert probe —
@@ -699,11 +895,13 @@ let sched_step _t st ~at f =
 let rec mem_sharded t st (k : (int, unit) Effect.Deep.continuation) op a
     ~operand ~operand2 ~fetch =
   let sh = st.sh in
-  if t.in_window && Memory.residency t.mem a <> sh.sid then
+  if t.in_window && (not t.solo_run) && Memory.residency t.mem a <> sh.sid
+  then
     defer st ~kind:kind_mem ~addr:a (fun () ->
         mem_sharded t st k op a ~operand ~operand2 ~fetch)
   else if not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid) then
-    t.abort <- true
+    (* a stamp failure names its own line: promote it on replay *)
+    shard_conflict t sh [ Memory.line_id t.mem a ]
   else begin
     let latency =
       Memory.access_lat_in t.mem ~slot:sh.slot ~core:st.core ~now:sh.s_now op
@@ -731,7 +929,9 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
      coordinator re-runs the closure with [s_now] set to the deferral
      time, so the captured [sh.s_now] reads stay correct. *)
   let rec probe () =
-    if t.nshards > 1 && t.in_window && Memory.residency t.mem a <> sh.sid
+    if
+      t.nshards > 1 && t.in_window && (not t.solo_run)
+      && Memory.residency t.mem a <> sh.sid
     then defer st ~kind:kind_mem ~addr:a probe
     else begin
       (* [sh.s_now] is the probe's issue time *)
@@ -740,7 +940,7 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
       if
         t.nshards > 1
         && not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid)
-      then t.abort <- true
+      then shard_conflict t sh [ Memory.line_id t.mem a ]
       else begin
         (* Under a jitter-only spec an inert probe consumes no fault
            draw: parking elides exactly the inert probes, so charging
@@ -765,7 +965,9 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
       end
     end
   and continue_spin () =
-    if t.nshards > 1 && t.in_window && Memory.residency t.mem a <> sh.sid
+    if
+      t.nshards > 1 && t.in_window && (not t.solo_run)
+      && Memory.residency t.mem a <> sh.sid
     then defer st ~kind:kind_mem ~addr:a continue_spin
     else begin
       (* [sh.s_now] is the completion time of a probe that returned
@@ -774,7 +976,7 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
       if
         t.nshards > 1
         && not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid)
-      then t.abort <- true
+      then shard_conflict t sh [ Memory.line_id t.mem a ]
       else if
         event_driven t
         && Memory.try_park_in t.mem ~slot:sh.slot ~core ~now:sh.s_now op a
@@ -1111,7 +1313,11 @@ let drain_window t sh =
   let p = sh.popped in
   let continue_run = ref true in
   while !continue_run && not t.abort do
-    if Event_queue.next_time sh.q > sh.s_window_end then continue_run := false
+    (* an empty queue reports [next_time = max_int]: a solo window's
+       end is also [max_int], so test emptiness explicitly rather than
+       relying on the strict comparison *)
+    let nt = Event_queue.next_time sh.q in
+    if nt = max_int || nt > sh.s_window_end then continue_run := false
     else begin
       ignore (Event_queue.pop_into sh.q p);
       sh.s_fuel <- 0;
@@ -1123,12 +1329,24 @@ let drain_window t sh =
 
 let drain_window_safe t sh =
   Memory.set_exec_sid sh.sid;
-  (try drain_window t sh with _ -> t.abort <- true);
+  (try drain_window t sh with
+  | Memory.Sharded_violation lines -> shard_conflict t sh lines
+  | _ ->
+      (* [Sharded_alloc], user code failing, engine bugs: not
+         attributable to lines, so the serial re-run owns it *)
+      sh.s_hard <- true;
+      t.abort <- true);
   Memory.set_exec_sid (-1)
 
 (* A persistent worker-domain crew, one domain per shard beyond the
    first, driven window-by-window over a mutex/condition pair (no busy
-   waiting: the host may have fewer cores than shards). *)
+   waiting: the host may have fewer cores than shards).  Crews live in
+   a process-global pool and are reused across simulations — spawning
+   and joining (nshards - 1) domains per [run_health] call used to be
+   a fixed tax on every sharded job — so the per-epoch work is handed
+   over as data ([c_job]) rather than captured in the worker closure.
+   Workers beyond [c_active] ack the epoch without working, which lets
+   one crew serve runs of different shard counts. *)
 type crew = {
   cm : Mutex.t;
   c_go : Condition.t;
@@ -1136,9 +1354,13 @@ type crew = {
   mutable c_epoch : int;
   mutable c_done_n : int;
   mutable c_quit : bool;
+  mutable c_workers : int; (* worker loops spawned for this crew *)
+  mutable c_active : int; (* workers given work this epoch *)
+  mutable c_job : int -> unit; (* worker index (1-based) -> work *)
+  mutable c_doms : unit Domain.t list;
 }
 
-let crew_worker t cr sid () =
+let crew_loop cr w () =
   let seen = ref 0 in
   let running = ref true in
   while !running do
@@ -1152,24 +1374,91 @@ let crew_worker t cr sid () =
     end
     else begin
       seen := cr.c_epoch;
+      let job = if w <= cr.c_active then Some cr.c_job else None in
       Mutex.unlock cr.cm;
-      drain_window_safe t t.shards.(sid);
+      (match job with Some j -> j w | None -> ());
       Mutex.lock cr.cm;
       cr.c_done_n <- cr.c_done_n + 1;
-      if cr.c_done_n = t.nshards - 1 then Condition.signal cr.c_done;
+      if cr.c_done_n = cr.c_workers then Condition.signal cr.c_done;
       Mutex.unlock cr.cm
     end
   done
 
+let crew_pool : crew list ref = ref []
+let crew_pool_mx = Mutex.create ()
+
+(* Join every pooled (idle) crew at exit.  In-use crews are always
+   returned to the pool by [run_health]'s cleanup, so by the time
+   [at_exit] runs the pool holds them all. *)
+let crew_exit_registered = ref false
+
+let crew_shutdown () =
+  let crews =
+    Mutex.lock crew_pool_mx;
+    let cs = !crew_pool in
+    crew_pool := [];
+    Mutex.unlock crew_pool_mx;
+    cs
+  in
+  List.iter
+    (fun cr ->
+      Mutex.lock cr.cm;
+      cr.c_quit <- true;
+      Condition.broadcast cr.c_go;
+      Mutex.unlock cr.cm;
+      List.iter Domain.join cr.c_doms)
+    crews
+
+(* Take a crew with at least [n] workers out of the pool (spawning a
+   fresh crew or extra workers as needed; safe — the crew is idle). *)
+let crew_acquire n =
+  Mutex.lock crew_pool_mx;
+  if not !crew_exit_registered then begin
+    crew_exit_registered := true;
+    at_exit crew_shutdown
+  end;
+  let cr =
+    match !crew_pool with
+    | c :: rest ->
+        crew_pool := rest;
+        c
+    | [] ->
+        {
+          cm = Mutex.create ();
+          c_go = Condition.create ();
+          c_done = Condition.create ();
+          c_epoch = 0;
+          c_done_n = 0;
+          c_quit = false;
+          c_workers = 0;
+          c_active = 0;
+          c_job = ignore;
+          c_doms = [];
+        }
+  in
+  Mutex.unlock crew_pool_mx;
+  while cr.c_workers < n do
+    cr.c_workers <- cr.c_workers + 1;
+    cr.c_doms <- Domain.spawn (crew_loop cr cr.c_workers) :: cr.c_doms
+  done;
+  cr
+
+let crew_release cr =
+  Mutex.lock crew_pool_mx;
+  crew_pool := cr :: !crew_pool;
+  Mutex.unlock crew_pool_mx
+
 let crew_window t cr =
   Mutex.lock cr.cm;
+  cr.c_job <- (fun w -> drain_window_safe t t.shards.(w));
+  cr.c_active <- t.nshards - 1;
   cr.c_epoch <- cr.c_epoch + 1;
   cr.c_done_n <- 0;
   Condition.broadcast cr.c_go;
   Mutex.unlock cr.cm;
   drain_window_safe t t.shards.(0);
   Mutex.lock cr.cm;
-  while cr.c_done_n < t.nshards - 1 do
+  while cr.c_done_n < cr.c_workers do
     Condition.wait cr.c_done cr.cm
   done;
   Mutex.unlock cr.cm
@@ -1200,16 +1489,31 @@ let run_coordinator t =
          if not t.abort then begin
            if e.o_kind = kind_parker then begin
              let sid = e.o_st.sh.sid in
-             if e.o_time = !last_parker_t && sid <> !last_parker_sid then
-               t.abort <- true;
+             if e.o_time = !last_parker_t && sid <> !last_parker_sid then begin
+               (* same-time parkers from different shards: their serial
+                  tie-break (queue insertion order) is gone, and no set
+                  of line promotions recreates it *)
+               t.t_hard <- true;
+               t.abort <- true
+             end;
              last_parker_t := e.o_time;
              last_parker_sid := sid
            end;
            if not t.abort then begin
              if e.o_kind = kind_mem && e.o_addr >= 0 then begin
-               if Memory.peeked_this_window t.mem e.o_addr then
+               if Memory.peeked_this_window t.mem e.o_addr then begin
+                 t.t_hard <- true;
                  t.abort <- true
-               else Memory.set_residency t.mem e.o_addr e.o_st.sh.sid
+               end
+               else if
+                 Memory.line_residency t.mem (Memory.line_id t.mem e.o_addr)
+                 <> promoted_residency
+               then
+                 (* promoted lines stay coordinator-mediated: migrating
+                    one to the requester would let the next window run
+                    it shard-locally again, re-creating the very race
+                    the promotion was meant to serialize *)
+                 Memory.set_residency t.mem e.o_addr e.o_st.sh.sid
              end;
              if not t.abort then begin
                e.o_st.sh.s_now <- e.o_time;
@@ -1218,15 +1522,29 @@ let run_coordinator t =
            end
          end)
        entries
-   with _ -> t.abort <- true)
+   with
+  | Memory.Sharded_violation lines ->
+      (match lines with
+      | [] -> t.t_hard <- true
+      | ls -> t.t_conflicts <- ls @ t.t_conflicts);
+      t.abort <- true
+  | _ ->
+      t.t_hard <- true;
+      t.abort <- true)
 
 let run_windows t cr ~until ~max_events ~ev_base ~dropped =
   let continue_run = ref true in
   while !continue_run && not t.abort do
     let mn = ref max_int in
+    let busy = ref 0 in
+    let solo_sid = ref 0 in
     Array.iter
       (fun sh ->
         let nt = Event_queue.next_time sh.q in
+        if nt <> max_int then begin
+          incr busy;
+          solo_sid := sh.sid
+        end;
         if nt < !mn then mn := nt)
       t.shards;
     if !mn = max_int then continue_run := false
@@ -1237,14 +1555,35 @@ let run_windows t cr ~until ~max_events ~ev_base ~dropped =
       continue_run := false
     end
     else begin
-      let wend = if until - !mn <= t.lookahead then until else !mn + t.lookahead in
+      (* Solo window: exactly one shard holds events, so no other shard
+         can race it inside this window — stretch the window to [until],
+         drain on the calling domain (skipping the crew handshake), and
+         run foreign-resident lines directly instead of deferring them.
+         Stamp checks stay armed, so if the window surfaces work for
+         another shard mid-flight (a cross-shard wake) any resulting
+         mis-order aborts and replays like any other conflict. *)
+      let solo = !busy = 1 in
+      let wend =
+        if solo || until - !mn <= t.lookahead then until
+        else !mn + t.lookahead
+      in
       Array.iter (fun sh -> sh.s_window_end <- wend) t.shards;
+      t.n_windows <- t.n_windows + 1;
+      (* booked immediately (not on run success) so aborted attempts'
+         windows show up in the cumulative telemetry too *)
+      t.cum.c_windows <- t.cum.c_windows + 1;
       t.in_window <- true;
+      t.solo_run <- solo;
+      Memory.set_solo t.mem solo;
       Memory.freeze t.mem true;
-      (match cr with
-      | Some c -> crew_window t c
-      | None -> Array.iter (fun sh -> drain_window_safe t sh) t.shards);
+      (if solo then drain_window_safe t t.shards.(!solo_sid)
+       else
+         match cr with
+         | Some c -> crew_window t c
+         | None -> Array.iter (fun sh -> drain_window_safe t sh) t.shards);
       t.in_window <- false;
+      t.solo_run <- false;
+      Memory.set_solo t.mem false;
       Memory.freeze t.mem false;
       (* [-1] disables direct-run while the coordinator executes *)
       Array.iter (fun sh -> sh.s_window_end <- -1) t.shards;
@@ -1254,7 +1593,11 @@ let run_windows t cr ~until ~max_events ~ev_base ~dropped =
           Memory.assign_residency t.mem
             ~shard_of_node:(fun n -> n mod t.nshards)
             ~from:t.res_hwm;
-        if ev_total t - ev_base > max_events then t.abort <- true
+        apply_promotions t;
+        if ev_total t - ev_base > max_events then begin
+          t.t_hard <- true;
+          t.abort <- true
+        end
       end
     end
   done
@@ -1303,47 +1646,30 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
        memory (hardware message queues) declared themselves unshardable
        at setup time — abort before doing any work *)
     if Memory.serial_required t.mem then raise Shard_conflict;
-    Memory.clear_stamps t.mem;
     t.abort <- false;
-    t.res_hwm <-
-      Memory.assign_residency t.mem
-        ~shard_of_node:(fun n -> n mod t.nshards)
-        ~from:0;
-    let cr =
-      if t.use_domains then begin
-        let c =
-          {
-            cm = Mutex.create ();
-            c_go = Condition.create ();
-            c_done = Condition.create ();
-            c_epoch = 0;
-            c_done_n = 0;
-            c_quit = false;
-          }
-        in
-        let doms =
-          Array.init (t.nshards - 1) (fun i ->
-              Domain.spawn (crew_worker t c (i + 1)))
-        in
-        Some (c, doms)
-      end
-      else None
-    in
+    (* window fusing: a second [run_health] on an already-windowed sim
+       (the harness probing in slices) keeps the first call's stamps and
+       residency.  Leftover stamps are only ever *higher* than a fresh
+       clear would leave, so fusing can only add aborts — never hide a
+       conflict — and residency is monotone under [assign_residency]. *)
+    if not (t.stamps_armed && !window_fusing) then begin
+      Memory.clear_stamps t.mem;
+      t.res_hwm <-
+        Memory.assign_residency t.mem
+          ~shard_of_node:(fun n -> n mod t.nshards)
+          ~from:0;
+      apply_promotions t
+    end;
+    t.stamps_armed <- true;
+    let cr = if t.use_domains then Some (crew_acquire (t.nshards - 1)) else None in
     Fun.protect
       ~finally:(fun () ->
-        (match cr with
-        | Some (c, doms) ->
-            Mutex.lock c.cm;
-            c.c_quit <- true;
-            Condition.broadcast c.c_go;
-            Mutex.unlock c.cm;
-            Array.iter Domain.join doms
-        | None -> ());
+        (match cr with Some c -> crew_release c | None -> ());
         t.in_window <- false;
+        t.solo_run <- false;
+        Memory.set_solo t.mem false;
         Memory.freeze t.mem false)
-      (fun () ->
-        run_windows t (Option.map fst cr) ~until ~max_events ~ev_base
-          ~dropped);
+      (fun () -> run_windows t cr ~until ~max_events ~ev_base ~dropped);
     if t.abort then raise Shard_conflict;
     (* the run is good: merge per-shard memory statistics into slot 0
        so [Memory.stats] / [perf] report serial-identical totals *)
@@ -1394,6 +1720,14 @@ type perf = {
   elided_probes : int; (* inert spin probes accounted without an event *)
   sim_cycles : int; (* virtual time advanced *)
   wall_ns : int; (* wall-clock spent in the run loop *)
+  (* Speculation telemetry (all zero on serial runs).  These depend on
+     the execution strategy — shard count, replay luck, policy — so
+     identity checks between serial and sharded runs must exclude
+     them. *)
+  windows : int; (* PDES windows executed (including aborted ones) *)
+  speculative_replays : int; (* aborted attempts replayed with promotions *)
+  promoted_lines : int; (* lines promoted to coordinator-mediated access *)
+  serial_escalations : int; (* runs that gave up on sharding entirely *)
 }
 
 let perf t =
@@ -1404,6 +1738,10 @@ let perf t =
     elided_probes = (Memory.stats t.mem).Stats.elided_probes;
     sim_cycles = now_of t;
     wall_ns = t.wall_ns;
+    windows = t.n_windows;
+    speculative_replays = t.n_replays;
+    promoted_lines = t.n_promoted;
+    serial_escalations = 0 (* per-run escalation is booked by the harness *);
   }
 
 (* Totals across every simulation run by the *calling domain* (the
@@ -1418,6 +1756,10 @@ let cumulative_perf () =
     elided_probes = c.c_elided;
     sim_cycles = c.c_sim_cycles;
     wall_ns = c.c_wall_ns;
+    windows = c.c_windows;
+    speculative_replays = c.c_replays;
+    promoted_lines = c.c_promoted;
+    serial_escalations = c.c_escalations;
   }
 
 (* Pure arithmetic on perf records, for aggregating per-job deltas. *)
@@ -1429,6 +1771,10 @@ let perf_zero =
     elided_probes = 0;
     sim_cycles = 0;
     wall_ns = 0;
+    windows = 0;
+    speculative_replays = 0;
+    promoted_lines = 0;
+    serial_escalations = 0;
   }
 
 let perf_add a b =
@@ -1439,6 +1785,10 @@ let perf_add a b =
     elided_probes = a.elided_probes + b.elided_probes;
     sim_cycles = a.sim_cycles + b.sim_cycles;
     wall_ns = a.wall_ns + b.wall_ns;
+    windows = a.windows + b.windows;
+    speculative_replays = a.speculative_replays + b.speculative_replays;
+    promoted_lines = a.promoted_lines + b.promoted_lines;
+    serial_escalations = a.serial_escalations + b.serial_escalations;
   }
 
 let perf_diff a b =
@@ -1449,4 +1799,8 @@ let perf_diff a b =
     elided_probes = a.elided_probes - b.elided_probes;
     sim_cycles = a.sim_cycles - b.sim_cycles;
     wall_ns = a.wall_ns - b.wall_ns;
+    windows = a.windows - b.windows;
+    speculative_replays = a.speculative_replays - b.speculative_replays;
+    promoted_lines = a.promoted_lines - b.promoted_lines;
+    serial_escalations = a.serial_escalations - b.serial_escalations;
   }

@@ -43,7 +43,23 @@
     results byte-identical to the serial engine — same timestamps,
     same access results, same perf counters — or aborts, in which case
     {!serial_fallback} re-runs the (pure) job serially.  Tracing and
-    crash-stop fault schedules force one shard at creation. *)
+    crash-stop fault schedules force one shard at creation.
+
+    {2 Speculative replay}
+
+    Instead of paying the full serial re-run on every conflict, a
+    harness can checkpoint the memory ({!Ssync_coherence.Memory.checkpoint})
+    before spawning, and on {!Shard_conflict} inspect
+    {!conflict_lines}/{!hard_aborted}, {!promote} the offending lines
+    to coordinator-mediated access, roll the memory back and
+    {!reset_for_replay} the engine, then re-spawn and re-run the same
+    attempt.  Promoted lines carry a residency sentinel that matches no
+    shard, so every in-window access to them defers to the
+    single-threaded coordinator — serial semantics for exactly the
+    lines that conflicted, parallel windows for everything else.
+    Conflicts with no attributable line ({!hard_aborted}) and attempts
+    that keep conflicting after promotion escalate to the serial
+    engine. *)
 
 type t
 
@@ -71,11 +87,15 @@ val shard_domains : bool ref
     calling domain — byte-identical results, no parallelism; tests use
     [true] to exercise the cross-domain machinery on any host. *)
 
-val serial_fallback : (unit -> 'a) -> 'a
+val serial_fallback : ?policy_key:string -> (unit -> 'a) -> 'a
 (** [serial_fallback job] runs [job ()]; if it raises {!Shard_conflict}
     the job is re-run once with sharding forced off.  [job] must be
     pure in the sense that it builds its own simulation/memory — true
-    of all harness-built workloads. *)
+    of all harness-built workloads.  [policy_key] names the job for the
+    domain-local escalation memory: a job whose key escalated before is
+    run serially up front, skipping the doomed sharded attempt — pass
+    it from benchmark sweeps that re-run structurally serial jobs
+    (in-window allocation, hardware channels) many times. *)
 
 val create :
   ?faults:Fault.spec -> ?parking:bool -> ?shards:int ->
@@ -143,6 +163,48 @@ val run : ?until:int -> ?max_events:int -> t -> int
 (** [run t] is [fst (run_health t)] — the original interface, for
     callers that do not inspect health. *)
 
+(** {1 Speculative replay}
+
+    The replay driver lives in the harness; these are the engine-side
+    hooks it composes with {!Ssync_coherence.Memory.checkpoint} /
+    [restore]. *)
+
+val conflict_lines : t -> int list
+(** After an aborted attempt: the line ids implicated in its conflicts
+    (all shards plus the coordinator, deduplicated, sorted).  Empty
+    when no conflict was attributable to a specific line. *)
+
+val hard_aborted : t -> bool
+(** Did the aborted attempt hit a conflict promotion cannot fix — a
+    cross-shard unordered peek, a same-time parker tie from different
+    shards, a mid-window allocation, an event-budget blowout or a
+    user-code exception?  Such attempts must escalate to serial. *)
+
+val promote : t -> int list -> unit
+(** Promote the given lines to coordinator-mediated access for every
+    subsequent window of this simulation (idempotent per line).  Books
+    each newly promoted line in {!perf}[.promoted_lines]. *)
+
+val promoted_lines : t -> int list
+(** The current promoted set (most recently promoted first). *)
+
+val record_replay : t -> unit
+(** Book one speculative replay in {!perf}[.speculative_replays]. *)
+
+val reset_for_replay : t -> unit
+(** Return the engine to its post-[create] state for a replay of the
+    same job: queues, clocks, thread table and per-attempt counters are
+    cleared; the promoted set and the replay/promotion tallies survive.
+    The caller rolls the memory back separately
+    ({!Ssync_coherence.Memory.restore}) and re-spawns the workload. *)
+
+val window_fusing : bool ref
+(** Reuse the first [run_health]'s shard stamps and line residency on
+    subsequent calls to the same simulation (default [true]).  Leftover
+    stamps are only ever higher than a fresh clear would leave them, so
+    fusing can only add aborts, never hide a conflict; tests A/B this
+    flag to check result identity. *)
+
 (** {1 Engine performance counters} *)
 
 type perf = {
@@ -158,6 +220,17 @@ type perf = {
       (** inert spin probes accounted in bulk, without an event each *)
   sim_cycles : int;  (** virtual time advanced *)
   wall_ns : int;  (** wall-clock nanoseconds spent in the run loop *)
+  windows : int;
+      (** PDES windows executed, including windows of aborted attempts
+          (0 on serial runs).  Like the remaining fields this depends on
+          the execution strategy — shard count, replay luck, policy —
+          so serial/sharded identity checks must exclude it. *)
+  speculative_replays : int;
+      (** aborted sharded attempts replayed with promoted lines instead
+          of escalating to the serial engine *)
+  promoted_lines : int;  (** lines promoted to coordinator-mediated access *)
+  serial_escalations : int;
+      (** sharded runs that gave up and re-ran on the serial engine *)
 }
 
 val perf : t -> perf

@@ -22,4 +22,5 @@ let () =
       ("robust", Test_robust.suite);
       ("trace", Test_trace.suite);
       ("shards", Test_shards.suite);
+      ("speculation", Test_speculation.suite);
     ]

@@ -131,6 +131,7 @@ let test_job_stats_captured () =
 
 let perf_of (a, b, c, d, e, f) =
   {
+    Sim.perf_zero with
     Sim.events = a;
     parks = b;
     wakeups = c;
