@@ -32,7 +32,36 @@
                                into a Chrome/Perfetto trace-event JSON
                                (one process per job, one track per
                                simulated thread; byte-identical at any
-                               --jobs count)
+                               --jobs count).  When --metrics is also
+                               given, the sampled timelines ride along
+                               as Perfetto counter tracks
+     bench/main.exe --trace-spec FILE
+                               like --trace, but keeps sharded (PDES)
+                               execution enabled and records the
+                               speculation lifecycle — window open/
+                               close, conflict aborts, checkpoint/
+                               restore, line promotions, replays,
+                               serial escalations — instead of
+                               per-thread events.  Combine with
+                               --shards N
+     bench/main.exe --metrics FILE
+                               sample every job's virtual-time metric
+                               timelines (interconnect busy/queued,
+                               line occupancy and sharers, lock waiter
+                               depth, thread run states) onto a
+                               virtual-cycle grid and dump them to FILE
+                               (JSON if it ends in .json, else CSV);
+                               byte-identical at any --jobs and any
+                               --shards count
+     bench/main.exe heatmap    per-platform saturation workload rendered
+                               as ASCII heatmaps from the sampled
+                               metrics: interconnect utilization and
+                               wait-cycle attribution by node pair,
+                               thread run-state strips over virtual
+                               time, hottest lines, PDES health; the
+                               samples are reconciled exactly against
+                               Sim.perf (exit 1 on drift).  Combines
+                               with --quick/--jobs/--shards
      bench/main.exe profile [SECTIONS]
                                run the sections traced (default fig3;
                                tables are not rendered) and print the
@@ -138,11 +167,12 @@ let perf_json_fields sp =
   let p = sp.sp_perf in
   Printf.sprintf
     "\"cpu_s\":%.3f,\"events\":%d,\"parks\":%d,\"wakeups\":%d,\
-     \"elided_probes\":%d,\"sim_cycles\":%d,\"sim_mcycles_per_s\":%.1f,\
-     \"speculative_replays\":%d,\"serial_escalations\":%d"
+     \"elided_probes\":%d,\"link_queued_cycles\":%d,\"sim_cycles\":%d,\
+     \"sim_mcycles_per_s\":%.1f,\"speculative_replays\":%d,\
+     \"serial_escalations\":%d"
     sp.sp_cpu_s p.Ssync_engine.Sim.events p.Ssync_engine.Sim.parks
     p.Ssync_engine.Sim.wakeups p.Ssync_engine.Sim.elided_probes
-    p.Ssync_engine.Sim.sim_cycles
+    p.Ssync_engine.Sim.link_queued_cycles p.Ssync_engine.Sim.sim_cycles
     (sim_mcps ~cpu_s:sp.sp_cpu_s ~sim_cycles:p.Ssync_engine.Sim.sim_cycles)
     p.Ssync_engine.Sim.speculative_replays
     p.Ssync_engine.Sim.serial_escalations
@@ -382,21 +412,30 @@ let compare_perf baseline_path fresh_path =
    the file is byte-identical at any --jobs count.  All chatter goes to
    stderr: stdout (the rendered tables) must stay byte-identical with
    and without --trace. *)
+let job_labels planned =
+  List.concat_map
+    (fun (name, s) ->
+      List.init (Array.length s.Section.jobs) (fun j ->
+          Printf.sprintf "%s/%d" name j))
+    planned
+
 let export_trace path planned results =
-  let labels =
-    List.concat_map
-      (fun (name, s) ->
-        List.init (Array.length s.Section.jobs) (fun j ->
-            Printf.sprintf "%s/%d" name j))
-      planned
-  in
+  let labels = job_labels planned in
   let traces = Ssync_engine.Pool.traces results in
   if List.length labels <> List.length traces then
     (* every job gets a sink when tracing is on, so this is unreachable
        short of an engine bug — don't write a mislabeled file *)
     Printf.eprintf "(trace: label/trace count mismatch — %s not written)\n" path
   else begin
-    Ssync_trace.Chrome.export_file path (List.combine labels traces);
+    (* when --metrics is also on, the sampled timelines ride along as
+       Perfetto counter tracks under each job's process *)
+    let msinks = Ssync_engine.Pool.metrics results in
+    let metrics =
+      if List.length msinks = List.length labels then
+        List.combine labels msinks
+      else []
+    in
+    Ssync_trace.Chrome.export_file ~metrics path (List.combine labels traces);
     let sum f = List.fold_left (fun a tr -> a + f tr) 0 traces in
     let events = sum Ssync_trace.Trace.length in
     let dropped = sum Ssync_trace.Trace.dropped in
@@ -410,6 +449,23 @@ let export_trace path planned results =
       path
   end
 
+(* --metrics: dump every job's sampled metric grid, labeled like the
+   trace.  The dump is byte-identical at any --jobs (per-job sinks in
+   submission order) and any --shards (samples are keyed by virtual
+   time and stable ids; strategy-dependent kinds are excluded by the
+   dump itself), so CI can diff two runs directly. *)
+let export_metrics path planned results =
+  let labels = job_labels planned in
+  let sinks = Ssync_engine.Pool.metrics results in
+  if List.length labels <> List.length sinks then
+    Printf.eprintf "(metrics: label/sink count mismatch — %s not written)\n"
+      path
+  else begin
+    Ssync_metrics.Metrics.dump_file path (List.combine labels sinks);
+    Printf.eprintf "(metrics: %d jobs written to %s)\n" (List.length sinks)
+      path
+  end
+
 (* ------------------------------------------------------------------ *)
 (* [profile] subcommand: run the selected sections traced, skip their
    renders, and print the contention/coherence report.  Every table is
@@ -418,10 +474,17 @@ let export_trace path planned results =
    (which survive ring wrap-around) against the engine's own cumulative
    counters; any drift means an instrumentation hook went missing, so
    it exits non-zero. *)
-let run_profile ~quick ~jobs ~trace_file names =
+let run_profile ~quick ~jobs ~trace_file ~metrics_file names =
   let module Trace = Ssync_trace.Trace in
   let module Profile = Ssync_trace.Profile in
   let module Table = Ssync_report.Table in
+  if !Trace.allow_sharded then begin
+    (* --trace-spec suppresses the per-thread events every profile
+       table and reconciliation is built from *)
+    Printf.eprintf
+      "profile: --trace-spec records lifecycle events only; use --trace\n";
+    exit 2
+  end;
   let names = if names = [] then [ "fig3" ] else names in
   List.iter
     (fun n ->
@@ -464,9 +527,15 @@ let run_profile ~quick ~jobs ~trace_file names =
       (Profile.transitions_table prof);
     section "Hottest cache lines" (Profile.lines_table ~top:10 prof)
   end;
+  if Profile.rq_total prof > 0 then
+    section "Interconnect wait attribution (queued cycles by distance)"
+      (Profile.interconnect_table prof);
   section "Run summary" (Profile.summary_table prof);
   (match trace_file with
   | Some path -> export_trace path planned results
+  | None -> ());
+  (match metrics_file with
+  | Some path -> export_metrics path planned results
   | None -> ());
   Printf.eprintf "\n(profile wall time: %.1fs, %d jobs)\n"
     (Unix.gettimeofday () -. t0) jobs;
@@ -485,6 +554,8 @@ let run_profile ~quick ~jobs ~trace_file names =
   check "parks" tt.Trace.t_parks p.Ssync_engine.Sim.parks;
   check "wakeups" tt.Trace.t_wakes p.Ssync_engine.Sim.wakeups;
   check "elided probes" tt.Trace.t_elided p.Ssync_engine.Sim.elided_probes;
+  check "link queued cy" (Profile.rq_total prof)
+    p.Ssync_engine.Sim.link_queued_cycles;
   if not !ok then exit 1
 
 let () =
@@ -536,6 +607,11 @@ let () =
   in
   let args = strip_shards args in
   Ssync_engine.Sim.default_shards := !shards;
+  (* an explicit --shards request overrides the host-capability default:
+     on a single-core host sharded execution is pure overhead, but when
+     the user asks for it (identity checks, speculation traces) it must
+     actually engage *)
+  if !shards > 1 then Ssync_engine.Sim.shard_domains := true;
   let trace_file = ref None in
   let rec strip_trace = function
     | [] -> []
@@ -548,15 +624,51 @@ let () =
     | a :: rest -> a :: strip_trace rest
   in
   let args = strip_trace args in
+  (* --trace-spec: same sink as --trace, but tell the engine to keep
+     sharded execution (the speculation lifecycle is the point) *)
+  let rec strip_trace_spec = function
+    | [] -> []
+    | "--trace-spec" :: f :: rest when f <> "--trace-spec" ->
+        trace_file := Some f;
+        Ssync_trace.Trace.allow_sharded := true;
+        strip_trace_spec rest
+    | [ "--trace-spec" ] | "--trace-spec" :: _ ->
+        Printf.eprintf "--trace-spec: missing output file\n";
+        exit 2
+    | a :: rest -> a :: strip_trace_spec rest
+  in
+  let args = strip_trace_spec args in
+  let metrics_file = ref None in
+  let rec strip_metrics = function
+    | [] -> []
+    | "--metrics" :: f :: rest when f <> "--metrics" ->
+        metrics_file := Some f;
+        Ssync_metrics.Metrics.requested := true;
+        strip_metrics rest
+    | [ "--metrics" ] | "--metrics" :: _ ->
+        Printf.eprintf "--metrics: missing output file\n";
+        exit 2
+    | a :: rest -> a :: strip_metrics rest
+  in
+  let args = strip_metrics args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--json") args
   in
   (match args with
   | "profile" :: names ->
-      run_profile ~quick ~jobs:!jobs ~trace_file:!trace_file names;
+      run_profile ~quick ~jobs:!jobs ~trace_file:!trace_file
+        ~metrics_file:!metrics_file names;
       exit 0
   | "chaos" :: rest ->
       Chaos.run ~quick ~jobs:!jobs rest;
+      exit 0
+  | "heatmap" :: rest ->
+      if rest <> [] then begin
+        Printf.eprintf "heatmap: unexpected arguments: %s\n"
+          (String.concat " " rest);
+        exit 2
+      end;
+      Heatmap_bench.run ~quick ~jobs:!jobs ();
       exit 0
   | _ -> ());
   if List.mem "--list" args then
@@ -617,6 +729,9 @@ let () =
       planned;
     (match !trace_file with
     | Some path -> export_trace path planned results
+    | None -> ());
+    (match !metrics_file with
+    | Some path -> export_metrics path planned results
     | None -> ());
     let total_wall = Unix.gettimeofday () -. t0 in
     (* stderr, so stdout stays byte-identical across runs and --jobs *)

@@ -53,6 +53,7 @@
 
 open Ssync_platform
 module Trace = Ssync_trace.Trace
+module Metrics = Ssync_metrics.Metrics
 
 type addr = int
 
@@ -105,6 +106,8 @@ and waiter = {
   w_local : bool;               (* inert probes are local hits (false for
                                    foreign-reservation directed reads) *)
   w_step : int;                 (* w_hit + w_poll *)
+  w_parked : int;               (* virtual time the spinner parked (waiter-
+                                   depth telemetry, charged at wake) *)
   mutable w_next : int;
   w_replay : int -> unit;
 }
@@ -122,6 +125,13 @@ type slot = {
          that spares the engine's hot path one tuple allocation per
          memory operation *)
   stats : Stats.t;
+  mutable macc : Metrics.t option;
+      (* this slot's metrics accumulator, a [Metrics.branch] of the
+         domain sink cached at creation like [trace]: [None] when
+         metrics are off, so the sampled hot path costs one option
+         match.  Drained into the sink by [drain_metrics] when the run
+         succeeds; aborted sharded attempts never drain, keeping the
+         dump strategy-independent. *)
 }
 
 (* Undo-journal checkpoint for speculative replay ([Sim]): the engine
@@ -146,6 +156,7 @@ type jline = {
   jl_llc : bool;
   jl_stamp_t : int;
   jl_stamp_tid : int;
+  jl_msince : int;              (* sharer-gauge sample time pre-image *)
 }
 
 type checkpoint = {
@@ -158,6 +169,7 @@ type checkpoint = {
   c_rstamp_core : int array;
   c_rstamp_line : int array;
   c_stats : Stats.t;                    (* slot-0 stats at checkpoint *)
+  c_macc : Metrics.t option;            (* slot-0 metrics at checkpoint *)
 }
 
 type t = {
@@ -210,9 +222,19 @@ type t = {
          pre-image is already journaled this epoch *)
   mutable jline_gen : int array;  (* indexed by line id *)
   mutable jword_gen : int array;  (* indexed by word address *)
-  trace : Trace.t option;
+  mutable trace : Trace.t option;
       (* the domain's trace sink, cached at creation time so the
-         untraced hot path pays exactly one option match per access *)
+         untraced hot path pays exactly one option match per access.
+         Cleared by [set_slots n > 1] ([Trace.allow_sharded]): worker
+         domains must never touch the coordinator's ring *)
+  strace : Trace.t option;
+      (* the same sink, kept across [set_slots] for coordinator-context
+         speculation-lifecycle events (checkpoint/restore) *)
+  mutable msince : int array;
+      (* per-line virtual time the sharer-count gauge last sampled,
+         indexed alongside [lines]; [[||]] when metrics are off (side
+         array, like the sharding tags, to protect the serial cache
+         footprint) *)
 }
 
 exception Sharded_alloc
@@ -249,6 +271,7 @@ let make_slot () =
     path = Array.make Cost_model.max_path_len 0;
     last_result = 0;
     stats = Stats.create ();
+    macc = None;
   }
 
 (* Domain-local recycling pool.  A benchmark harness creates one memory
@@ -286,6 +309,12 @@ let create platform =
       Trace.new_epoch tr;
       Trace.set_platform tr platform.Platform.name
   | None -> ());
+  let metrics = Metrics.current () in
+  (* like the trace, successive simulations in one sampled job map onto
+     disjoint grid segments; the sink's high-water mark only advances
+     when a run drains, so an aborted sharded attempt's serial re-run
+     lands on the identical epoch base *)
+  (match metrics with Some m -> Metrics.new_epoch m | None -> ());
   let n_res = Cost_model.n_resources platform.Platform.topo in
   let pool = Domain.DLS.get pool_key in
   let lines, values, word2line, res, stamp_t, stamp_tid, peek_gens,
@@ -300,6 +329,8 @@ let create platform =
           Array.make 1024 (-1), Array.make 1024 (-1), Array.make 1024 (-1),
           Array.make 1024 (-1), Array.make 1024 0, Array.make 1024 0 )
   in
+  let slot0 = make_slot () in
+  slot0.macc <- Option.map Metrics.branch metrics;
   {
     platform;
     lines;
@@ -316,7 +347,7 @@ let create platform =
     rstamp_core = Array.make n_res (-1);
     rstamp_line = Array.make n_res (-1);
     sharding = false;
-    slots = [| make_slot () |];
+    slots = [| slot0 |];
     frozen = false;
     gen = 0;
     serial_only = false;
@@ -326,6 +357,8 @@ let create platform =
     jline_gen;
     jword_gen;
     trace;
+    strace = trace;
+    msince = (if metrics = None then [||] else Array.make (Array.length lines) 0);
   }
 
 (* Return the memory's recyclable arrays to the domain pool.  The
@@ -372,6 +405,7 @@ let line_words t = t.platform.Platform.topo.Topology.line_words
 
 let slot t i = t.slots.(i)
 let n_slots t = Array.length t.slots
+let slot_metrics sl = sl.macc
 
 (* Ensure [n] slots exist (fresh stats in slots >= 1 each call, so a
    sharded run's per-shard tallies start from zero). *)
@@ -387,7 +421,14 @@ let set_slots t n =
   else
     for i = 1 to n - 1 do
       t.slots.(i) <- make_slot ()
-    done
+    done;
+  for i = 1 to n - 1 do
+    t.slots.(i).macc <- Option.map Metrics.branch t.slots.(0).macc
+  done;
+  (* worker domains must never touch the coordinator's trace ring:
+     under [Trace.allow_sharded] the per-access hooks go dark and only
+     the coordinator-emitted speculation events remain ([strace]) *)
+  if n > 1 then t.trace <- None
 
 (* Fold every shard slot's stats into slot 0 and zero the shard slots:
    after a sharded run, [stats] reports the same merged totals a serial
@@ -400,6 +441,23 @@ let merge_slots t =
     Stats.add s0 t.slots.(i).stats;
     Stats.reset t.slots.(i).stats
   done
+
+(* Fold every slot's metrics accumulator into the domain sink — called
+   by the engine when a run completes (serial, or a sharded attempt
+   that survived its conflict checks and merged).  Aborted attempts
+   never drain, so the sink only ever holds samples from the surviving
+   schedule — which PDES guarantees is the serial one — keeping the
+   dump byte-identical at any shard count. *)
+let drain_metrics t =
+  match Metrics.current () with
+  | None -> ()
+  | Some sink ->
+      Array.iter
+        (fun sl ->
+          match sl.macc with
+          | Some m -> Metrics.merge ~into:sink m
+          | None -> ())
+        t.slots
 
 let freeze t b =
   if b then t.gen <- t.gen + 1;
@@ -425,7 +483,8 @@ let new_line t ~home =
     t.stamp_t <- grow_tags t.stamp_t;
     t.stamp_tid <- grow_tags t.stamp_tid;
     t.peek_gens <- grow_tags t.peek_gens;
-    t.jline_gen <- grow_tags t.jline_gen
+    t.jline_gen <- grow_tags t.jline_gen;
+    if t.msince <> [||] then t.msince <- grow_tags t.msince
   end;
   let li = t.n_lines in
   let l = t.lines.(li) in
@@ -451,6 +510,7 @@ let new_line t ~home =
   t.stamp_tid.(li) <- -1;
   t.peek_gens.(li) <- -1;
   t.jline_gen.(li) <- 0;
+  if t.msince <> [||] then t.msince.(li) <- 0;
   t.n_lines <- li + 1;
   li
 
@@ -559,6 +619,7 @@ let journal_line_slow t (c : checkpoint) li =
         jl_llc = l.llc_dirty;
         jl_stamp_t = t.stamp_t.(li);
         jl_stamp_tid = t.stamp_tid.(li);
+        jl_msince = (if t.msince = [||] then 0 else t.msince.(li));
       }
       :: c.c_jlines
   end
@@ -602,8 +663,12 @@ let checkpoint t =
         c_rstamp_core = Array.copy t.rstamp_core;
         c_rstamp_line = Array.copy t.rstamp_line;
         c_stats = Stats.copy t.slots.(0).stats;
+        c_macc = Option.map Metrics.copy t.slots.(0).macc;
       };
-  t.jepoch <- t.jepoch + 1
+  t.jepoch <- t.jepoch + 1;
+  match t.strace with
+  | Some tr -> Trace.emit_end tr Trace.E_ckpt
+  | None -> ()
 
 (* Roll every observable back to the checkpoint: journaled pre-images
    for lines/words, wholesale blits for the (small) resource arrays and
@@ -626,7 +691,8 @@ let restore t =
           l.llc_dirty <- j.jl_llc;
           l.waiters <- [];
           t.stamp_t.(j.jl_li) <- j.jl_stamp_t;
-          t.stamp_tid.(j.jl_li) <- j.jl_stamp_tid)
+          t.stamp_tid.(j.jl_li) <- j.jl_stamp_tid;
+          if t.msince <> [||] then t.msince.(j.jl_li) <- j.jl_msince)
         c.c_jlines;
       List.iter (fun (a, v) -> t.values.(a) <- v) c.c_jwords;
       c.c_jlines <- [];
@@ -645,13 +711,22 @@ let restore t =
       Array.blit c.c_rstamp_line 0 t.rstamp_line 0
         (Array.length c.c_rstamp_line);
       Stats.assign t.slots.(0).stats c.c_stats;
+      (match (t.slots.(0).macc, c.c_macc) with
+      | Some m, Some cm -> Metrics.assign m cm
+      | _ -> ());
       for i = 1 to Array.length t.slots - 1 do
-        Stats.reset t.slots.(i).stats
+        Stats.reset t.slots.(i).stats;
+        match (t.slots.(i).macc, t.slots.(0).macc) with
+        | Some mi, Some m0 -> Metrics.rebase mi ~like:m0
+        | _ -> ()
       done;
       Array.fill t.peek_gens 0 t.n_lines (-1);
       t.solo <- false;
       t.frozen <- false;
-      t.jepoch <- t.jepoch + 1
+      t.jepoch <- t.jepoch + 1;
+      (match t.strace with
+      | Some tr -> Trace.emit_end tr Trace.E_restore
+      | None -> ())
 
 let has_checkpoint t = t.ckpt <> None
 
@@ -941,6 +1016,7 @@ let try_park_in t ~slot:sl ~core ~now (op : Arch.memop) (a : addr) ~operand
         w_hit = hit;
         w_local = not foreign;
         w_step = hit + poll;
+        w_parked = now;
         w_next = now + poll;
         w_replay = replay;
       }
@@ -990,7 +1066,7 @@ let settle_elided t (sl : slot) (l : line) ~now =
    (the probe stays inert and it stays parked), but the line state the
    probe relies on may have changed under it — false sharing hits
    parked spinners too. *)
-let wake_disturbed t (sl : slot) (l : line) =
+let wake_disturbed t (sl : slot) ~line:li (l : line) =
   match l.waiters with
   | [] -> ()
   | ws ->
@@ -1006,7 +1082,18 @@ let wake_disturbed t (sl : slot) (l : line) =
           ws
       in
       l.waiters <- still;
-      List.iter (fun w -> w.w_replay w.w_next) woken
+      List.iter
+        (fun w ->
+          (* waiter-depth gauge, charged at wake: the whole parked span
+             is known only now, and an aborted attempt's charges vanish
+             with the undrained slot accumulator *)
+          (match sl.macc with
+          | Some m ->
+              Metrics.span m ~kind:Metrics.k_lock_waiters ~id:li ~t0:w.w_parked
+                ~t1:w.w_next ~weight:1
+          | None -> ());
+          w.w_replay w.w_next)
+        woken
 
 (* Distance class of the transfer serving [core]'s request on [l] in
    its *pre-access* state: to the data source when a cached copy
@@ -1097,7 +1184,7 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
           (Trace.E_xfer
              { tid = Trace.cur_tid tr; core; op; addr = a; pre = l.state;
                post = l.state; dist = dist_of t sl ~core l; lat = service;
-               service; queued = 0 })
+               service; queued = 0; rq = 0; rq_dir = false })
     | None -> ());
     sl.last_result <- t.values.(a);
     service
@@ -1129,6 +1216,7 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
        them (unless bypassing) and hold them for the transfer's service
        below *)
     let topo = t.platform.Platform.topo in
+    let n_nodes = topo.Topology.n_nodes in
     let npath =
       if local then 0
       else Cost_model.fill_path topo ~requester:core (view_of_line sl l)
@@ -1136,13 +1224,20 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
     in
     if t.sharding && npath > 0 then
       guard_resources t sl ~core ~now ~line:li npath;
+    (* the resource that delayed this transfer the longest (the argmax
+       of the loop below): the one the resource-queued wait is
+       attributed to, telemetry- and trace-side *)
+    let qres = ref (-1) in
     let start =
       if bypass then now
       else begin
         let s = ref start_line in
         for i = 0 to npath - 1 do
           let b = t.rbusy.(sl.path.(i)) in
-          if b > !s then s := b
+          if b > !s then begin
+            s := b;
+            qres := sl.path.(i)
+          end
         done;
         !s
       end
@@ -1156,18 +1251,60 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
       | Some _ when not local -> dist_of t sl ~core l
       | _ -> Arch.Same_core
     in
+    (* telemetry (time-free probes: nothing below reads them back).
+       Resource-queued wait is charged to the argmax resource over its
+       wait span, gated exactly like [Stats.record]'s [rqueued]; the
+       sharer gauge closes the span since the line's last sample under
+       the pre-transition population. *)
+    (match sl.macc with
+    | Some m ->
+        if rqueued > 0 && not posted then begin
+          let r = !qres in
+          let kind, id =
+            if r < n_nodes then (Metrics.k_dir_queued, r)
+            else (Metrics.k_link_queued, r - n_nodes)
+          in
+          Metrics.span m ~kind ~id ~t0:start_line ~t1:start ~weight:1
+        end;
+        let pop =
+          Coreset.cardinal l.sharers
+          + (match l.owner with Some _ -> 1 | None -> 0)
+        in
+        if start > t.msince.(li) then begin
+          Metrics.span m ~kind:Metrics.k_line_sharers ~id:li
+            ~t0:t.msince.(li) ~t1:start ~weight:pop;
+          t.msince.(li) <- start
+        end
+    | None -> ());
     if not local then begin
-      l.busy_until <-
-        max l.busy_until
-          (start
-          + t.platform.Platform.occupancy cost_op ~state:pre_state
-              ~latency:service);
+      let nb =
+        start
+        + t.platform.Platform.occupancy cost_op ~state:pre_state
+            ~latency:service
+      in
+      (match sl.macc with
+      | Some m when nb > l.busy_until ->
+          Metrics.span m ~kind:Metrics.k_line_occ ~id:li
+            ~t0:(max start l.busy_until) ~t1:nb ~weight:1
+      | _ -> ());
+      l.busy_until <- max l.busy_until nb;
       for i = 0 to npath - 1 do
         let r = sl.path.(i) in
         let held =
           start + Cost_model.resource_hold topo cost_op ~latency:service r
         in
-        if held > t.rbusy.(r) then t.rbusy.(r) <- held
+        let prev = t.rbusy.(r) in
+        if held > prev then begin
+          (match sl.macc with
+          | Some m ->
+              let kind, id =
+                if r < n_nodes then (Metrics.k_dir_busy, r)
+                else (Metrics.k_link_busy, r - n_nodes)
+              in
+              Metrics.span m ~kind ~id ~t0:(max start prev) ~t1:held ~weight:1
+          | None -> ());
+          t.rbusy.(r) <- held
+        end
       done
     end;
     let invalidated = transition t l core op in
@@ -1204,9 +1341,11 @@ let access_lat_in ?(operand = 0) ?(operand2 = 0) ?(fetch = false) t
             (Trace.E_xfer
                { tid = Trace.cur_tid tr; core; op; addr = a; pre = pre_state;
                  post = l.state; dist = tr_dist; lat = latency; service;
-                 queued = (if posted then 0 else queued) })
+                 queued = (if posted then 0 else queued);
+                 rq = (if posted then 0 else rqueued);
+                 rq_dir = (!qres >= 0 && !qres < n_nodes) })
     | None -> ());
-    if l.waiters <> [] then wake_disturbed t sl l;
+    if l.waiters <> [] then wake_disturbed t sl ~line:li l;
     sl.last_result <- result;
     latency
   end

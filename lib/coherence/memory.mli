@@ -78,6 +78,9 @@ and waiter = {
       (** inert probes are local hits (false for foreign-reservation
           directed reads) *)
   w_step : int;  (** [w_hit + w_poll] *)
+  w_parked : int;
+      (** virtual time the spinner parked — the waiter-depth telemetry
+          gauge charges the whole span at wake *)
   mutable w_next : int;
   w_replay : int -> unit;
 }
@@ -152,6 +155,13 @@ val peeked_this_window : t -> addr -> bool
 val slot : t -> int -> slot
 val n_slots : t -> int
 
+val slot_metrics : slot -> Ssync_metrics.Metrics.t option
+(** The slot's metrics accumulator ([None] when metrics are off).  The
+    engine charges its own virtual-time gauges — thread run-state
+    spans, park/wake counts — into the executing shard's accumulator
+    so they ride the same branch/merge/rollback discipline as the
+    coherence-level samples. *)
+
 val set_slots : t -> int -> unit
 (** Ensure [n] slots exist; slots >= 1 restart with fresh stats. *)
 
@@ -160,6 +170,13 @@ val merge_slots : t -> unit
     slots (which stay usable for the next run).  Statistics are sums,
     so the merged totals equal a serial run's regardless of how
     accesses were distributed over shards. *)
+
+val drain_metrics : t -> unit
+(** Fold every slot's metrics accumulator into the domain's [Metrics]
+    sink (no-op when metrics are off).  The engine calls it only when a
+    run completes — aborted sharded attempts never drain, so the sink
+    holds samples from the surviving (serial-equivalent) schedule
+    only. *)
 
 val freeze : t -> bool -> unit
 (** Toggle the window-in-progress flag checked by {!alloc} and the

@@ -20,6 +20,7 @@
    stats into per-section totals instead of reading a global. *)
 
 module Trace = Ssync_trace.Trace
+module Metrics = Ssync_metrics.Metrics
 
 type stats = {
   wall_ns : int;  (** wall-clock spent executing the job *)
@@ -29,6 +30,12 @@ type stats = {
           one fresh sink per job, installed in the executing domain, so
           the per-job traces are independent of the job-to-domain
           assignment and merge deterministically in submission order *)
+  metrics : Metrics.t option;
+      (** the job's virtual-time metrics ([Metrics.requested]): like
+          [trace], one fresh sink per job installed around it in the
+          executing domain — samples are keyed by virtual time and
+          stable ids only, so the dumps are byte-identical at any
+          [--jobs] count *)
 }
 
 type 'a outcome = Ok_r of 'a | Error_r of exn | Not_run
@@ -53,9 +60,10 @@ let default_jobs () = Domain.recommended_domain_count ()
 (* Run [thunks.(i)] capturing its result, engine-counter delta and wall
    time.  Must execute in the domain that owns the slot's work so the
    domain-local counters attribute correctly. *)
-let exec_one ~traced (thunks : (unit -> 'a) array) (results : 'a outcome array)
-    (stats : stats array) i =
+let exec_one ~traced ~sampled (thunks : (unit -> 'a) array)
+    (results : 'a outcome array) (stats : stats array) i =
   let trace = if traced then Some (Trace.start ()) else None in
+  let metrics = if sampled then Some (Metrics.start ()) else None in
   let before = Sim.cumulative_perf () in
   let t0 = Unix.gettimeofday () in
   (results.(i) <-
@@ -64,8 +72,14 @@ let exec_one ~traced (thunks : (unit -> 'a) array) (results : 'a outcome array)
     | exception e -> Error_r e));
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   if traced then ignore (Trace.stop ());
+  if sampled then ignore (Metrics.stop ());
   stats.(i) <-
-    { wall_ns; perf = Sim.perf_diff (Sim.cumulative_perf ()) before; trace }
+    {
+      wall_ns;
+      perf = Sim.perf_diff (Sim.cumulative_perf ()) before;
+      trace;
+      metrics;
+    }
 
 let finish (results : 'a outcome array) (stats : stats array) :
     ('a * stats) array =
@@ -103,16 +117,18 @@ let run ?jobs (thunks : (unit -> 'a) array) : ('a * stats) array =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
   let results = Array.make n Not_run in
   let stats =
-    Array.make n { wall_ns = 0; perf = Sim.perf_zero; trace = None }
+    Array.make n
+      { wall_ns = 0; perf = Sim.perf_zero; trace = None; metrics = None }
   in
-  (* read once in the submitting domain; workers capture the value, so
-     no domain races on the flag itself *)
+  (* read once in the submitting domain; workers capture the values, so
+     no domain races on the flags themselves *)
   let traced = !Trace.requested in
+  let sampled = !Metrics.requested in
   if jobs = 1 || n <= 1 then
     (* Inline path: no domains, no atomics — the reference behaviour
        the parallel path must reproduce byte-for-byte. *)
     for i = 0 to n - 1 do
-      exec_one ~traced thunks results stats i
+      exec_one ~traced ~sampled thunks results stats i
     done
   else begin
     let next = Atomic.make 0 in
@@ -120,7 +136,7 @@ let run ?jobs (thunks : (unit -> 'a) array) : ('a * stats) array =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          exec_one ~traced thunks results stats i;
+          exec_one ~traced ~sampled thunks results stats i;
           loop ()
         end
       in
@@ -142,10 +158,16 @@ let total_stats (results : ('a * stats) array) : stats =
         wall_ns = acc.wall_ns + s.wall_ns;
         perf = Sim.perf_add acc.perf s.perf;
         trace = None;
+        metrics = None;
       })
-    { wall_ns = 0; perf = Sim.perf_zero; trace = None }
+    { wall_ns = 0; perf = Sim.perf_zero; trace = None; metrics = None }
     results
 
 (* Per-job traces in submission order (empty when tracing was off). *)
 let traces (results : ('a * stats) array) : Trace.t list =
   Array.to_list results |> List.filter_map (fun (_, s) -> s.trace)
+
+(* Per-job metrics sinks in submission order (empty when sampling was
+   off). *)
+let metrics (results : ('a * stats) array) : Metrics.t list =
+  Array.to_list results |> List.filter_map (fun (_, s) -> s.metrics)

@@ -17,6 +17,11 @@ type stats = {
           whatever domain executed it, so per-job traces are
           independent of scheduling and merge deterministically in
           submission order *)
+  metrics : Ssync_metrics.Metrics.t option;
+      (** the job's virtual-time metrics when
+          [Ssync_metrics.Metrics.requested] was set at submission time;
+          per-job sinks like [trace], so dumps are byte-identical at
+          any [jobs] count *)
 }
 
 exception Job_failures of (int * exn) list
@@ -45,3 +50,7 @@ val total_stats : ('a * stats) array -> stats
 val traces : ('a * stats) array -> Ssync_trace.Trace.t list
 (** The per-job traces in submission order; empty when tracing was
     off. *)
+
+val metrics : ('a * stats) array -> Ssync_metrics.Metrics.t list
+(** The per-job metrics sinks in submission order; empty when sampling
+    was off. *)

@@ -89,12 +89,32 @@
    Tracing and crash-stop fault injection force [shards = 1] at
    creation: traces record engine-internal event order, and the
    crash bookkeeping mutates global state mid-run; both are defined by
-   the serial engine. *)
+   the serial engine.  The one exception is [Trace.allow_sharded]
+   (speculation-lifecycle tracing): the per-access hooks stay dark on
+   worker domains and only coordinator-context lifecycle events —
+   window open/close, aborts, checkpoint/restore, promotion, replay,
+   escalation — reach the ring, so sharding stays on.
+
+   {2 Virtual-time metrics}
+
+   With a [Metrics] sink installed (the [--metrics] / heatmap paths)
+   the engine charges thread run-state gauges — how many simulated
+   threads were runnable, spinning or parked on each virtual-time
+   bucket — plus park/wake event counts into the executing shard's
+   slot accumulator, alongside the coherence-level samples the memory
+   model records there.  Accumulators ride [Memory]'s branch / merge /
+   rollback discipline, so aborted speculative attempts leave no
+   samples and totals are identical at any shard count.  The
+   strategy-dependent tallies (windows, replays, promotions) go
+   straight to the domain sink instead: they describe the execution
+   strategy, not the simulated machine, and are excluded from
+   deterministic dumps. *)
 
 open Ssync_platform
 open Ssync_coherence
 module Rng = Ssync_workload.Rng
 module Trace = Ssync_trace.Trace
+module Metrics = Ssync_metrics.Metrics
 
 (* Per-thread bookkeeping for faults and the watchdog.  [pend_ik] /
    [pend_uk] hold the thread's suspended continuation between the
@@ -117,6 +137,11 @@ type thread_state = {
   mutable pend_uk : (unit, unit) Effect.Deep.continuation option;
   mutable run_ik : unit -> unit;
   mutable run_uk : unit -> unit;
+  mutable m_state : int;
+      (* metrics run-state: 0 runnable / 1 spinning / 2 parked /
+         3 dead — codes chosen so [Metrics.k_runnable + m_state] is
+         the gauge kind.  Maintained only while metrics are on. *)
+  mutable m_since : int; (* virtual time the current run-state began *)
 }
 
 (* One shard of the simulation.  Serial execution is the one-shard
@@ -181,6 +206,7 @@ type counters = {
   mutable c_parks : int;
   mutable c_wakeups : int;
   mutable c_elided : int;
+  mutable c_link_queued : int;
   mutable c_sim_cycles : int;
   mutable c_wall_ns : int;
   mutable c_windows : int;
@@ -200,6 +226,7 @@ let counters_key : counters Domain.DLS.key =
         c_parks = 0;
         c_wakeups = 0;
         c_elided = 0;
+        c_link_queued = 0;
         c_sim_cycles = 0;
         c_wall_ns = 0;
         c_windows = 0;
@@ -248,6 +275,12 @@ type t = {
   mutable crashed_tids : int list; (* reversed; serial-only mutation *)
   mutable wall_ns : int;
   cum : counters; (* the creating domain's cumulative totals *)
+  mutable booked_lq : int;
+      (* [Stats.link_queued_cycles] already booked into
+         [cum.c_link_queued]: successful runs book the delta, aborted
+         attempts book nothing (their stats roll back with the
+         memory), so the cumulative total never double-counts a
+         replayed schedule *)
   mutable run_until : int; (* current run's [until] backstop *)
   trace : Trace.t option;
       (* the domain's trace sink, cached at creation time (zero
@@ -344,6 +377,9 @@ let serial_fallback ?policy_key f =
          and re-run the whole job serially *)
       let c = counters () in
       c.c_escalations <- c.c_escalations + 1;
+      (match Trace.current () with
+      | Some tr -> Trace.emit_end tr Trace.E_escalate
+      | None -> ());
       (match policy_key with
       | Some k -> Hashtbl.replace (Domain.DLS.get serial_jobs_key) k ()
       | None -> ());
@@ -412,12 +448,15 @@ let create ?(faults = Fault.none) ?parking ?shards platform =
   (* Crash-stop schedules mutate global bookkeeping mid-run and traces
      record engine-internal order: both are defined by the serial
      engine, so they force one shard (identity with serial runs is then
-     trivially preserved rather than checked). *)
+     trivially preserved rather than checked).  A trace sink that set
+     [Trace.allow_sharded] wants only the coordinator-context
+     speculation-lifecycle events, which the serial engine never has —
+     it keeps sharding on and the per-access hooks dark. *)
   let nshards =
     if
       requested = 1
       || Domain.DLS.get force_serial_key
-      || trace <> None
+      || (trace <> None && not !Trace.allow_sharded)
       || faults.Fault.crashes <> []
     then 1
     else min requested topo.Topology.n_nodes
@@ -472,6 +511,7 @@ let create ?(faults = Fault.none) ?parking ?shards platform =
     crashed_tids = [];
     wall_ns = 0;
     cum = counters ();
+    booked_lq = 0;
     run_until = max_int;
     trace;
   }
@@ -531,7 +571,15 @@ let promote t lines =
       if not (List.mem li t.promoted) then begin
         t.promoted <- li :: t.promoted;
         t.n_promoted <- t.n_promoted + 1;
-        t.cum.c_promoted <- t.cum.c_promoted + 1
+        t.cum.c_promoted <- t.cum.c_promoted + 1;
+        (* strategy-dependent tallies go straight to the sink: they
+           must survive the rollback that precedes the replay *)
+        (match Metrics.current () with
+        | Some m -> Metrics.tally m ~kind:Metrics.k_promoted ~id:0 1
+        | None -> ());
+        match t.trace with
+        | Some tr -> Trace.emit_end tr (Trace.E_promote { line = li })
+        | None -> ()
       end;
       Memory.set_line_residency t.mem li promoted_residency)
     lines
@@ -556,7 +604,13 @@ let hard_aborted t =
 
 let record_replay t =
   t.n_replays <- t.n_replays + 1;
-  t.cum.c_replays <- t.cum.c_replays + 1
+  t.cum.c_replays <- t.cum.c_replays + 1;
+  (match Metrics.current () with
+  | Some m -> Metrics.tally m ~kind:Metrics.k_replays ~id:0 1
+  | None -> ());
+  match t.trace with
+  | Some tr -> Trace.emit_end tr (Trace.E_replay { attempt = t.n_replays })
+  | None -> ()
 
 (* Window fusing on/off (tests A/B it): when on, repeated [run_health]
    calls on one sim reuse the stamp clear and residency derivation of
@@ -615,6 +669,44 @@ let shard_conflict t sh lines =
    parking removes. *)
 let event_driven t =
   t.parking && ((not t.faults_active) || t.faults_parkable)
+
+(* ---------------------- engine-side metrics ------------------------ *)
+
+(* Thread run-state codes: chosen so [Metrics.k_runnable + state] is
+   the gauge kind for the three live states.  [m_dead] spans are never
+   charged. *)
+let m_runnable = 0
+let m_spinning = 1
+let m_parked = 2
+let m_dead = 3
+
+(* The metrics accumulator of the *executing* context: the draining
+   shard's slot on a worker domain, slot 0 at the coordinator and
+   serially.  Charging where the step executes (not where the thread
+   lives) keeps worker domains off each other's accumulators — a
+   cross-shard wake charges the waker's shard — and costs nothing:
+   the sums commute, so merged totals are placement-independent. *)
+let macc_here t =
+  let sid = Memory.exec_sid () in
+  Memory.slot_metrics t.shards.(if sid >= 0 then sid else 0).slot
+
+(* Close the thread's current run-state span at [at] and enter state
+   [s].  No-op when metrics are off. *)
+let m_trans t st ~at s =
+  match macc_here t with
+  | None -> ()
+  | Some m ->
+      if st.m_state < m_dead then
+        Metrics.span m
+          ~kind:(Metrics.k_runnable + st.m_state)
+          ~id:0 ~t0:st.m_since ~t1:at ~weight:1;
+      st.m_state <- s;
+      if at > st.m_since then st.m_since <- at
+
+let m_bump t ~kind ~ts =
+  match macc_here t with
+  | None -> ()
+  | Some m -> Metrics.bump m ~kind ~id:0 ~ts 1
 
 (* Every engine push targets a specific shard's queue at an absolute
    time.  No clamp against the shard clock: all call sites push at or
@@ -738,12 +830,15 @@ let tid_crashed tid = Effect.perform (E_dead tid)
    duration, whatever it holds staying held.  Draws come from the
    thread's private stream, so faults in one thread never perturb
    another thread's draws. *)
+(* Per-thread trace hooks stay dark when sharding runs with a trace
+   installed ([Trace.allow_sharded]): worker domains must not touch the
+   shared ring. *)
 let trace_fault t st kind cycles =
   match t.trace with
-  | Some tr ->
+  | Some tr when t.nshards = 1 ->
       Trace.emit tr ~ts:st.sh.s_now
         (Trace.E_fault { tid = st.tid; kind; cycles })
-  | None -> ()
+  | _ -> ()
 
 let fault_extra t st ~mem_op =
   if not t.faults_active then 0
@@ -784,6 +879,7 @@ let crash_sched t st ~at f =
           st.crashed <- true;
           t.crashed_tids <- st.tid :: t.crashed_tids;
           sh.s_live <- sh.s_live - 1;
+          m_trans t st ~at:sh.s_now m_dead;
           trace_fault t st Trace.Crash 0
         end)
   else
@@ -936,7 +1032,9 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
     else begin
       (* [sh.s_now] is the probe's issue time *)
       st.last_progress <- sh.s_now;
-      (match t.trace with Some tr -> Trace.set_tid tr st.tid | None -> ());
+      (match t.trace with
+      | Some tr when t.nshards = 1 -> Trace.set_tid tr st.tid
+      | _ -> ());
       if
         t.nshards > 1
         && not (Memory.stamp t.mem a ~time:sh.s_now ~tid:st.tid)
@@ -960,7 +1058,10 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
         let latency =
           if inert then latency else latency + fault_extra t st ~mem_op:true
         in
-        if x <> while_ then resume_int t st k ~at:(sh.s_now + latency) x
+        if x <> while_ then begin
+          m_trans t st ~at:(sh.s_now + latency) m_runnable;
+          resume_int t st k ~at:(sh.s_now + latency) x
+        end
         else sched_step t st ~at:(sh.s_now + latency) continue_spin
       end
     end
@@ -991,37 +1092,49 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
                  if esid >= 0 && esid <> sh.sid then begin
                    let esh = t.shards.(esid) in
                    esh.s_wakeups <- esh.s_wakeups + 1;
+                   m_bump t ~kind:Metrics.k_wakes ~ts:at;
                    esh.out <-
                      {
                        o_time = at;
                        o_kind = kind_wake;
                        o_addr = -1;
                        o_st = st;
-                       o_run = (fun () -> sched_step t st ~at probe);
+                       o_run =
+                         (fun () ->
+                           (* the parked span closes where the wake
+                              executes: the coordinator, at [at] *)
+                           m_trans t st ~at m_spinning;
+                           sched_step t st ~at probe);
                      }
                      :: esh.out
                  end
                  else begin
                    sh.s_wakeups <- sh.s_wakeups + 1;
+                   m_bump t ~kind:Metrics.k_wakes ~ts:at;
+                   m_trans t st ~at m_spinning;
                    sched_step t st ~at probe
                  end
                end
                else begin
                  sh.s_wakeups <- sh.s_wakeups + 1;
+                 m_bump t ~kind:Metrics.k_wakes ~ts:at;
+                 m_trans t st ~at m_spinning;
                  (match t.trace with
-                 | Some tr ->
+                 | Some tr when t.nshards = 1 ->
                      Trace.emit tr ~ts:at
                        (Trace.E_wake { tid = st.tid; addr = a })
-                 | None -> ());
+                 | _ -> ());
                  sched_step t st ~at probe
                end)
       then begin
         sh.s_parks <- sh.s_parks + 1;
+        m_trans t st ~at:sh.s_now m_parked;
+        m_bump t ~kind:Metrics.k_parks ~ts:sh.s_now;
         match t.trace with
-        | Some tr ->
+        | Some tr when t.nshards = 1 ->
             Trace.emit tr ~ts:sh.s_now
               (Trace.E_park { tid = st.tid; addr = a })
-        | None -> ()
+        | _ -> ()
       end
       else if poll = 0 then probe ()
       else begin
@@ -1030,6 +1143,7 @@ let spin_loop t st (k : (int, unit) Effect.Deep.continuation) op a ~operand
       end
     end
   in
+  m_trans t st ~at:sh.s_now m_spinning;
   continue_spin ()
 
 (* Barrier arrival: runs in-window serially, at the coordinator when
@@ -1060,10 +1174,12 @@ let park_seat t st (k : (unit, unit) Effect.Deep.continuation) pk poll =
     pk.seat_at <- sh.s_now;
     pk.seat_poll <- poll;
     sh.s_parks <- sh.s_parks + 1;
+    m_trans t st ~at:sh.s_now m_parked;
+    m_bump t ~kind:Metrics.k_parks ~ts:sh.s_now;
     match t.trace with
-    | Some tr ->
+    | Some tr when t.nshards = 1 ->
         Trace.emit tr ~ts:sh.s_now (Trace.E_park { tid = st.tid; addr = -1 })
-    | None -> ()
+    | _ -> ()
   end
   else begin
     (* literal polling: one pause quantum, the caller's loop re-checks *)
@@ -1078,14 +1194,15 @@ let unpark_wake t st pk =
       (* first poll-grid point after the state change *)
       let dt = st.sh.s_now - pk.seat_at in
       let steps = max 1 ((dt + pk.seat_poll - 1) / pk.seat_poll) in
+      let wake_at = pk.seat_at + (steps * pk.seat_poll) in
       st.sh.s_wakeups <- st.sh.s_wakeups + 1;
+      m_bump t ~kind:Metrics.k_wakes ~ts:wake_at;
+      m_trans t wst ~at:wake_at m_runnable;
       (match t.trace with
-      | Some tr ->
-          Trace.emit tr
-            ~ts:(pk.seat_at + (steps * pk.seat_poll))
-            (Trace.E_wake { tid = wst.tid; addr = -1 })
-      | None -> ());
-      resume_unit t wst wk ~at:(pk.seat_at + (steps * pk.seat_poll))
+      | Some tr when t.nshards = 1 ->
+          Trace.emit tr ~ts:wake_at (Trace.E_wake { tid = wst.tid; addr = -1 })
+      | _ -> ());
+      resume_unit t wst wk ~at:wake_at
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -1111,6 +1228,8 @@ let spawn t ~core body =
       pend_uk = None;
       run_ik = ignore;
       run_uk = ignore;
+      m_state = m_runnable;
+      m_since = now_of t;
     }
   in
   st.run_ik <-
@@ -1140,6 +1259,7 @@ let spawn t ~core body =
         (fun () ->
           st.finished <- true;
           st.last_progress <- sh.s_now;
+          m_trans t st ~at:sh.s_now m_dead;
           sh.s_live <- sh.s_live - 1);
       exnc = (fun e -> raise e);
       effc =
@@ -1572,6 +1692,19 @@ let run_windows t cr ~until ~max_events ~ev_base ~dropped =
       (* booked immediately (not on run success) so aborted attempts'
          windows show up in the cumulative telemetry too *)
       t.cum.c_windows <- t.cum.c_windows + 1;
+      (match Metrics.current () with
+      | Some m -> Metrics.tally m ~kind:Metrics.k_windows ~id:0 1
+      | None -> ());
+      (match t.trace with
+      | Some tr ->
+          Trace.emit tr ~ts:!mn
+            (Trace.E_window
+               {
+                 upto = (if wend = max_int then -1 else wend);
+                 shards = t.nshards;
+                 solo;
+               })
+      | None -> ());
       t.in_window <- true;
       t.solo_run <- solo;
       Memory.set_solo t.mem solo;
@@ -1588,6 +1721,11 @@ let run_windows t cr ~until ~max_events ~ev_base ~dropped =
       (* [-1] disables direct-run while the coordinator executes *)
       Array.iter (fun sh -> sh.s_window_end <- -1) t.shards;
       if not t.abort then run_coordinator t;
+      (match t.trace with
+      | Some tr ->
+          Trace.emit tr ~ts:(now_of t)
+            (Trace.E_window_done { aborted = t.abort })
+      | None -> ());
       if not t.abort then begin
         t.res_hwm <-
           Memory.assign_residency t.mem
@@ -1670,10 +1808,27 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
         Memory.set_solo t.mem false;
         Memory.freeze t.mem false)
       (fun () -> run_windows t cr ~until ~max_events ~ev_base ~dropped);
-    if t.abort then raise Shard_conflict;
+    if t.abort then begin
+      (match t.trace with
+      | Some tr ->
+          let line = match conflict_lines t with l :: _ -> l | [] -> -1 in
+          Trace.emit_end tr
+            (Trace.E_spec_abort { line; hard = hard_aborted t })
+      | None -> ());
+      raise Shard_conflict
+    end;
     (* the run is good: merge per-shard memory statistics into slot 0
        so [Memory.stats] / [perf] report serial-identical totals *)
     Memory.merge_slots t.mem
+  end;
+  (* close the open run-state spans so the thread gauges cover the
+     whole run, whichever state each thread ends it in *)
+  if macc_here t <> None then begin
+    let fin = now_of t in
+    Hashtbl.iter
+      (fun _ st ->
+        if st.m_state < m_dead then m_trans t st ~at:fin st.m_state)
+      t.tstates
   end;
   let executed = ev_total t - ev_base in
   t.cum.c_events <- t.cum.c_events + executed;
@@ -1683,6 +1838,21 @@ let run_health ?(until = max_int) ?(max_events = 200_000_000) t =
   t.cum.c_elided <-
     t.cum.c_elided
     + ((Memory.stats t.mem).Stats.elided_probes - start_elided);
+  (* link-queued cycles book only what this run added beyond what was
+     already booked: an aborted attempt raises before reaching here and
+     its stats roll back with the memory, so replays never double-count *)
+  let lq = (Memory.stats t.mem).Stats.link_queued_cycles in
+  t.cum.c_link_queued <- t.cum.c_link_queued + (lq - t.booked_lq);
+  t.booked_lq <- lq;
+  (* the run survived: its slot accumulators hold the serial-equivalent
+     schedule's metric samples and may reach the domain sink.  Draining
+     only here — never on the abort path above — keeps a replayed
+     attempt from re-contributing samples (the abort raises first, and
+     [Memory.restore] rolls the accumulators back with everything
+     else); the merge empties the accumulators, so callers that step a
+     simulation through several runs drain incrementally without
+     overlap. *)
+  Memory.drain_metrics t.mem;
   let wall_ns =
     int_of_float ((Unix.gettimeofday () -. wall_start) *. 1e9)
   in
@@ -1718,6 +1888,10 @@ type perf = {
   parks : int; (* threads parked event-driven *)
   wakeups : int; (* parked threads woken by a real access *)
   elided_probes : int; (* inert spin probes accounted without an event *)
+  link_queued_cycles : int;
+      (* cycles memory ops spent queued behind busy interconnect
+         resources (links and home directories); strategy-independent
+         like the fields above it *)
   sim_cycles : int; (* virtual time advanced *)
   wall_ns : int; (* wall-clock spent in the run loop *)
   (* Speculation telemetry (all zero on serial runs).  These depend on
@@ -1736,6 +1910,7 @@ let perf t =
     parks = parks_total t;
     wakeups = wakeups_total t;
     elided_probes = (Memory.stats t.mem).Stats.elided_probes;
+    link_queued_cycles = (Memory.stats t.mem).Stats.link_queued_cycles;
     sim_cycles = now_of t;
     wall_ns = t.wall_ns;
     windows = t.n_windows;
@@ -1754,6 +1929,7 @@ let cumulative_perf () =
     parks = c.c_parks;
     wakeups = c.c_wakeups;
     elided_probes = c.c_elided;
+    link_queued_cycles = c.c_link_queued;
     sim_cycles = c.c_sim_cycles;
     wall_ns = c.c_wall_ns;
     windows = c.c_windows;
@@ -1769,6 +1945,7 @@ let perf_zero =
     parks = 0;
     wakeups = 0;
     elided_probes = 0;
+    link_queued_cycles = 0;
     sim_cycles = 0;
     wall_ns = 0;
     windows = 0;
@@ -1783,6 +1960,7 @@ let perf_add a b =
     parks = a.parks + b.parks;
     wakeups = a.wakeups + b.wakeups;
     elided_probes = a.elided_probes + b.elided_probes;
+    link_queued_cycles = a.link_queued_cycles + b.link_queued_cycles;
     sim_cycles = a.sim_cycles + b.sim_cycles;
     wall_ns = a.wall_ns + b.wall_ns;
     windows = a.windows + b.windows;
@@ -1797,6 +1975,7 @@ let perf_diff a b =
     parks = a.parks - b.parks;
     wakeups = a.wakeups - b.wakeups;
     elided_probes = a.elided_probes - b.elided_probes;
+    link_queued_cycles = a.link_queued_cycles - b.link_queued_cycles;
     sim_cycles = a.sim_cycles - b.sim_cycles;
     wall_ns = a.wall_ns - b.wall_ns;
     windows = a.windows - b.windows;

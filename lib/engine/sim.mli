@@ -218,6 +218,12 @@ type perf = {
   wakeups : int;  (** parked threads woken by a real access *)
   elided_probes : int;
       (** inert spin probes accounted in bulk, without an event each *)
+  link_queued_cycles : int;
+      (** cycles memory operations spent queued behind busy finite-
+          bandwidth interconnect resources (links and home
+          directories); strategy-independent like the fields above —
+          it sums [Stats.link_queued_cycles], which sharded runs merge
+          to serial-identical totals *)
   sim_cycles : int;  (** virtual time advanced *)
   wall_ns : int;  (** wall-clock nanoseconds spent in the run loop *)
   windows : int;

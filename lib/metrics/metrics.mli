@@ -1,0 +1,172 @@
+(** Deterministic virtual-time telemetry.
+
+    A metrics accumulator samples typed gauges and counters onto a
+    fixed virtual-cycle grid: every contribution is a [(kind, id,
+    bucket) -> cycles] sum whose key derives purely from virtual
+    timestamps and stable identifiers (resource ids, line ids).  Sums
+    commute, so the accumulated table is independent of the order in
+    which contributions arrive — the property that makes the dump
+    byte-identical at any [--jobs] (per-job sinks, fresh per job) and
+    any [--shards] (a sharded run either replays the serial schedule
+    exactly, contributing the same spans from different slots, or
+    aborts without merging).
+
+    The discipline mirrors [Trace]: {!requested} is read once per job
+    by the submitting domain; instrumentation sites cache the sink (or
+    a branch of it) at creation and pay one option check when metrics
+    are off; probes are time-free, so sampled runs replay the identical
+    virtual-time schedule. *)
+
+type t
+
+val requested : bool ref
+(** Should jobs sample metrics?  Set by the benchmark driver
+    ([--metrics], [heatmap]) before submitting jobs; read once per job. *)
+
+val bucket_cycles : int ref
+(** Grid width in virtual cycles (default [65536]).  Fixed into an
+    accumulator at {!create}; change it only between jobs. *)
+
+(** {1 Kinds}
+
+    Deterministic timeline kinds ([id] in brackets): *)
+
+(** [k_dir_busy] home-directory busy cycles [node]; [k_link_busy] link
+    busy cycles [lo * n_nodes + hi]; [k_dir_queued]/[k_link_queued]
+    wait cycles attributed to a directory [node] / link [link];
+    [k_line_occ] line-occupancy cycles [line id]; [k_line_sharers]
+    sharer-count-weighted cycles [line id]; [k_lock_waiters]
+    parked-waiter-weighted cycles [line id]; [k_runnable]/[k_spinning]/
+    [k_parked] thread-count-weighted cycles [0]; [k_parks]/[k_wakes]
+    event counters [0]. *)
+
+val k_dir_busy : int
+
+val k_link_busy : int
+
+val k_dir_queued : int
+
+val k_link_queued : int
+
+val k_line_occ : int
+
+val k_line_sharers : int
+
+val k_lock_waiters : int
+
+val k_runnable : int
+
+val k_spinning : int
+
+val k_parked : int
+
+val k_parks : int
+
+val k_wakes : int
+
+(** Strategy-dependent kinds — zero on serial runs, dependent on shard
+    count and replay luck otherwise.  Excluded from {!dump_csv} /
+    {!dump_json} (which must be byte-identical across [--shards]) but
+    visible to {!total}/{!iter_sorted} for the heatmap's PDES-health
+    footer. *)
+
+val k_windows : int
+
+val k_replays : int
+
+val k_promoted : int
+
+val kind_name : int -> string
+val n_kinds : int
+
+val deterministic : int -> bool
+(** [true] for timeline kinds that are byte-identical across [--jobs]
+    and [--shards]; [false] for the PDES-health counters above. *)
+
+(** {1 Sinks} *)
+
+val create : unit -> t
+(** Fresh accumulator at epoch base 0, grid {!bucket_cycles}. *)
+
+val start : unit -> t
+(** Install a fresh accumulator as the calling domain's sink. *)
+
+val stop : unit -> t option
+(** Uninstall and return the domain's sink. *)
+
+val current : unit -> t option
+(** The domain's sink, if one is installed. *)
+
+(** {1 Accumulation} *)
+
+val branch : t -> t
+(** A private accumulator sharing [t]'s grid and epoch base — handed to
+    a memory slot or engine shard so concurrent contributors never
+    share a table; {!merge} it back when its run succeeds. *)
+
+val span : t -> kind:int -> id:int -> t0:int -> t1:int -> weight:int -> unit
+(** Add [weight] cycles-per-cycle over virtual span [\[t0, t1)]
+    (epoch-relative; the accumulator's base is applied).  No-op when
+    [t1 <= t0] or [weight = 0]. *)
+
+val bump : t -> kind:int -> id:int -> ts:int -> int -> unit
+(** Add a point count at virtual time [ts] (epoch-relative). *)
+
+val tally : t -> kind:int -> id:int -> int -> unit
+(** Add a count in bucket 0 without touching the epoch high-water mark.
+    For the strategy-dependent kinds, which are bumped straight into
+    the domain sink so they survive an aborted attempt's rollback — a
+    high-water advance from an aborted attempt would shift the epoch
+    base {!new_epoch} hands to the next simulation and desynchronize
+    the deterministic kinds' buckets across [--shards]. *)
+
+val merge : into:t -> t -> unit
+(** Fold [t]'s samples (and high-water mark) into [into], then reset
+    [t] for reuse.  Grids must match. *)
+
+val new_epoch : t -> unit
+(** Advance the epoch base past every merged sample, rounded up to the
+    grid, so a new job segment on the same sink cannot collide with the
+    previous one.  Aborted attempts merge nothing, so a serial re-run
+    of the same job lands on the identical base. *)
+
+val rebase : t -> like:t -> unit
+(** Reset [t] and adopt [like]'s epoch base (slot/shard accumulators
+    follow the sink's epoch). *)
+
+(** {1 Checkpoint support} *)
+
+val copy : t -> t
+val assign : t -> t -> unit
+(** [assign dst src] makes [dst]'s contents equal [src]'s (grid and
+    base included), reusing [dst]'s table. *)
+
+val reset : t -> unit
+
+(** {1 Reading} *)
+
+val max_ts : t -> int
+(** Highest absolute virtual time sampled (epoch base applied). *)
+
+val base : t -> int
+
+val grid : t -> int
+
+val total : t -> kind:int -> int
+(** Sum over every id and bucket of [kind]. *)
+
+val total_id : t -> kind:int -> id:int -> int
+
+val iter_sorted : t -> (kind:int -> id:int -> bucket:int -> int -> unit) -> unit
+(** Visit samples in (kind, id, bucket) order — the dump order. *)
+
+val dump_csv : Buffer.t -> (string * t) list -> unit
+(** One section per job, in the given (submission) order: a [# job
+    <label>] header, then [kind,id,bucket,value] lines in
+    {!iter_sorted} order.  Strategy-dependent kinds are skipped. *)
+
+val dump_json : Buffer.t -> (string * t) list -> unit
+(** Same content as {!dump_csv} as a JSON document. *)
+
+val dump_file : string -> (string * t) list -> unit
+(** Write {!dump_json} if the path ends in [.json], else {!dump_csv}. *)

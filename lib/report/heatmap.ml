@@ -1,0 +1,84 @@
+(* ASCII heatmaps for the virtual-time telemetry: a 10-step intensity
+   ramp over matrices (interconnect utilization by node pair, tile
+   grids) and per-bucket timeline strips.  Pure rendering — callers
+   normalise their samples to [0, 1] and choose the layout, so the
+   module needs no platform or metrics dependency and the output is a
+   deterministic function of the numbers alone. *)
+
+(* The ramp, dimmest to brightest.  Index 0 is reserved for exact zero
+   so "never used" reads differently from "barely used". *)
+let ramp = " .:-=+*#%@"
+
+let shade v =
+  if v <= 0. then ramp.[0]
+  else begin
+    let n = String.length ramp in
+    (* values in (0, 1] map over the non-blank steps; clamp overdrive *)
+    let i = 1 + int_of_float (v *. float_of_int (n - 2)) in
+    ramp.[min i (n - 1)]
+  end
+
+let legend =
+  Printf.sprintf "intensity: '%s' = 0%% .. '%c' = 100%%" (String.make 1 ramp.[0])
+    ramp.[String.length ramp - 1]
+
+(* Render an [n x m] matrix of [0, 1] intensities, one character per
+   cell (columns separated by a space for squarer aspect).  Row/column
+   labels default to indices. *)
+let matrix ?(row_label = string_of_int) ?(col_label = string_of_int)
+    ~title (cells : float array array) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b title;
+  Buffer.add_char b '\n';
+  let rows = Array.length cells in
+  let cols = if rows = 0 then 0 else Array.length cells.(0) in
+  let label_w =
+    let w = ref 0 in
+    for i = 0 to rows - 1 do
+      w := max !w (String.length (row_label i))
+    done;
+    !w
+  in
+  (* column header: one labelled tick per column, vertical-ish *)
+  Buffer.add_string b (String.make label_w ' ');
+  for j = 0 to cols - 1 do
+    let l = col_label j in
+    Buffer.add_char b ' ';
+    Buffer.add_char b l.[String.length l - 1]
+  done;
+  Buffer.add_char b '\n';
+  for i = 0 to rows - 1 do
+    let l = row_label i in
+    Buffer.add_string b (String.make (label_w - String.length l) ' ');
+    Buffer.add_string b l;
+    for j = 0 to cols - 1 do
+      Buffer.add_char b ' ';
+      Buffer.add_char b (shade cells.(i).(j))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+(* Render a timeline strip: one character per bucket, downsampled by
+   averaging when more buckets than [width].  The caller's [label]
+   prefixes the strip. *)
+let timeline ?(width = 72) ~label (buckets : float array) : string =
+  let n = Array.length buckets in
+  let b = Buffer.create (width + String.length label + 4) in
+  Buffer.add_string b label;
+  Buffer.add_char b ' ';
+  if n <= width then
+    Array.iter (fun v -> Buffer.add_char b (shade v)) buckets
+  else begin
+    (* average [n] buckets into [width] cells; integer split keeps the
+       rendering independent of float iteration order *)
+    for c = 0 to width - 1 do
+      let lo = c * n / width and hi = max (c * n / width + 1) ((c + 1) * n / width) in
+      let s = ref 0. in
+      for k = lo to hi - 1 do
+        s := !s +. buckets.(k)
+      done;
+      Buffer.add_char b (shade (!s /. float_of_int (hi - lo)))
+    done
+  end;
+  Buffer.contents b

@@ -30,6 +30,7 @@
    emitting an unbalanced "E", so the output always parses. *)
 
 open Ssync_platform
+module Metrics = Ssync_metrics.Metrics
 
 let add_escaped b s =
   String.iter
@@ -45,6 +46,12 @@ let add_escaped b s =
 (* Track id for events issued outside any simulated thread (memory
    setup, ccbench drivers). *)
 let setup_track = 9999
+
+(* Dedicated tracks: sampled metric counter tracks and the PDES
+   speculation-lifecycle timeline (both engine-global, not per
+   thread). *)
+let counter_track = 9998
+let spec_track = 9997
 let track tid = if tid < 0 then setup_track else tid
 
 (* What a track currently has open, innermost first. *)
@@ -65,7 +72,7 @@ let meta b ~name ~pid ~tid ~value =
 
 let dist_arg d = Arch.distance_name d
 
-let export_job b ~pid ~label (tr : Trace.t) =
+let export_job b ~pid ~label ?metrics (tr : Trace.t) =
   meta b ~name:"process_name" ~pid ~tid:0 ~value:label;
   Buffer.add_string b
     (Printf.sprintf
@@ -73,9 +80,10 @@ let export_job b ~pid ~label (tr : Trace.t) =
        pid pid);
   (* thread tracks: one per E_thread (re-spawns across epochs reuse the
      tid's track), plus the setup track if anything ran outside a
-     simulated thread *)
+     simulated thread, plus the speculation / counter tracks when used *)
   let named = Hashtbl.create 32 in
   let uses_setup = ref false in
+  let uses_spec = ref false in
   Trace.iter tr (fun e ->
       match e.Trace.ev with
       | Trace.E_thread { tid; core } ->
@@ -85,9 +93,17 @@ let export_job b ~pid ~label (tr : Trace.t) =
               ~value:(Printf.sprintf "tid %d @ core %d" tid core)
           end
       | Trace.E_xfer { tid; _ } -> if tid < 0 then uses_setup := true
+      | Trace.E_window _ | Trace.E_window_done _ | Trace.E_spec_abort _
+      | Trace.E_ckpt | Trace.E_restore | Trace.E_promote _ | Trace.E_replay _
+      | Trace.E_escalate ->
+          uses_spec := true
       | _ -> ());
   if !uses_setup then
     meta b ~name:"thread_name" ~pid ~tid:setup_track ~value:"(setup)";
+  if !uses_spec then
+    meta b ~name:"thread_name" ~pid ~tid:spec_track ~value:"(speculation)";
+  if metrics <> None then
+    meta b ~name:"thread_name" ~pid ~tid:counter_track ~value:"(metrics)";
   let stacks : (int, slice list ref) Hashtbl.t = Hashtbl.create 32 in
   let stack tid =
     match Hashtbl.find_opt stacks tid with
@@ -98,6 +114,15 @@ let export_job b ~pid ~label (tr : Trace.t) =
         s
   in
   let close b ~ts ~tid name = obj b ~name ~ph:"E" ~ts ~pid ~tid "" in
+  (* The speculation track clamps its timestamps to a running maximum:
+     a window opens at the minimum pending event time, which can sit
+     before the previous window's closing timestamp, and the viewer
+     (and test_chrome_schema) require per-track monotonicity. *)
+  let spec_ts = ref 0 in
+  let sts ts =
+    if ts > !spec_ts then spec_ts := ts;
+    !spec_ts
+  in
   Trace.iter tr (fun { Trace.ts; ev } ->
       match ev with
       | Trace.E_thread { tid; _ } ->
@@ -137,7 +162,8 @@ let export_job b ~pid ~label (tr : Trace.t) =
                 ~name:("release " ^ Trace.lock_name tr lock)
                 ~ph:"i" ~ts ~pid ~tid:(track tid)
                 (Printf.sprintf ",\"s\":\"t\",\"args\":{\"held\":%d}" held))
-      | Trace.E_xfer { tid; core; op; addr; pre; post; dist; lat; service; queued }
+      | Trace.E_xfer
+          { tid; core; op; addr; pre; post; dist; lat; service; queued; rq; _ }
         ->
           let name =
             Printf.sprintf "%s %c>%c %s" (Arch.memop_name op)
@@ -145,8 +171,8 @@ let export_job b ~pid ~label (tr : Trace.t) =
           in
           obj b ~name ~ph:"X" ~ts ~pid ~tid:(track tid)
             (Printf.sprintf
-               ",\"dur\":%d,\"args\":{\"addr\":%d,\"core\":%d,\"service\":%d,\"queued\":%d}"
-               lat addr core service queued)
+               ",\"dur\":%d,\"args\":{\"addr\":%d,\"core\":%d,\"service\":%d,\"queued\":%d,\"rqueued\":%d}"
+               lat addr core service queued rq)
       | Trace.E_park { tid; addr } ->
           let s = stack tid in
           s := Parked :: !s;
@@ -177,29 +203,99 @@ let export_job b ~pid ~label (tr : Trace.t) =
       | Trace.E_recv { tid; chan } ->
           obj b ~name:"recv" ~ph:"i" ~ts ~pid ~tid:(track tid)
             (Printf.sprintf ",\"s\":\"t\",\"args\":{\"chan\":\"%s\"}"
-               (Trace.chan_name tr chan)))
+               (Trace.chan_name tr chan))
+      | Trace.E_window { upto; shards; solo } ->
+          obj b ~name:"window" ~ph:"B" ~ts:(sts ts) ~pid ~tid:spec_track
+            (Printf.sprintf ",\"args\":{\"upto\":%d,\"shards\":%d,\"solo\":%b}"
+               upto shards solo)
+      | Trace.E_window_done { aborted } ->
+          ignore aborted;
+          close b ~ts:(sts ts) ~tid:spec_track "window"
+      | Trace.E_spec_abort { line; hard } ->
+          obj b ~name:"abort" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"line\":%d,\"hard\":%b}"
+               line hard)
+      | Trace.E_ckpt ->
+          obj b ~name:"checkpoint" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            ",\"s\":\"t\""
+      | Trace.E_restore ->
+          obj b ~name:"restore" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            ",\"s\":\"t\""
+      | Trace.E_promote { line } ->
+          obj b ~name:"promote" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"line\":%d}" line)
+      | Trace.E_replay { attempt } ->
+          obj b ~name:"replay" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            (Printf.sprintf ",\"s\":\"t\",\"args\":{\"attempt\":%d}" attempt)
+      | Trace.E_escalate ->
+          obj b ~name:"escalate" ~ph:"i" ~ts:(sts ts) ~pid ~tid:spec_track
+            ",\"s\":\"t\"");
+  (* Sampled metric timelines as Perfetto counter tracks: one counter
+     per kind (ids aggregated), bucket-major so the shared tid's
+     timestamps stay monotone; a zero sample after each run of activity
+     stops the viewer's step function from holding the last value
+     forever.  Strategy-dependent kinds are skipped, like the dumps. *)
+  match metrics with
+  | None -> ()
+  | Some m ->
+      let w = Metrics.grid m in
+      let samples = ref [] in
+      Metrics.iter_sorted m (fun ~kind ~id:_ ~bucket v ->
+          if Metrics.deterministic kind then
+            samples := (kind, bucket, v) :: !samples);
+      (* aggregate ids: iter_sorted visits (kind, id, bucket) sorted, so
+         equal (kind, bucket) pairs are not adjacent; fold via a table *)
+      let agg = Hashtbl.create 256 in
+      List.iter
+        (fun (k, bk, v) ->
+          let key = (k, bk) in
+          match Hashtbl.find_opt agg key with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.add agg key (ref v))
+        !samples;
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) agg [] in
+      (* zero terminators where the next bucket of a kind is absent *)
+      let zeros =
+        List.filter_map
+          (fun (k, bk) ->
+            if Hashtbl.mem agg (k, bk + 1) then None else Some (k, bk + 1))
+          keys
+      in
+      List.iter (fun key -> Hashtbl.replace agg key (ref 0)) zeros;
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) agg [] in
+      let keys = List.sort (fun (k1, b1) (k2, b2) -> compare (b1, k1) (b2, k2)) keys in
+      List.iter
+        (fun ((k, bk) as key) ->
+          obj b ~name:(Metrics.kind_name k) ~ph:"C" ~ts:(bk * w) ~pid
+            ~tid:counter_track
+            (Printf.sprintf ",\"args\":{\"value\":%d}" !(Hashtbl.find agg key)))
+        keys
 
 (* [export_buffer b jobs] writes the merged trace of [(label, trace)]
    jobs, pid-ordered by their position in the list (= pool submission
-   order). *)
-let export_buffer b (jobs : (string * Trace.t) list) =
+   order).  [metrics] associates job labels with sampled metric
+   accumulators to render as counter tracks. *)
+let export_buffer ?(metrics : (string * Metrics.t) list = []) b
+    (jobs : (string * Trace.t) list) =
   Buffer.add_string b "{\"traceEvents\":[";
   (* dummy first element so every real event can emit ",\n" uniformly *)
   Buffer.add_string b
     "{\"name\":\"trace\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"exporter\":\"ssync\",\"ts_unit\":\"cycles\"}}";
   List.iteri
-    (fun i (label, tr) -> export_job b ~pid:(i + 1) ~label tr)
+    (fun i (label, tr) ->
+      export_job b ~pid:(i + 1) ~label ?metrics:(List.assoc_opt label metrics)
+        tr)
     jobs;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let export_string jobs =
+let export_string ?metrics jobs =
   let b = Buffer.create 65536 in
-  export_buffer b jobs;
+  export_buffer ?metrics b jobs;
   Buffer.contents b
 
-let export_file path jobs =
+let export_file ?metrics path jobs =
   let oc = open_out path in
   let b = Buffer.create 65536 in
-  export_buffer b jobs;
+  export_buffer ?metrics b jobs;
   Buffer.output_buffer oc b;
   close_out oc

@@ -96,6 +96,11 @@ type t = {
   xfers : (xfer_key, agg) Hashtbl.t;
   trans : int array array; (* pre-state x post-state transfer counts *)
   lines : (int, agg) Hashtbl.t; (* per-address traffic *)
+  rq_link : int array; (* resource-queued cycles behind links, by rank *)
+  rq_dir : int array; (* same, behind home directories *)
+      (* both fed from [Trace.rq_by_rank]'s drop-proof aggregates, so
+         [rq_total] reconciles exactly against
+         [Stats.link_queued_cycles] even when the ring truncated *)
   mutable totals : Trace.totals;
   mutable dropped : int;
   mutable n_jobs : int;
@@ -146,6 +151,8 @@ let create () =
     xfers = Hashtbl.create 64;
     trans = Array.make_matrix n_states n_states 0;
     lines = Hashtbl.create 64;
+    rq_link = Array.make (Array.length ranked_classes) 0;
+    rq_dir = Array.make (Array.length ranked_classes) 0;
     totals = totals_zero;
     dropped = 0;
     n_jobs = 0;
@@ -188,6 +195,9 @@ let add_trace t (tr : Trace.t) =
   t.n_jobs <- t.n_jobs + 1;
   t.totals <- totals_add t.totals (Trace.totals tr);
   t.dropped <- t.dropped + Trace.dropped tr;
+  let rql, rqd = Trace.rq_by_rank tr in
+  Array.iteri (fun r v -> t.rq_link.(r) <- t.rq_link.(r) + v) rql;
+  Array.iteri (fun r v -> t.rq_dir.(r) <- t.rq_dir.(r) + v) rqd;
   let plat = Trace.platform tr in
   Trace.iter tr (fun { Trace.ev; _ } ->
       match ev with
@@ -410,6 +420,59 @@ let lines_table ?(top = 10) t : Table.t =
            string_of_int v.cy;
          ])
        rows)
+
+(* Total resource-queued cycles the profile attributed, for
+   reconciliation against [Sim.perf.link_queued_cycles]: both sides sum
+   the same per-access [rqueued] charges, so equality is exact. *)
+let rq_total t =
+  Array.fold_left ( + ) 0 t.rq_link + Array.fold_left ( + ) 0 t.rq_dir
+
+(* Interconnect wait attribution: resource-queued cycles split between
+   links and home directories per distance class of the transfer that
+   paid them.  Fed from the per-trace aggregates (never the droppable
+   ring), so the table's grand total reconciles exactly against the
+   finite-bandwidth model's [Stats.link_queued_cycles]. *)
+let interconnect_table t : Table.t =
+  let used =
+    List.filter
+      (fun r -> t.rq_link.(r) > 0 || t.rq_dir.(r) > 0)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let total = max 1 (rq_total t) in
+  let headers =
+    [ "distance"; "link queued cy"; "dir queued cy"; "total"; "share" ]
+  in
+  let aligns =
+    [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let l = t.rq_link.(r) and d = t.rq_dir.(r) in
+        [
+          Arch.distance_name ranked_classes.(r);
+          string_of_int l;
+          string_of_int d;
+          string_of_int (l + d);
+          Printf.sprintf "%.1f%%" (100. *. mean (l + d) total);
+        ])
+      used
+  in
+  let rows =
+    if List.length used > 1 then
+      rows
+      @ [
+          [
+            "total";
+            string_of_int (Array.fold_left ( + ) 0 t.rq_link);
+            string_of_int (Array.fold_left ( + ) 0 t.rq_dir);
+            string_of_int (rq_total t);
+            "100.0%";
+          ];
+        ]
+    else rows
+  in
+  Table.of_rows ~aligns headers rows
 
 (* Where every memory cycle went: transfers (split into service and
    occupancy queueing), local hits, bulk-accounted elided probes. *)

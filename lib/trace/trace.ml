@@ -36,12 +36,23 @@ type event =
       lat : int;
       service : int;
       queued : int;
+      rq : int;  (* interconnect-resource share of [queued] *)
+      rq_dir : bool;  (* [rq] charged to the home directory, not a link *)
     }
   | E_park of { tid : int; addr : int }
   | E_wake of { tid : int; addr : int }
   | E_fault of { tid : int; kind : fault_kind; cycles : int }
   | E_send of { tid : int; chan : int }
   | E_recv of { tid : int; chan : int }
+  (* PDES speculation lifecycle (coordinator-emitted; see [allow_sharded]) *)
+  | E_window of { upto : int; shards : int; solo : bool }
+  | E_window_done of { aborted : bool }
+  | E_spec_abort of { line : int; hard : bool }
+  | E_ckpt
+  | E_restore
+  | E_promote of { line : int }
+  | E_replay of { attempt : int }
+  | E_escalate
 
 type entry = { ts : int; ev : event }
 
@@ -90,9 +101,21 @@ type t = {
   mutable a_fault : int;
   mutable a_send : int;
   mutable a_recv : int;
+  a_rq_link : int array; (* resource-queued cycles charged to links, by
+                            Cost_model.rank_of_class of the transfer *)
+  a_rq_dir : int array; (* same, charged to home directories *)
 }
 
 let requested = ref false
+
+(* Let [Sim.create] keep sharding on while a trace collector is
+   installed (normally tracing forces one shard).  Per-thread events
+   are then suppressed inside windows (worker domains must not touch
+   the sink) and only the coordinator-emitted speculation-lifecycle
+   events above are recorded — an opt-in debugging view
+   ([--trace-spec]) whose content is strategy-dependent, unlike every
+   other trace. *)
+let allow_sharded = ref false
 let dummy = { ts = 0; ev = E_thread { tid = 0; core = 0 } }
 let default_capacity = 1 lsl 16
 
@@ -124,6 +147,8 @@ let create ?(capacity = default_capacity) () =
     a_fault = 0;
     a_send = 0;
     a_recv = 0;
+    a_rq_link = Array.make 6 0;
+    a_rq_dir = Array.make 6 0;
   }
 
 let sink_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
@@ -204,12 +229,20 @@ let emit t ~ts ev =
   | E_xfer x ->
       t.a_xfer <- t.a_xfer + 1;
       t.a_xfer_cy <- t.a_xfer_cy + x.lat;
-      t.a_queued_cy <- t.a_queued_cy + x.queued
+      t.a_queued_cy <- t.a_queued_cy + x.queued;
+      if x.rq > 0 then begin
+        let r = Cost_model.rank_of_class x.dist in
+        let arr = if x.rq_dir then t.a_rq_dir else t.a_rq_link in
+        arr.(r) <- arr.(r) + x.rq
+      end
   | E_park _ -> t.a_park <- t.a_park + 1
   | E_wake _ -> t.a_wake <- t.a_wake + 1
   | E_fault _ -> t.a_fault <- t.a_fault + 1
   | E_send _ -> t.a_send <- t.a_send + 1
-  | E_recv _ -> t.a_recv <- t.a_recv + 1);
+  | E_recv _ -> t.a_recv <- t.a_recv + 1
+  | E_window _ | E_window_done _ | E_spec_abort _ | E_ckpt | E_restore
+  | E_promote _ | E_replay _ | E_escalate ->
+      ());
   let len = Array.length t.buf in
   if t.n = len && len < t.cap then begin
     let bigger = Array.make (min t.cap (2 * len)) dummy in
@@ -228,6 +261,18 @@ let iter t f =
   for i = first to t.n - 1 do
     f t.buf.(i mod len)
   done
+
+(* Resource-queued wait cycles by distance rank: [(links, dirs)].
+   Aggregate counters (never drop with the ring), so the profiler's
+   interconnect table reconciles exactly against
+   [Stats.link_queued_cycles] whatever the ring capacity did. *)
+let rq_by_rank t = (t.a_rq_link, t.a_rq_dir)
+
+(* Emit [ev] at the trace's current high-water timestamp — for
+   bookkeeping events raised outside any simulation clock (e.g. a
+   serial escalation, which fires after its aborted attempt's last
+   event), keeping every track's timestamps monotone. *)
+let emit_end t ev = emit t ~ts:(t.max_ts - t.base) ev
 
 let totals t =
   {

@@ -43,12 +43,31 @@ type event =
       lat : int;  (** cycles charged to the requesting thread *)
       service : int;  (** raw transfer service latency *)
       queued : int;  (** occupancy-queueing share of [lat] *)
+      rq : int;
+          (** interconnect-resource share of [queued]: cycles spent
+              behind a busy link or home directory rather than the
+              line itself (equals [Stats.link_queued_cycles]'s
+              per-access contribution) *)
+      rq_dir : bool;
+          (** [rq] was charged to the transfer's home directory; [false]
+              = charged to an interconnect link *)
     }  (** a non-local coherence transaction *)
   | E_park of { tid : int; addr : int }  (** addr -1 = [Sim.parker] *)
   | E_wake of { tid : int; addr : int }
   | E_fault of { tid : int; kind : fault_kind; cycles : int }
   | E_send of { tid : int; chan : int }
   | E_recv of { tid : int; chan : int }
+  | E_window of { upto : int; shards : int; solo : bool }
+      (** a PDES window opened, running until virtual time [upto] *)
+  | E_window_done of { aborted : bool }
+  | E_spec_abort of { line : int; hard : bool }
+      (** a sharded attempt aborted; [line] names a conflicting line
+          (-1 when unattributable), [hard] = promotion cannot fix it *)
+  | E_ckpt  (** memory checkpoint armed (speculative replay) *)
+  | E_restore  (** rollback to the checkpoint *)
+  | E_promote of { line : int }  (** line promoted to coordinator access *)
+  | E_replay of { attempt : int }  (** speculative replay number [attempt] *)
+  | E_escalate  (** the job gave up on sharding and re-ran serially *)
 
 type entry = { ts : int; ev : event }
 
@@ -57,6 +76,13 @@ type t
 val requested : bool ref
 (** Set by the CLI ([--trace] / [profile]); [Pool] reads it once per
     run and installs a fresh sink around every job when set. *)
+
+val allow_sharded : bool ref
+(** Keep sharding on while a trace is installed ([Sim.create] normally
+    forces one shard).  Per-thread events are suppressed inside sharded
+    windows (worker domains never touch the sink); only the
+    coordinator-emitted speculation-lifecycle events are recorded.  Set
+    by [--trace-spec]; default [false]. *)
 
 val create : ?capacity:int -> unit -> t
 (** A fresh sink (default capacity [2^16] events). *)
@@ -73,6 +99,11 @@ val current : unit -> t option
 (* {2 Producer hooks} *)
 
 val emit : t -> ts:int -> event -> unit
+
+val emit_end : t -> event -> unit
+(** Emit at the trace's current high-water timestamp — for bookkeeping
+    events raised outside any simulation clock (serial escalation). *)
+
 val set_tid : t -> int -> unit
 (** Thread on whose behalf the next memory accesses run (-1 outside
     simulated threads). *)
@@ -131,3 +162,9 @@ type totals = {
 }
 
 val totals : t -> totals
+
+val rq_by_rank : t -> int array * int array
+(** Resource-queued wait cycles by [Cost_model.rank_of_class] of the
+    transfer's distance class: [(links, home_directories)].  Aggregate
+    counters like {!totals} — their sum equals the engine's
+    [Stats.link_queued_cycles] exactly. *)

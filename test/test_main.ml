@@ -23,4 +23,5 @@ let () =
       ("trace", Test_trace.suite);
       ("shards", Test_shards.suite);
       ("speculation", Test_speculation.suite);
+      ("metrics", Test_metrics.suite);
     ]

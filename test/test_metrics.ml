@@ -1,0 +1,301 @@
+(* Virtual-time telemetry: the metrics accumulator's one observable
+   contract is that sampling is free of observer effects in every
+   direction —
+
+   - byte-identical dumps at any [--jobs] count (per-job sinks, keyed
+     by virtual time and stable ids only);
+   - byte-identical dumps at any [--shards] count (a sharded run either
+     replays the serial schedule exactly or aborts without draining;
+     strategy-dependent tallies are excluded from the dump and never
+     move the epoch base);
+   - zero perturbation: a sampled run computes the identical simulation
+     (ops, duration, perf counters) as an unsampled one;
+   - the samples are the engine's truth: queued-cycle, park, and wake
+     totals reconcile exactly against [Sim.perf];
+   - a planted saturation case shows up where it was planted: read
+     streams from every node funneled at one link drive its sampled
+     busy cycles to >= 90% of a steady-state bucket. *)
+
+open Ssync_platform
+open Ssync_coherence
+open Ssync_engine
+module Metrics = Ssync_metrics.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_sampling f =
+  let saved = !Metrics.requested in
+  Metrics.requested := true;
+  Fun.protect ~finally:(fun () -> Metrics.requested := saved) f
+
+let with_shards n f =
+  let saved = !Sim.default_shards in
+  Sim.default_shards := n;
+  Fun.protect ~finally:(fun () -> Sim.default_shards := saved) f
+
+let with_domains b f =
+  let saved = !Sim.shard_domains in
+  Sim.shard_domains := b;
+  Fun.protect ~finally:(fun () -> Sim.shard_domains := saved) f
+
+let dump jobs =
+  let b = Buffer.create 4096 in
+  Metrics.dump_csv b jobs;
+  Buffer.contents b
+
+(* Strategy-dependent fields masked for identity checks, as in
+   test_shards. *)
+let no_wall p =
+  {
+    p with
+    Sim.wall_ns = 0;
+    windows = 0;
+    speculative_replays = 0;
+    promoted_lines = 0;
+    serial_escalations = 0;
+  }
+
+(* A moderately contended lock workload: spins, parks, coherence
+   traffic and interconnect queueing all occur, so every sampled kind
+   is exercised. *)
+let lock_job () =
+  Ssync_ccbench.Lock_bench.throughput ~duration:30_000 Arch.Opteron
+    Ssync_simlocks.Simlock.Mcs ~threads:18 ~n_locks:1
+
+(* ------------------------- jobs identity --------------------------- *)
+
+let run_pool ~jobs =
+  with_sampling (fun () ->
+      let thunks = Array.init 3 (fun _ () -> lock_job ()) in
+      let results = Pool.run ~jobs thunks in
+      let labels = List.init 3 (fun i -> Printf.sprintf "job/%d" i) in
+      (results, List.combine labels (Pool.metrics results)))
+
+let test_jobs_identity () =
+  let _, m1 = run_pool ~jobs:1 in
+  let _, m4 = run_pool ~jobs:4 in
+  check_int "every job got a sink" 3 (List.length m1);
+  check_string "dump byte-identical at --jobs 1 vs 4" (dump m1) (dump m4)
+
+(* ------------------------ shards identity -------------------------- *)
+
+(* One thread per node hammering node-local lines (the partitioned
+   workload of test_shards): stays sharded end-to-end, so the sharded
+   run must drain the very same samples the serial schedule does. *)
+let partitioned () =
+  let p = Platform.get Arch.Opteron in
+  let topo = p.Platform.topo in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  let core_of_node = Array.make topo.Topology.n_nodes (-1) in
+  for c = topo.Topology.n_cores - 1 downto 0 do
+    core_of_node.(topo.Topology.node_of_core c) <- c
+  done;
+  for i = 0 to 3 do
+    let a = Memory.alloc ~home_core:core_of_node.(i) mem in
+    Sim.spawn sim ~core:core_of_node.(i) (fun () ->
+        for _ = 1 to 300 do
+          let v = Sim.load a in
+          Sim.store a (v + 1);
+          ignore (Sim.fai a);
+          Sim.pause (50 + (i * 13))
+        done)
+  done;
+  ignore (Sim.run sim);
+  Sim.perf sim
+
+let sampled_partitioned () =
+  let sink = Metrics.start () in
+  let p = partitioned () in
+  ignore (Metrics.stop ());
+  (sink, p)
+
+let test_shards_identity () =
+  let m1, p1 = with_shards 1 sampled_partitioned in
+  let m4, p4 =
+    with_shards 4 (fun () -> with_domains true sampled_partitioned)
+  in
+  check_bool "sharded run executed windows" true (p4.Sim.windows > 0);
+  check_bool "perf identical (minus strategy)" true
+    (no_wall p1 = no_wall p4);
+  check_string "dump byte-identical at shards 1 vs 4"
+    (dump [ ("p", m1) ])
+    (dump [ ("p", m4) ])
+
+(* A conflicting workload that aborts and re-runs serially must land on
+   the identical dump too: the aborted attempt drains nothing, and its
+   strategy tallies must not shift the epoch base of anything that
+   follows in the same job. *)
+let test_abort_replay_identity () =
+  let job () =
+    let sink = Metrics.start () in
+    let r1 = lock_job () in
+    let r2 = lock_job () in
+    ignore (Metrics.stop ());
+    (sink, no_wall r1.Harness.perf, no_wall r2.Harness.perf)
+  in
+  let m1, a1, b1 = with_shards 1 job in
+  let m4, a4, b4 = with_shards 4 (fun () -> with_domains true job) in
+  check_bool "first run perf identical" true (a1 = a4);
+  check_bool "second run perf identical" true (b1 = b4);
+  check_string "two-sim job dump byte-identical at shards 1 vs 4"
+    (dump [ ("j", m1) ])
+    (dump [ ("j", m4) ])
+
+(* ------------------------ no perturbation -------------------------- *)
+
+let test_no_perturbation () =
+  let plain = lock_job () in
+  let sampled =
+    with_sampling (fun () ->
+        ignore (Metrics.start ());
+        let r = lock_job () in
+        ignore (Metrics.stop ());
+        r)
+  in
+  check_bool "ops identical" true (plain.Harness.ops = sampled.Harness.ops);
+  check_int "duration identical" plain.Harness.duration
+    sampled.Harness.duration;
+  check_bool "perf identical (minus wall)" true
+    (no_wall plain.Harness.perf = no_wall sampled.Harness.perf)
+
+(* ------------------------- reconciliation -------------------------- *)
+
+let test_reconciles_with_perf () =
+  let sink = Metrics.start () in
+  let r = lock_job () in
+  ignore (Metrics.stop ());
+  let p = r.Harness.perf in
+  let tot k = Metrics.total sink ~kind:k in
+  check_bool "workload queues on the interconnect" true
+    (p.Sim.link_queued_cycles > 0);
+  check_bool "workload parks" true (p.Sim.parks > 0);
+  check_int "queued cycles reconcile"
+    p.Sim.link_queued_cycles
+    (tot Metrics.k_dir_queued + tot Metrics.k_link_queued);
+  check_int "parks reconcile" p.Sim.parks (tot Metrics.k_parks);
+  check_int "wakes reconcile" p.Sim.wakeups (tot Metrics.k_wakes)
+
+(* ------------------------ planted saturation ----------------------- *)
+
+(* Saturate the Opteron's 0-1 HT link and check the heat shows up
+   where it was planted.  The plant exploits the deterministic route:
+   every 2-hop requester reaches node 1 through intermediate node 0
+   (the first minimal detour in scan order), so reads of node-1-homed
+   lines funnel through the 0-1 link from EVERY other node.  One
+   reader per remaining core (42 crossing read streams), each on its
+   own word that a node-1 writer keeps invalidating, oversubscribes
+   the link's 16-cycle holds — its sampled busy cycles must reach
+   >= 90% of a steady-state bucket, and it must be the busiest link. *)
+let test_planted_saturated_link () =
+  let p = Platform.get Arch.Opteron in
+  let topo = p.Platform.topo in
+  let n = topo.Topology.n_nodes in
+  let cores_of node =
+    List.filter
+      (fun c -> topo.Topology.node_of_core c = node)
+      (List.init topo.Topology.n_cores Fun.id)
+  in
+  let writers = Array.of_list (cores_of 1) in
+  let readers =
+    Array.of_list
+      (List.filter
+         (fun c -> topo.Topology.node_of_core c <> 1)
+         (List.init topo.Topology.n_cores Fun.id))
+  in
+  let sink = Metrics.start () in
+  let sim = Sim.create p in
+  let mem = Sim.memory sim in
+  (* long enough that steady state covers whole grid buckets *)
+  let deadline = 3 * 65_536 in
+  (* One dedicated reader + writer thread per word.  Cores are not a
+     simulated resource — a thread blocked in a memory transaction
+     does not occupy its core — so pinning several threads to one core
+     multiplies the outstanding transactions.  Each word's writer
+     stays MOESI owner on node 1, so every reader miss is sourced from
+     node 1 across the 0-1 link, while the writer's own stores (owner
+     and home both local) book no link at all.  ~72 independent
+     crossing streams at a 16-cycle hold per ~650-cycle miss cycle
+     oversubscribe the link well past its capacity; the queue feedback
+     then keeps it busy essentially every cycle. *)
+  let pairs = 72 in
+  for i = 0 to pairs - 1 do
+    let wc = writers.(i mod Array.length writers) in
+    let w = Memory.alloc ~home_core:wc mem in
+    let rc = readers.(i mod Array.length readers) in
+    (* the pause thins out the local re-read hits without limiting the
+       invalidation-driven crossing rate *)
+    Sim.spawn sim ~core:rc (fun () ->
+        while Sim.now () < deadline do
+          ignore (Sim.load w);
+          Sim.pause 48
+        done);
+    Sim.spawn sim ~core:wc (fun () ->
+        while Sim.now () < deadline do
+          Sim.store w (Sim.now ());
+          Sim.pause 32
+        done)
+  done;
+  ignore (Sim.run sim);
+  ignore (Metrics.stop ());
+  let link01 = (0 * n) + 1 in
+  let grid = Metrics.grid sink in
+  (* peak steady-state bucket of the planted link *)
+  let peak = ref 0 in
+  let busiest = ref (-1, 0) in
+  Metrics.iter_sorted sink (fun ~kind ~id ~bucket:_ v ->
+      if kind = Metrics.k_link_busy then begin
+        if id = link01 && v > !peak then peak := v;
+        let _, bv = !busiest in
+        if v > bv then busiest := (id, v)
+      end);
+  check_bool
+    (Printf.sprintf "planted link >= 90%% busy in its peak bucket (%d/%d)"
+       !peak grid)
+    true
+    (float_of_int !peak >= 0.9 *. float_of_int grid);
+  check_int "the busiest sampled link is the planted one" link01
+    (fst !busiest)
+
+(* ----------------------------- dumps ------------------------------- *)
+
+let test_dump_formats () =
+  let _, jobs = run_pool ~jobs:1 in
+  let csv = dump jobs in
+  check_bool "csv header" true
+    (String.length csv > 0
+    && String.sub csv 0 22 = "# ssync metrics v1 buc");
+  let b = Buffer.create 4096 in
+  Metrics.dump_json b jobs;
+  let json = Buffer.contents b in
+  check_bool "json opens with the grid" true
+    (String.sub json 0 17 = "{\"bucket_cycles\":");
+  (* strategy-dependent kinds never appear in the deterministic dump *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "no strategy kinds in csv" false (contains csv "windows");
+  check_bool "no strategy kinds in json" false (contains json "windows")
+
+let suite =
+  [
+    Alcotest.test_case "dump identical across --jobs" `Quick
+      test_jobs_identity;
+    Alcotest.test_case "dump identical across --shards" `Quick
+      test_shards_identity;
+    Alcotest.test_case "abort/replay cannot shift the dump" `Quick
+      test_abort_replay_identity;
+    Alcotest.test_case "sampling perturbs nothing" `Quick
+      test_no_perturbation;
+    Alcotest.test_case "samples reconcile with Sim.perf" `Quick
+      test_reconciles_with_perf;
+    Alcotest.test_case "planted saturated link shows up" `Quick
+      test_planted_saturated_link;
+    Alcotest.test_case "dump formats" `Quick test_dump_formats;
+  ]
